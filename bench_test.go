@@ -1,0 +1,126 @@
+package xorp
+
+// One benchmark per table/figure of the paper's evaluation (§8). The
+// paper-formatted output (full tables and series) comes from
+// `go run ./cmd/xorp_bench -experiment all`; these testing.B benches
+// report the same experiments as ns/op plus custom metrics so regressions
+// show up in CI. Benchmark sizes are scaled down where noted to keep
+// `go test -bench=.` minutes-fast on one core; xorp_bench runs the
+// paper-sized versions.
+
+import (
+	"testing"
+	"time"
+
+	"xorp/internal/bench"
+	"xorp/internal/scanner"
+)
+
+// benchFig9 measures one Figure 9 point and reports XRLs/sec.
+func benchFig9(b *testing.B, transport string, nargs int) {
+	b.Helper()
+	total := 10000
+	if testing.Short() {
+		total = 2000
+	}
+	var last bench.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig9(transport, nargs, total, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.XRLsPerSec, "xrls/sec")
+}
+
+func BenchmarkFig9XRL_IntraProcess_Args0(b *testing.B)  { benchFig9(b, "intra", 0) }
+func BenchmarkFig9XRL_IntraProcess_Args5(b *testing.B)  { benchFig9(b, "intra", 5) }
+func BenchmarkFig9XRL_IntraProcess_Args25(b *testing.B) { benchFig9(b, "intra", 25) }
+func BenchmarkFig9XRL_TCP_Args0(b *testing.B)           { benchFig9(b, "tcp", 0) }
+func BenchmarkFig9XRL_TCP_Args5(b *testing.B)           { benchFig9(b, "tcp", 5) }
+func BenchmarkFig9XRL_TCP_Args25(b *testing.B)          { benchFig9(b, "tcp", 25) }
+func BenchmarkFig9XRL_UDP_Args0(b *testing.B)           { benchFig9(b, "udp", 0) }
+func BenchmarkFig9XRL_UDP_Args25(b *testing.B)          { benchFig9(b, "udp", 25) }
+
+// benchLatency runs a Figures 10–12 experiment and reports the mean
+// BGP-to-kernel latency in ms.
+func benchLatency(b *testing.B, preload int, samePeering bool) {
+	b.Helper()
+	testN := 64 // the paper used 255; xorp_bench runs the full count
+	var last *bench.LatencyResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunLatency(b.Name(), preload, testN, samePeering)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil && len(last.Stats) > 0 {
+		final := last.Stats[len(last.Stats)-1]
+		b.ReportMetric(final.Avg, "ms-to-kernel")
+		b.ReportMetric(final.Max, "ms-max")
+	}
+}
+
+// BenchmarkFig10EmptyTable: route propagation latency with no initial
+// routes (paper Figure 10).
+func BenchmarkFig10EmptyTable(b *testing.B) { benchLatency(b, 0, true) }
+
+// BenchmarkFig11FullTableSamePeer: latency with a preloaded table, test
+// routes on the same peering (paper Figure 11; table scaled 146515→20000
+// here, full size in xorp_bench).
+func BenchmarkFig11FullTableSamePeer(b *testing.B) {
+	preload := 20000
+	if testing.Short() {
+		preload = 5000
+	}
+	benchLatency(b, preload, true)
+}
+
+// BenchmarkFig12FullTableDiffPeer: latency with a preloaded table, test
+// routes on a different peering (paper Figure 12).
+func BenchmarkFig12FullTableDiffPeer(b *testing.B) {
+	preload := 20000
+	if testing.Short() {
+		preload = 5000
+	}
+	benchLatency(b, preload, false)
+}
+
+// BenchmarkFig13Convergence: the event-driven vs route-scanner comparison
+// (paper Figure 13), replayed on the simulated clock. Reports the
+// worst-case propagation delay of each architecture.
+func BenchmarkFig13Convergence(b *testing.B) {
+	var series []scanner.Series
+	for i := 0; i < b.N; i++ {
+		series = bench.RunFig13(255, time.Second)
+	}
+	for _, s := range series {
+		switch s.Router {
+		case "XORP":
+			b.ReportMetric(s.MaxDelay().Seconds(), "xorp-max-s")
+		case "Cisco":
+			b.ReportMetric(s.MaxDelay().Seconds(), "scanner-max-s")
+		}
+	}
+}
+
+// BenchmarkMemoryFullTable: the §5.1 memory footprint claim (~150k routes
+// ≈ 120 MB BGP + 60 MB RIB on 2005 C++). Reports measured heap MB.
+func BenchmarkMemoryFullTable(b *testing.B) {
+	n := 146515
+	if testing.Short() {
+		n = 30000
+	}
+	var last bench.MemoryResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMemory(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.BGPHeapMB, "bgp-heap-MB")
+	b.ReportMetric(last.BGPAndRIBHeapMB, "bgp+rib-heap-MB")
+}

@@ -1,0 +1,52 @@
+// Command call_xrl dispatches an XRL given in canonical textual form —
+// the paper's scriptability mechanism (§6): "the textual form permits
+// XRLs to be called from any scripting language via a simple call_xrl
+// program. This is put to frequent use in all our scripts for automated
+// testing."
+//
+// Usage:
+//
+//	call_xrl [-finder 127.0.0.1:19999] 'finder://bgp/bgp/1.0/set_local_as?as:u32=1777'
+//
+// The reply's arguments are printed one per line as name:type=value.
+// Exit status 0 on OKAY, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+func main() {
+	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: call_xrl [-finder addr] '<xrl>'")
+		os.Exit(2)
+	}
+	x, err := xrl.Parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "call_xrl: %v\n", err)
+		os.Exit(2)
+	}
+
+	loop := eventloop.New(nil)
+	router := xipc.NewRouter("call_xrl", loop)
+	router.SetFinderTCP(*finderAddr)
+	go loop.Run()
+	defer loop.Stop()
+
+	args, xerr := router.Call(x)
+	if xerr != nil {
+		fmt.Fprintf(os.Stderr, "call_xrl: %v\n", xerr)
+		os.Exit(1)
+	}
+	for _, a := range args {
+		fmt.Println(a.String())
+	}
+}

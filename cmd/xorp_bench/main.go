@@ -1,0 +1,120 @@
+// Command xorp_bench regenerates the paper's evaluation (§8): every
+// figure and table, printed in the paper's format. See EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	xorp_bench -experiment all          # everything (full sizes: slow)
+//	xorp_bench -experiment fig9         # XRL throughput vs #args
+//	xorp_bench -experiment fig10        # latency, empty table
+//	xorp_bench -experiment fig11        # latency, full table, same peering
+//	xorp_bench -experiment fig12        # latency, full table, diff peering
+//	xorp_bench -experiment fig13        # event-driven vs scanner
+//	xorp_bench -experiment memory       # §5.1 memory footprint
+//	xorp_bench -quick                   # scaled-down table sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xorp/internal/bench"
+	"xorp/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	quick := flag.Bool("quick", false, "scale the full-table experiments down (20k routes)")
+	points := flag.Bool("points", false, "also dump per-route data points (gnuplot style)")
+	flag.Parse()
+
+	preload := workload.FullTableSize
+	testN := 255
+	if *quick {
+		preload = 20000
+		testN = 64
+	}
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig9", func() error {
+		fmt.Println("XRL performance for various communication families (Figure 9)")
+		fmt.Printf("%-6s %12s %12s %12s\n", "#args", "Intra-Process", "TCP", "UDP")
+		for _, nargs := range []int{0, 1, 2, 4, 8, 12, 16, 20, 25} {
+			row := [3]float64{}
+			for i, tr := range []string{"intra", "tcp", "udp"} {
+				total := 10000
+				if tr == "udp" {
+					total = 3000 // stop-and-wait is slow by design
+				}
+				res, err := bench.RunFig9(tr, nargs, total, 100)
+				if err != nil {
+					return err
+				}
+				row[i] = res.XRLsPerSec
+			}
+			fmt.Printf("%-6d %12.0f %12.0f %12.0f\n", nargs, row[0], row[1], row[2])
+		}
+		return nil
+	})
+
+	latency := func(label string, preloadN int, same bool) func() error {
+		return func() error {
+			res, err := bench.RunLatency(label, preloadN, testN, same)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatLatencyTable(res))
+			if *points {
+				fmt.Println("# per-route deltas (ms), columns = profile points")
+				for i, row := range res.PerRoute {
+					fmt.Printf("%d", i)
+					for _, v := range row {
+						fmt.Printf(" %.3f", v)
+					}
+					fmt.Println()
+				}
+			}
+			return nil
+		}
+	}
+	run("fig10", latency("Route propagation latency, no initial routes (Figure 10)", 0, true))
+	run("fig11", latency(fmt.Sprintf("Route propagation latency, %d initial routes, same peering (Figure 11)", preload), preload, true))
+	run("fig12", latency(fmt.Sprintf("Route propagation latency, %d initial routes, different peering (Figure 12)", preload), preload, false))
+
+	run("fig13", func() error {
+		series := bench.RunFig13(255, time.Second)
+		fmt.Print(bench.FormatFig13(series))
+		if *points {
+			for _, s := range series {
+				fmt.Printf("# %s: arrival(s) delay(s)\n", s.Router)
+				fmt.Print(bench.Fig13Points(s))
+			}
+		}
+		return nil
+	})
+
+	run("memory", func() error {
+		n := preload
+		res, err := bench.RunMemory(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Memory footprint with %d routes (paper §5.1: ~120 MB BGP + ~60 MB RIB in 2005 C++)\n", n)
+		fmt.Printf("BGP process heap:        %8.1f MB\n", res.BGPHeapMB)
+		fmt.Printf("BGP + RIB process heap:  %8.1f MB\n", res.BGPAndRIBHeapMB)
+		return nil
+	})
+}

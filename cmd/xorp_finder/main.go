@@ -1,0 +1,48 @@
+// Command xorp_finder runs the Finder process: the broker that resolves
+// XRL targets, issues method keys, and provides component lifetime
+// notification (paper §6.2). Every other XORP process connects to it.
+//
+// Usage:
+//
+//	xorp_finder [-listen 127.0.0.1:19999] [-liveness 10s] [-strict]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/finder"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:19999", "TCP address to listen on")
+	liveness := flag.Duration("liveness", 0, "ping period for component liveness (0 = disabled)")
+	strict := flag.Bool("strict", false, "deny-by-default resolution (requires add_permission XRLs)")
+	flag.Parse()
+
+	loop := eventloop.New(nil)
+	f := finder.New(loop)
+	if err := f.ListenTCP(*listen); err != nil {
+		fmt.Fprintf(os.Stderr, "xorp_finder: %v\n", err)
+		os.Exit(1)
+	}
+	if *strict {
+		f.SetStrict(true)
+	}
+	if *liveness > 0 {
+		f.EnableLiveness(*liveness)
+	}
+	fmt.Printf("xorp_finder: listening on %s\n", f.TCPAddr())
+
+	go loop.Run()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	loop.Stop()
+	time.Sleep(50 * time.Millisecond)
+}

@@ -1,0 +1,74 @@
+// Command xorp_profiler controls the profiling points of a running XORP
+// process over XRLs (paper §8.2): enable, disable, clear, list, and fetch
+// time-stamped records.
+//
+// Usage:
+//
+//	xorp_profiler [-finder addr] -target bgp list
+//	xorp_profiler [-finder addr] -target bgp enable route_ribin
+//	xorp_profiler [-finder addr] -target bgp get route_ribin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+func main() {
+	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
+	targetName := flag.String("target", "", "profiled component (bgp, rib, fea)")
+	flag.Parse()
+	if *targetName == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: xorp_profiler -target <name> (list | enable <pt> | disable <pt> | clear <pt> | get <pt>)")
+		os.Exit(2)
+	}
+
+	loop := eventloop.New(nil)
+	router := xipc.NewRouter("xorp_profiler", loop)
+	router.SetFinderTCP(*finderAddr)
+	go loop.Run()
+	defer loop.Stop()
+
+	verb := flag.Arg(0)
+	var x xrl.XRL
+	switch verb {
+	case "list":
+		x = xrl.New(*targetName, "profile", "0.1", "list")
+	case "enable", "disable", "clear":
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "xorp_profiler: %s needs a point name\n", verb)
+			os.Exit(2)
+		}
+		x = xrl.New(*targetName, "profile", "0.1", verb, xrl.Text("pname", flag.Arg(1)))
+	case "get":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "xorp_profiler: get needs a point name")
+			os.Exit(2)
+		}
+		x = xrl.New(*targetName, "profile", "0.1", "get_entries", xrl.Text("pname", flag.Arg(1)))
+	default:
+		fmt.Fprintf(os.Stderr, "xorp_profiler: unknown verb %q\n", verb)
+		os.Exit(2)
+	}
+
+	args, err := router.Call(x)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xorp_profiler: %v\n", err)
+		os.Exit(1)
+	}
+	switch verb {
+	case "list":
+		points, _ := args.TextArg("points")
+		fmt.Println(points)
+	case "get":
+		entries, _ := args.ListArg("entries")
+		for _, e := range entries {
+			fmt.Println(e.TextVal)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command xorp_rib runs the Routing Information Base process: the staged
+// plumbing between routing protocols (paper §5.2), forwarding its final
+// routes to the FEA over fti XRLs.
+//
+// Usage:
+//
+//	xorp_rib -finder 127.0.0.1:19999 [-fea fea]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/finder"
+	"xorp/internal/rib"
+	"xorp/internal/rtrmgr"
+	"xorp/internal/xipc"
+)
+
+func main() {
+	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
+	feaTarget := flag.String("fea", "fea", "FEA target name for FIB installs")
+	flag.Parse()
+
+	loop := eventloop.New(nil)
+	router := xipc.NewRouter("rib_process", loop)
+	if err := router.ListenTCP("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	router.SetFinderTCP(*finderAddr)
+
+	proc := rib.NewProcess(loop, rtrmgr.NewXRLFIBClient(router, *feaTarget), router)
+	target := xipc.NewTarget("rib", "rib")
+	proc.RegisterXRLs(target)
+	router.AddTarget(target)
+	go loop.Run()
+	if err := finder.RegisterTargetSync(router, target, true); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("xorp_rib: registered with finder at %s\n", *finderAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	loop.Stop()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xorp_rib: %v\n", err)
+	os.Exit(1)
+}

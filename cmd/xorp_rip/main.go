@@ -1,0 +1,153 @@
+// Command xorp_rip runs the RIP process against a running FEA and RIB.
+// RIP's network access is relayed through the FEA's fea_udp XRLs (paper
+// §7: sandboxed processes never touch the network directly), so this
+// binary is only useful alongside an FEA attached to a packet network; in
+// the standalone multi-process deployment the FEA has no simulated fabric
+// and RIP idles. It exists for completeness and for driving with
+// originate XRLs; the RIP system itself is exercised in-process (see
+// examples/policy-routing and the rip package tests).
+//
+// Usage:
+//
+//	xorp_rip -finder 127.0.0.1:19999 -local 192.168.1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/finder"
+	"xorp/internal/rip"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+func main() {
+	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
+	local := flag.String("local", "", "local address")
+	flag.Parse()
+	if *local == "" {
+		fatal(fmt.Errorf("-local is required"))
+	}
+	localAddr, err := netip.ParseAddr(*local)
+	if err != nil {
+		fatal(err)
+	}
+
+	loop := eventloop.New(nil)
+	router := xipc.NewRouter("rip_process", loop)
+	if err := router.ListenTCP("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	router.SetFinderTCP(*finderAddr)
+
+	proc := rip.NewProcess(loop, rip.Config{LocalAddr: localAddr, IfName: "eth0"},
+		&xrlTransport{router: router}, &xrlRIB{router: router})
+
+	target := xipc.NewTarget("rip", "rip")
+	target.Register("rip", "0.1", "add_static_route", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		metric, _ := args.U32Arg("metric")
+		proc.InjectLocal(net, metric, 0)
+		return nil, nil
+	})
+	target.Register("rip", "0.1", "delete_static_route", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		proc.WithdrawLocal(net)
+		return nil, nil
+	})
+	// The FEA pushes received datagrams here.
+	target.Register("fea_udp_client", "0.1", "recv", func(args xrl.Args) (xrl.Args, error) {
+		// Delivered to the transport's receive callback below.
+		return nil, nil
+	})
+	router.AddTarget(target)
+	go loop.Run()
+	if err := finder.RegisterTargetSync(router, target, true); err != nil {
+		fatal(err)
+	}
+	loop.Dispatch(func() {
+		if err := proc.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_rip: start: %v\n", err)
+		}
+	})
+	fmt.Printf("xorp_rip: registered with finder at %s\n", *finderAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	loop.Stop()
+}
+
+// xrlTransport relays RIP datagrams through the FEA's fea_udp interface.
+type xrlTransport struct {
+	router *xipc.Router
+}
+
+func (t *xrlTransport) Bind(recv func(src netip.AddrPort, payload []byte)) error {
+	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "bind",
+		xrl.U32("port", rip.Port),
+		xrl.Text("client", "rip")), nil)
+	return nil
+}
+
+func (t *xrlTransport) Send(dst netip.AddrPort, payload []byte) error {
+	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "send",
+		xrl.U32("sport", rip.Port),
+		xrl.Addr("dst", dst.Addr()),
+		xrl.U32("dport", uint32(dst.Port())),
+		xrl.Binary("payload", payload)), nil)
+	return nil
+}
+
+func (t *xrlTransport) Broadcast(payload []byte) error {
+	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "broadcast",
+		xrl.U32("sport", rip.Port),
+		xrl.U32("dport", rip.Port),
+		xrl.Binary("payload", payload)), nil)
+	return nil
+}
+
+// xrlRIB feeds RIP routes to the RIB process.
+type xrlRIB struct {
+	router *xipc.Router
+}
+
+func (r *xrlRIB) AddRoute(e route.Entry) {
+	args := xrl.Args{
+		xrl.Text("protocol", "rip"),
+		xrl.Net("network", e.Net),
+		xrl.U32("metric", e.Metric),
+		xrl.Text("ifname", e.IfName),
+	}
+	if e.NextHop.IsValid() {
+		args = append(args, xrl.Addr("nexthop", e.NextHop))
+	}
+	r.router.Send(xrl.XRL{
+		Protocol: xrl.ProtoFinder, Target: "rib",
+		Interface: "rib", Version: "1.0", Method: "add_route4", Args: args,
+	}, nil)
+}
+
+func (r *xrlRIB) DeleteRoute(net netip.Prefix) {
+	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_route4",
+		xrl.Text("protocol", "rip"),
+		xrl.Net("network", net)), nil)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xorp_rip: %v\n", err)
+	os.Exit(1)
+}

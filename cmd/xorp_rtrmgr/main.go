@@ -1,0 +1,64 @@
+// Command xorp_rtrmgr runs a complete XORP router from a configuration
+// file: it assembles the Finder, FEA, RIB and the configured protocols as
+// separate event-loop "processes" wired over XRLs (paper §3's Router
+// Manager), optionally exposing the Finder over TCP so external tools
+// (call_xrl, xorp_profiler) can manage the running router.
+//
+// Usage:
+//
+//	xorp_rtrmgr -config router.conf [-finder-listen 127.0.0.1:19999]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xorp/internal/rtrmgr"
+)
+
+func main() {
+	configPath := flag.String("config", "", "configuration file")
+	finderListen := flag.String("finder-listen", "", "expose the Finder on this TCP address")
+	bgpListen := flag.String("bgp-listen", "", "accept BGP sessions on this address")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: xorp_rtrmgr -config <file>")
+		os.Exit(2)
+	}
+	cfgText, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	r, err := rtrmgr.NewRouter(string(cfgText), rtrmgr.Options{
+		BGPListen:         *bgpListen,
+		ConsistencyChecks: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *finderListen != "" {
+		if err := r.Finder.ListenTCP(*finderListen); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("xorp_rtrmgr: finder on %s\n", r.Finder.TCPAddr())
+	}
+	if err := r.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("xorp_rtrmgr: router running; configuration:")
+	fmt.Print(rtrmgr.Render(r.Config, 1))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	r.Stop()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xorp_rtrmgr: %v\n", err)
+	os.Exit(1)
+}

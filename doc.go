@@ -1,0 +1,19 @@
+// Package xorp is a Go reproduction of "Designing Extensible IP Router
+// Software" (Handley, Hodson, Kohler, Ghosh, Radoslavov — NSDI 2005): the
+// XORP extensible router control plane.
+//
+// The library lives under internal/; the top-level deliverables are:
+//
+//   - internal/rtrmgr — assemble a complete router (Finder, FEA, RIB,
+//     BGP, RIP wired over XRLs) from configuration text;
+//   - internal/core, internal/bgp, internal/rib — the staged routing
+//     table design (§5);
+//   - internal/xrl, internal/xipc, internal/finder — the XRL IPC system
+//     (§6);
+//   - internal/bench — the §8 evaluation, regenerating every figure and
+//     table (see bench_test.go and cmd/xorp_bench);
+//   - examples/ — runnable programs; cmd/ — the per-process binaries.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package xorp

@@ -1,0 +1,150 @@
+package bgp
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// background deletion stage (vs. a blocking foreground delete), the
+// decision process's lookup-upstream design, and the wire codec on the
+// hot path.
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+)
+
+func buildLoadedPeer(b *testing.B, n int) (*testRouter, *testBranch) {
+	b.Helper()
+	tr := newTestRouter(nil, 65000)
+	p1 := tr.addPeer(nil, "p1", "10.0.0.1", 65001)
+	for i := 0; i < n; i++ {
+		net := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}), 32)
+		p1.peerin.Announce(net, attrsVia("10.0.0.1", 65001))
+	}
+	tr.settle()
+	return tr, p1
+}
+
+// BenchmarkAblationPeerDownBackgroundDeletion measures draining a failed
+// peering's table through the dynamic deletion stage (the §5.1.2 design):
+// total work to withdraw n routes in background slices.
+func BenchmarkAblationPeerDownBackgroundDeletion(b *testing.B) {
+	const n = 50000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr, p1 := buildLoadedPeer(b, n)
+		b.StartTimer()
+		d := p1.peerin.PeerDown()
+		for !d.Done() {
+			tr.settle()
+		}
+	}
+	b.ReportMetric(float64(n), "routes/op")
+}
+
+// BenchmarkAblationDeletionSliceVsBlocking quantifies what the §5.1.2
+// background deletion stage buys. A foreground event arriving during a
+// peer-down drain waits for at most one deletion slice; the monolithic
+// alternative (withdraw the whole table inside one event handler) blocks
+// it for the entire drain. The two reported metrics are those bounds.
+func BenchmarkAblationDeletionSliceVsBlocking(b *testing.B) {
+	const n = 50000
+	var totalNs float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr, p1 := buildLoadedPeer(b, n)
+		b.StartTimer()
+		start := time.Now()
+		d := p1.peerin.PeerDown()
+		for !d.Done() {
+			tr.settle()
+		}
+		totalNs += float64(time.Since(start).Nanoseconds())
+	}
+	slices := float64((n + deletionBatch - 1) / deletionBatch)
+	avgDrain := totalNs / float64(b.N)
+	b.ReportMetric(avgDrain/slices/1e3, "us-max-event-delay(staged)")
+	b.ReportMetric(avgDrain/1e3, "us-max-event-delay(blocking)")
+}
+
+// BenchmarkAblationDecisionLookupUpstream measures the decision process's
+// "look alternatives up through the pipeline" design (§5.1): one add that
+// must query three peer branches.
+func BenchmarkAblationDecisionLookupUpstream(b *testing.B) {
+	tr := newTestRouter(nil, 65000)
+	peers := []*testBranch{
+		tr.addPeer(nil, "p1", "10.0.0.1", 65001),
+		tr.addPeer(nil, "p2", "10.0.0.2", 65002),
+		tr.addPeer(nil, "p3", "10.0.0.3", 65003),
+	}
+	net := mustP("10.50.0.0/16")
+	for _, p := range peers {
+		p.peerin.Announce(net, attrsVia(p.peer.Addr.String(), p.peer.AS, 65100))
+	}
+	tr.settle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Flap the losing route: decision must re-evaluate (3 upstream
+		// lookups) but emit nothing.
+		peers[2].peerin.Announce(net, attrsVia("10.0.0.3", 65003, 65100, 65101))
+		peers[2].peerin.Withdraw(net)
+	}
+	tr.settle()
+}
+
+// BenchmarkUpdateEncode / Decode: the wire codec on the hot path.
+func BenchmarkUpdateEncode(b *testing.B) {
+	m := &UpdateMsg{
+		Attrs: &PathAttrs{
+			Origin:  OriginIGP,
+			ASPath:  ASPath{{Type: SegSequence, ASes: []uint16{65001, 65002, 65003}}},
+			NextHop: mustA("10.0.0.1"),
+			MED:     50, HasMED: true,
+		},
+		NLRI: []netip.Prefix{mustP("10.1.0.0/16"), mustP("10.2.0.0/16")},
+	}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendUpdate(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateDecode(b *testing.B) {
+	m := &UpdateMsg{
+		Attrs: &PathAttrs{
+			Origin:  OriginIGP,
+			ASPath:  ASPath{{Type: SegSequence, ASes: []uint16{65001, 65002, 65003}}},
+			NextHop: mustA("10.0.0.1"),
+		},
+		NLRI: []netip.Prefix{mustP("10.1.0.0/16")},
+	}
+	buf, err := AppendUpdate(nil, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMessage(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDampingStage: per-flap cost of the damping stage.
+func BenchmarkDampingStage(b *testing.B) {
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	damp := NewDampingStage("damp", loop)
+	s := newSink("sink")
+	Plumb(damp, s)
+	r := &Route{Net: mustP("10.1.0.0/16"), Attrs: attrsVia("10.0.0.1", 65001)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		damp.Add(r)
+		damp.Delete(r)
+	}
+}

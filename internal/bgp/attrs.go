@@ -1,0 +1,383 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Path attribute type codes (RFC 4271 §4.3, RFC 1997).
+const (
+	attrOrigin          = 1
+	attrASPath          = 2
+	attrNextHop         = 3
+	attrMED             = 4
+	attrLocalPref       = 5
+	attrAtomicAggregate = 6
+	attrAggregator      = 7
+	attrCommunity       = 8
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// ORIGIN values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	SegSet      = 1
+	SegSequence = 2
+)
+
+// ASSegment is one AS_PATH segment.
+type ASSegment struct {
+	Type uint8 // SegSet or SegSequence
+	ASes []uint16
+}
+
+// ASPath is an ordered list of segments.
+type ASPath []ASSegment
+
+// Length returns the AS_PATH length used by the decision process: the
+// number of ASes in sequences plus one per set (RFC 4271 §9.1.2.2).
+func (p ASPath) Length() int {
+	n := 0
+	for _, s := range p {
+		if s.Type == SegSet {
+			n++
+		} else {
+			n += len(s.ASes)
+		}
+	}
+	return n
+}
+
+// Contains reports whether as appears anywhere in the path (loop check).
+func (p ASPath) Contains(as uint16) bool {
+	for _, s := range p {
+		for _, a := range s.ASes {
+			if a == as {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Prepend returns a new path with as prepended to the leading sequence.
+func (p ASPath) Prepend(as uint16) ASPath {
+	if len(p) > 0 && p[0].Type == SegSequence {
+		seg := ASSegment{Type: SegSequence, ASes: append([]uint16{as}, p[0].ASes...)}
+		out := append(ASPath{seg}, p[1:]...)
+		return out
+	}
+	return append(ASPath{{Type: SegSequence, ASes: []uint16{as}}}, p...)
+}
+
+// String renders the path like "1 2 {3,4}".
+func (p ASPath) String() string {
+	var sb strings.Builder
+	for i, s := range p {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if s.Type == SegSet {
+			sb.WriteByte('{')
+		}
+		for j, a := range s.ASes {
+			if j > 0 {
+				if s.Type == SegSet {
+					sb.WriteByte(',')
+				} else {
+					sb.WriteByte(' ')
+				}
+			}
+			fmt.Fprintf(&sb, "%d", a)
+		}
+		if s.Type == SegSet {
+			sb.WriteByte('}')
+		}
+	}
+	return sb.String()
+}
+
+// Equal reports deep path equality.
+func (p ASPath) Equal(o ASPath) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for i := range p {
+		if p[i].Type != o[i].Type || len(p[i].ASes) != len(o[i].ASes) {
+			return false
+		}
+		for j := range p[i].ASes {
+			if p[i].ASes[j] != o[i].ASes[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PathAttrs is the decoded attribute set of a BGP route. Optional
+// attributes carry a presence flag.
+type PathAttrs struct {
+	Origin  uint8
+	ASPath  ASPath
+	NextHop netip.Addr
+
+	MED          uint32
+	HasMED       bool
+	LocalPref    uint32
+	HasLocalPref bool
+
+	AtomicAggregate bool
+	AggregatorAS    uint16
+	AggregatorAddr  netip.Addr
+	HasAggregator   bool
+
+	Communities []uint32
+}
+
+// WellFormed verifies the mandatory attributes are present.
+func (a *PathAttrs) WellFormed() error {
+	if !a.NextHop.IsValid() {
+		return fmt.Errorf("bgp: missing mandatory NEXT_HOP")
+	}
+	if a.Origin > OriginIncomplete {
+		return fmt.Errorf("bgp: bad ORIGIN %d", a.Origin)
+	}
+	return nil
+}
+
+// Clone returns a deep copy; filter banks modify copies so PeerIn's stored
+// originals stay pristine (§5.1).
+func (a *PathAttrs) Clone() *PathAttrs {
+	c := *a
+	c.ASPath = make(ASPath, len(a.ASPath))
+	for i, s := range a.ASPath {
+		c.ASPath[i] = ASSegment{Type: s.Type, ASes: append([]uint16(nil), s.ASes...)}
+	}
+	c.Communities = append([]uint32(nil), a.Communities...)
+	return &c
+}
+
+// Equal reports deep equality.
+func (a *PathAttrs) Equal(o *PathAttrs) bool {
+	if a == nil || o == nil {
+		return a == o
+	}
+	if a.Origin != o.Origin || a.NextHop != o.NextHop ||
+		a.MED != o.MED || a.HasMED != o.HasMED ||
+		a.LocalPref != o.LocalPref || a.HasLocalPref != o.HasLocalPref ||
+		a.AtomicAggregate != o.AtomicAggregate ||
+		a.HasAggregator != o.HasAggregator ||
+		a.AggregatorAS != o.AggregatorAS || a.AggregatorAddr != o.AggregatorAddr ||
+		len(a.Communities) != len(o.Communities) {
+		return false
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != o.Communities[i] {
+			return false
+		}
+	}
+	return a.ASPath.Equal(o.ASPath)
+}
+
+// appendTo encodes the attribute set in canonical (ascending type) order.
+func (a *PathAttrs) appendTo(dst []byte) ([]byte, error) {
+	if err := a.WellFormed(); err != nil {
+		return dst, err
+	}
+	// ORIGIN
+	dst = append(dst, flagTransitive, attrOrigin, 1, a.Origin)
+	// AS_PATH
+	body := make([]byte, 0, 16)
+	for _, s := range a.ASPath {
+		if len(s.ASes) > 255 {
+			return dst, fmt.Errorf("bgp: AS segment too long")
+		}
+		body = append(body, s.Type, byte(len(s.ASes)))
+		for _, as := range s.ASes {
+			body = binary.BigEndian.AppendUint16(body, as)
+		}
+	}
+	dst, err := appendAttr(dst, flagTransitive, attrASPath, body)
+	if err != nil {
+		return dst, err
+	}
+	// NEXT_HOP
+	if !a.NextHop.Is4() {
+		return dst, fmt.Errorf("bgp: NEXT_HOP %v is not IPv4", a.NextHop)
+	}
+	nh := a.NextHop.As4()
+	dst = append(dst, flagTransitive, attrNextHop, 4)
+	dst = append(dst, nh[:]...)
+	// MED
+	if a.HasMED {
+		dst = append(dst, flagOptional, attrMED, 4)
+		dst = binary.BigEndian.AppendUint32(dst, a.MED)
+	}
+	// LOCAL_PREF
+	if a.HasLocalPref {
+		dst = append(dst, flagTransitive, attrLocalPref, 4)
+		dst = binary.BigEndian.AppendUint32(dst, a.LocalPref)
+	}
+	// ATOMIC_AGGREGATE
+	if a.AtomicAggregate {
+		dst = append(dst, flagTransitive, attrAtomicAggregate, 0)
+	}
+	// AGGREGATOR
+	if a.HasAggregator {
+		if !a.AggregatorAddr.Is4() {
+			return dst, fmt.Errorf("bgp: AGGREGATOR address not IPv4")
+		}
+		ag := a.AggregatorAddr.As4()
+		dst = append(dst, flagOptional|flagTransitive, attrAggregator, 6)
+		dst = binary.BigEndian.AppendUint16(dst, a.AggregatorAS)
+		dst = append(dst, ag[:]...)
+	}
+	// COMMUNITY
+	if len(a.Communities) > 0 {
+		body = body[:0]
+		for _, c := range a.Communities {
+			body = binary.BigEndian.AppendUint32(body, c)
+		}
+		if dst, err = appendAttr(dst, flagOptional|flagTransitive, attrCommunity, body); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// appendAttr emits one attribute, choosing extended length as needed.
+func appendAttr(dst []byte, flags, typ uint8, body []byte) ([]byte, error) {
+	if len(body) > 0xffff {
+		return dst, fmt.Errorf("bgp: attribute %d too long (%d)", typ, len(body))
+	}
+	if len(body) > 0xff {
+		dst = append(dst, flags|flagExtLen, typ)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(body)))
+	} else {
+		dst = append(dst, flags, typ, byte(len(body)))
+	}
+	return append(dst, body...), nil
+}
+
+// decodePathAttrs parses attributes up to end.
+func decodePathAttrs(d *wireDecoder, end int) (*PathAttrs, error) {
+	a := &PathAttrs{}
+	for d.off < end && d.err == nil {
+		flags := d.u8()
+		typ := d.u8()
+		var alen int
+		if flags&flagExtLen != 0 {
+			alen = int(d.u16())
+		} else {
+			alen = int(d.u8())
+		}
+		if d.err != nil {
+			break
+		}
+		if d.off+alen > end {
+			return nil, fmt.Errorf("bgp: attribute %d overruns attribute block", typ)
+		}
+		body := d.take(alen)
+		if body == nil {
+			break
+		}
+		switch typ {
+		case attrOrigin:
+			if alen != 1 {
+				return nil, fmt.Errorf("bgp: ORIGIN length %d", alen)
+			}
+			a.Origin = body[0]
+		case attrASPath:
+			path, err := decodeASPath(body)
+			if err != nil {
+				return nil, err
+			}
+			a.ASPath = path
+		case attrNextHop:
+			if alen != 4 {
+				return nil, fmt.Errorf("bgp: NEXT_HOP length %d", alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(body))
+		case attrMED:
+			if alen != 4 {
+				return nil, fmt.Errorf("bgp: MED length %d", alen)
+			}
+			a.MED = binary.BigEndian.Uint32(body)
+			a.HasMED = true
+		case attrLocalPref:
+			if alen != 4 {
+				return nil, fmt.Errorf("bgp: LOCAL_PREF length %d", alen)
+			}
+			a.LocalPref = binary.BigEndian.Uint32(body)
+			a.HasLocalPref = true
+		case attrAtomicAggregate:
+			if alen != 0 {
+				return nil, fmt.Errorf("bgp: ATOMIC_AGGREGATE length %d", alen)
+			}
+			a.AtomicAggregate = true
+		case attrAggregator:
+			if alen != 6 {
+				return nil, fmt.Errorf("bgp: AGGREGATOR length %d", alen)
+			}
+			a.AggregatorAS = binary.BigEndian.Uint16(body)
+			a.AggregatorAddr = netip.AddrFrom4([4]byte(body[2:6]))
+			a.HasAggregator = true
+		case attrCommunity:
+			if alen%4 != 0 {
+				return nil, fmt.Errorf("bgp: COMMUNITY length %d", alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				a.Communities = append(a.Communities, binary.BigEndian.Uint32(body[i:]))
+			}
+		default:
+			if flags&flagOptional == 0 {
+				return nil, fmt.Errorf("bgp: unrecognized well-known attribute %d", typ)
+			}
+			// Unrecognized optional attributes are ignored (transitive
+			// ones would be forwarded by a full implementation).
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return a, nil
+}
+
+func decodeASPath(body []byte) (ASPath, error) {
+	var path ASPath
+	for len(body) > 0 {
+		if len(body) < 2 {
+			return nil, fmt.Errorf("bgp: truncated AS_PATH segment header")
+		}
+		seg := ASSegment{Type: body[0]}
+		if seg.Type != SegSet && seg.Type != SegSequence {
+			return nil, fmt.Errorf("bgp: AS_PATH segment type %d", seg.Type)
+		}
+		n := int(body[1])
+		body = body[2:]
+		if len(body) < 2*n {
+			return nil, fmt.Errorf("bgp: truncated AS_PATH segment")
+		}
+		for i := 0; i < n; i++ {
+			seg.ASes = append(seg.ASes, binary.BigEndian.Uint16(body[2*i:]))
+		}
+		body = body[2*n:]
+		path = append(path, seg)
+	}
+	return path, nil
+}

@@ -1,0 +1,195 @@
+package bgp
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/trie"
+)
+
+// DampingStage implements route-flap damping (RFC 2439 style) as one more
+// pluggable pipeline stage — the paper's §8.3 case study: "we can do so
+// efficiently and simply by adding another stage to the BGP pipeline. The
+// code does not impact other stages." Suppression and reuse are fully
+// event-driven: reuse is a one-shot timer computed from the decay
+// half-life, never a periodic scanner.
+type DampingStage struct {
+	base
+	loop *eventloop.Loop
+
+	// Tuning (defaults follow common vendor practice).
+	Penalty       float64       // added per flap
+	SuppressAbove float64       // suppress when penalty exceeds this
+	ReuseBelow    float64       // reuse when penalty decays below this
+	HalfLife      time.Duration // exponential decay half-life
+	MaxPenalty    float64       // penalty ceiling
+
+	state *trie.Trie[*dampState]
+}
+
+// dampState tracks one prefix's flap history.
+type dampState struct {
+	penalty    float64
+	lastUpdate time.Time
+	suppressed bool
+	current    *Route // latest route from upstream (nil = withdrawn)
+	announced  *Route // what downstream believes (nil = nothing)
+	reuseTimer *eventloop.Timer
+}
+
+// NewDampingStage returns a damping stage with standard parameters.
+func NewDampingStage(name string, loop *eventloop.Loop) *DampingStage {
+	return &DampingStage{
+		base:          base{name: name},
+		loop:          loop,
+		Penalty:       1000,
+		SuppressAbove: 2000,
+		ReuseBelow:    750,
+		HalfLife:      15 * time.Minute,
+		MaxPenalty:    12000,
+	}
+}
+
+func (d *DampingStage) ensureState(net netip.Prefix) *dampState {
+	if d.state == nil {
+		d.state = trie.New[*dampState]()
+	}
+	if s, ok := d.state.Get(net); ok {
+		return s
+	}
+	s := &dampState{lastUpdate: d.loop.Now()}
+	d.state.Insert(net, s)
+	return s
+}
+
+// decay brings the penalty up to date.
+func (s *dampState) decay(now time.Time, halfLife time.Duration) {
+	if s.penalty > 0 {
+		dt := now.Sub(s.lastUpdate)
+		s.penalty *= math.Exp2(-float64(dt) / float64(halfLife))
+	}
+	s.lastUpdate = now
+}
+
+// flap charges one flap's penalty.
+func (d *DampingStage) flap(s *dampState) {
+	s.decay(d.loop.Now(), d.HalfLife)
+	s.penalty += d.Penalty
+	if s.penalty > d.MaxPenalty {
+		s.penalty = d.MaxPenalty
+	}
+}
+
+// reconcile compares what downstream believes with the current route,
+// honouring suppression, and emits the difference.
+func (d *DampingStage) reconcile(net netip.Prefix, s *dampState) {
+	want := s.current
+	if s.suppressed {
+		want = nil
+	}
+	have := s.announced
+	if d.next != nil {
+		switch {
+		case have == nil && want != nil:
+			d.next.Add(want)
+		case have != nil && want == nil:
+			d.next.Delete(have)
+		case have != nil && want != nil && !SameRoute(have, want):
+			d.next.Replace(have, want)
+		}
+	}
+	s.announced = want
+	if s.current == nil && !s.suppressed && s.penalty < d.ReuseBelow {
+		// Fully withdrawn, nothing pending: garbage-collect.
+		if s.reuseTimer != nil {
+			s.reuseTimer.Cancel()
+		}
+		d.state.Delete(net)
+	}
+}
+
+// evaluate applies the suppress/reuse thresholds after a state change.
+func (d *DampingStage) evaluate(net netip.Prefix, s *dampState) {
+	if !s.suppressed && s.penalty > d.SuppressAbove {
+		s.suppressed = true
+	}
+	if s.suppressed {
+		d.scheduleReuse(net, s)
+	}
+	d.reconcile(net, s)
+}
+
+// scheduleReuse arms a one-shot timer for the instant the decayed penalty
+// crosses the reuse threshold — event-driven damping, no scanner.
+func (d *DampingStage) scheduleReuse(net netip.Prefix, s *dampState) {
+	if s.reuseTimer != nil {
+		s.reuseTimer.Cancel()
+	}
+	// penalty * 2^(-t/halfLife) = ReuseBelow  =>  t = halfLife * log2(p/reuse)
+	if s.penalty <= d.ReuseBelow {
+		s.suppressed = false
+		return
+	}
+	// One extra second of slack guarantees the decayed penalty is strictly
+	// below the threshold when the timer fires (no zero-delay respins).
+	t := time.Duration(float64(d.HalfLife)*math.Log2(s.penalty/d.ReuseBelow)) + time.Second
+	s.reuseTimer = d.loop.OneShot(t, func() {
+		s.decay(d.loop.Now(), d.HalfLife)
+		if s.penalty <= d.ReuseBelow {
+			s.suppressed = false
+			d.reconcile(net, s)
+		} else {
+			d.scheduleReuse(net, s)
+		}
+	})
+}
+
+// Add implements Stage. A first announcement is not a flap.
+func (d *DampingStage) Add(r *Route) {
+	s := d.ensureState(r.Net)
+	if s.current != nil || s.announced != nil || s.penalty > 0 {
+		// Re-announcement of a previously flapping prefix.
+		d.flap(s)
+	}
+	s.current = r
+	d.evaluate(r.Net, s)
+}
+
+// Replace implements Stage. An attribute change counts as a flap.
+func (d *DampingStage) Replace(old, new *Route) {
+	s := d.ensureState(new.Net)
+	d.flap(s)
+	s.current = new
+	d.evaluate(new.Net, s)
+}
+
+// Delete implements Stage. A withdrawal counts as a flap.
+func (d *DampingStage) Delete(r *Route) {
+	s := d.ensureState(r.Net)
+	d.flap(s)
+	s.current = nil
+	d.evaluate(r.Net, s)
+}
+
+// Lookup implements Stage: suppressed prefixes answer nil, consistent
+// with the message stream.
+func (d *DampingStage) Lookup(net netip.Prefix) *Route {
+	if d.state != nil {
+		if s, ok := d.state.Get(net); ok {
+			return s.announced
+		}
+	}
+	return d.lookupParent(net)
+}
+
+// Suppressed reports whether net is currently suppressed (for tests and
+// operational show commands).
+func (d *DampingStage) Suppressed(net netip.Prefix) bool {
+	if d.state == nil {
+		return false
+	}
+	s, ok := d.state.Get(net)
+	return ok && s.suppressed
+}

@@ -1,0 +1,164 @@
+package bgp
+
+import (
+	"net/netip"
+
+	"xorp/internal/core"
+	"xorp/internal/eventloop"
+)
+
+// fanoutEntry is one decision-process output queued for fanout.
+type fanoutEntry struct {
+	op       core.Op
+	old, new *Route
+}
+
+// Fanout is the fanout-queue stage of Figure 5: it duplicates the
+// decision process's output to each peer's output branch and to the RIB
+// branch. Changes are held in a single queue with one read cursor per
+// branch (§5.1.1), so a slow peer delays only itself; queued changes are
+// duplicated and specialized only at delivery time, after route selection
+// but before per-peer output filtering.
+type Fanout struct {
+	base
+	loop *eventloop.Loop
+	q    *core.FanoutQueue[fanoutEntry]
+
+	branches      map[string]*fanoutBranch
+	pumpScheduled bool
+}
+
+// fanoutBranch is one consumer: a peer's output pipeline or the RIB.
+type fanoutBranch struct {
+	name   string
+	peer   *PeerHandle // nil for the RIB branch
+	head   Stage       // first stage of the output pipeline (nil if fn used)
+	fn     func(fanoutEntry) bool
+	reader *core.FanoutReader[fanoutEntry]
+}
+
+// NewFanout returns an empty fanout stage.
+func NewFanout(name string, loop *eventloop.Loop) *Fanout {
+	return &Fanout{
+		base:     base{name: name},
+		loop:     loop,
+		q:        core.NewFanoutQueue[fanoutEntry](),
+		branches: make(map[string]*fanoutBranch),
+	}
+}
+
+// AddPeerBranch attaches a peer's output pipeline. Split-horizon and the
+// IBGP non-reflection rule are applied here, at duplication time.
+func (f *Fanout) AddPeerBranch(name string, peer *PeerHandle, head Stage) {
+	b := &fanoutBranch{name: name, peer: peer, head: head}
+	b.reader = f.q.AddReader(func(e fanoutEntry) bool { return f.deliverPeer(b, e) })
+	f.branches[name] = b
+}
+
+// AddSinkBranch attaches a function consumer (the RIB branch, tests). fn
+// returning false applies backpressure.
+func (f *Fanout) AddSinkBranch(name string, fn func(op core.Op, old, new *Route) bool) {
+	b := &fanoutBranch{name: name}
+	b.fn = func(e fanoutEntry) bool { return fn(e.op, e.old, e.new) }
+	b.reader = f.q.AddReader(b.fn)
+	f.branches[name] = b
+}
+
+// RemoveBranch detaches a branch (peer deconfigured).
+func (f *Fanout) RemoveBranch(name string) {
+	if b, ok := f.branches[name]; ok {
+		f.q.RemoveReader(b.reader)
+		delete(f.branches, name)
+	}
+}
+
+// SetBusy flow-controls one branch (a peer whose transport is congested).
+func (f *Fanout) SetBusy(name string, busy bool) {
+	if b, ok := f.branches[name]; ok {
+		b.reader.SetBusy(busy)
+		if !busy {
+			f.schedulePump()
+		}
+	}
+}
+
+// Backlog reports a branch's unconsumed queue length.
+func (f *Fanout) Backlog(name string) int {
+	if b, ok := f.branches[name]; ok {
+		return b.reader.Backlog()
+	}
+	return 0
+}
+
+// QueueLen reports the single queue's current length.
+func (f *Fanout) QueueLen() int { return f.q.Len() }
+
+// sendable reports whether r may be advertised to peer: not back to its
+// originator (split horizon), and not from one IBGP peer to another
+// (IBGP full-mesh rule, RFC 4271 §9.2.1).
+func sendable(r *Route, peer *PeerHandle) bool {
+	if r == nil {
+		return false
+	}
+	if r.Src == nil {
+		return true // locally originated: goes everywhere
+	}
+	if r.Src == peer {
+		return false
+	}
+	if r.Src.IBGP && peer.IBGP {
+		return false
+	}
+	return true
+}
+
+// deliverPeer specializes one queued change for one peer branch.
+func (f *Fanout) deliverPeer(b *fanoutBranch, e fanoutEntry) bool {
+	so := e.op != core.OpAdd && sendable(e.old, b.peer)
+	sn := e.op != core.OpDelete && sendable(e.new, b.peer)
+	switch {
+	case so && sn:
+		b.head.Replace(e.old, e.new)
+	case sn:
+		b.head.Add(e.new)
+	case so:
+		b.head.Delete(e.old)
+	}
+	return true
+}
+
+// schedulePump coalesces pump work onto one queued event.
+func (f *Fanout) schedulePump() {
+	if f.pumpScheduled {
+		return
+	}
+	f.pumpScheduled = true
+	f.loop.Dispatch(func() {
+		f.pumpScheduled = false
+		f.q.PumpAll()
+	})
+}
+
+// Add implements Stage.
+func (f *Fanout) Add(r *Route) {
+	f.q.Push(fanoutEntry{op: core.OpAdd, new: r})
+	f.schedulePump()
+}
+
+// Replace implements Stage.
+func (f *Fanout) Replace(old, new *Route) {
+	f.q.Push(fanoutEntry{op: core.OpReplace, old: old, new: new})
+	f.schedulePump()
+}
+
+// Delete implements Stage.
+func (f *Fanout) Delete(r *Route) {
+	f.q.Push(fanoutEntry{op: core.OpDelete, old: r})
+	f.schedulePump()
+}
+
+// Flush pumps the queue synchronously (tests and shutdown).
+func (f *Fanout) Flush() { f.q.PumpAll() }
+
+// Lookup implements Stage, passing upstream to the decision process.
+func (f *Fanout) Lookup(net netip.Prefix) *Route { return f.lookupParent(net) }

@@ -1,0 +1,18 @@
+package bgp
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Small networking shims for tests.
+
+func netDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+func readFull(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf)
+	return err
+}

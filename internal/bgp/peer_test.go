@@ -1,0 +1,322 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+)
+
+// collector is a RIBClient that records the best-route stream.
+type collector struct {
+	mu     sync.Mutex
+	routes map[netip.Prefix]*Route
+	adds   int
+	dels   int
+}
+
+func newCollector() *collector {
+	return &collector{routes: make(map[netip.Prefix]*Route)}
+}
+
+func (c *collector) AddRoute(r *Route, done func(error)) {
+	c.mu.Lock()
+	c.routes[r.Net] = r
+	c.adds++
+	c.mu.Unlock()
+}
+
+func (c *collector) ReplaceRoute(old, new *Route, done func(error)) {
+	c.mu.Lock()
+	c.routes[new.Net] = new
+	c.mu.Unlock()
+}
+
+func (c *collector) DeleteRoute(r *Route, done func(error)) {
+	c.mu.Lock()
+	delete(c.routes, r.Net)
+	c.dels++
+	c.mu.Unlock()
+}
+
+func (c *collector) get(net netip.Prefix) *Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routes[net]
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.routes)
+}
+
+// twoRouters wires two full BGP processes over real TCP and waits for the
+// session to establish.
+func twoRouters(t *testing.T) (a, b *Process, ribA, ribB *collector, cleanup func()) {
+	t.Helper()
+	loopA := eventloop.New(nil)
+	loopB := eventloop.New(nil)
+	ribA = newCollector()
+	ribB = newCollector()
+	a = NewProcess(loopA, Config{
+		AS: 65001, BGPID: mustA("10.0.0.1"), ListenAddr: "127.0.0.1:0",
+		ConsistencyChecks: true,
+	}, ribA, nil)
+	b = NewProcess(loopB, Config{
+		AS: 65002, BGPID: mustA("10.0.0.2"), ListenAddr: "127.0.0.1:0",
+		ConsistencyChecks: true,
+	}, ribB, nil)
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go loopA.Run()
+	go loopB.Run()
+
+	// a dials b; b accepts from a (by source address 127.0.0.1).
+	loopA.DispatchAndWait(func() {
+		if _, err := a.AddPeer(PeerConfig{
+			Name: "to-b", LocalAddr: mustA("127.0.0.1"), PeerAddr: mustA("127.0.0.1"),
+			PeerAS: 65002, DialAddr: b.ListenAddr(), HoldTime: 30 * time.Second,
+			ConnectRetry: 200 * time.Millisecond,
+		}); err != nil {
+			t.Error(err)
+		}
+		a.EnablePeer("to-b")
+	})
+	loopB.DispatchAndWait(func() {
+		if _, err := b.AddPeer(PeerConfig{
+			Name: "to-a", LocalAddr: mustA("127.0.0.1"), PeerAddr: mustA("127.0.0.1"),
+			PeerAS: 65001, Passive: true, HoldTime: 30 * time.Second,
+		}); err != nil {
+			t.Error(err)
+		}
+		b.EnablePeer("to-a")
+	})
+
+	waitState := func(p *Process, name string, want PeerState) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			var st PeerState
+			p.loop.DispatchAndWait(func() {
+				if peer, ok := p.Peer(name); ok {
+					st = peer.State()
+				}
+			})
+			if st == want {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("peer %s never reached %v", name, want)
+	}
+	waitState(a, "to-b", StateEstablished)
+	waitState(b, "to-a", StateEstablished)
+
+	cleanup = func() {
+		loopA.DispatchAndWait(a.Close)
+		loopB.DispatchAndWait(b.Close)
+		loopA.Stop()
+		loopB.Stop()
+	}
+	return a, b, ribA, ribB, cleanup
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSessionEstablishAndPropagate(t *testing.T) {
+	a, _, _, ribB, cleanup := twoRouters(t)
+	defer cleanup()
+
+	// a originates; the route must appear in b's RIB stream with a's AS
+	// prepended and nexthop rewritten by the EBGP export filter.
+	net := mustP("10.50.0.0/16")
+	a.loop.Dispatch(func() { a.Originate(net, mustA("127.0.0.1"), 0) })
+	waitFor(t, "route at b", func() bool { return ribB.get(net) != nil })
+	r := ribB.get(net)
+	if !r.Attrs.ASPath.Contains(65001) {
+		t.Fatalf("AS path %v lacks 65001", r.Attrs.ASPath)
+	}
+	if r.Src == nil || r.Src.Name != "to-a" {
+		t.Fatalf("route source %v", r.Src)
+	}
+
+	// Withdraw propagates too.
+	a.loop.Dispatch(func() { a.WithdrawOriginated(net) })
+	waitFor(t, "withdraw at b", func() bool { return ribB.get(net) == nil })
+}
+
+func TestSessionTeardownTriggersDeletion(t *testing.T) {
+	a, b, _, ribB, cleanup := twoRouters(t)
+	defer cleanup()
+
+	for i := 0; i < 50; i++ {
+		net := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 60, byte(i), 0}), 24)
+		a.loop.Dispatch(func() { a.Originate(net, mustA("127.0.0.1"), 0) })
+	}
+	waitFor(t, "all 50 routes at b", func() bool { return ribB.count() == 50 })
+
+	// Kill the session from a's side; b must background-delete them all.
+	a.loop.DispatchAndWait(func() {
+		if peer, ok := a.Peer("to-b"); ok {
+			peer.Disable()
+		}
+	})
+	waitFor(t, "routes deleted at b", func() bool { return ribB.count() == 0 })
+
+	// No consistency violations anywhere.
+	b.loop.DispatchAndWait(func() {
+		if v := b.CacheViolations(); len(v) != 0 {
+			t.Errorf("consistency violations at b: %v", v)
+		}
+	})
+}
+
+func TestHoldTimerExpiry(t *testing.T) {
+	// A peer that stops sending keepalives must be torn down.
+	loop := eventloop.New(nil)
+	p := NewProcess(loop, Config{AS: 65001, BGPID: mustA("1.1.1.1"), ListenAddr: "127.0.0.1:0"}, nil, nil)
+	if err := p.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go loop.Run()
+	defer loop.Stop()
+	loop.DispatchAndWait(func() {
+		p.AddPeer(PeerConfig{
+			Name: "silent", LocalAddr: mustA("127.0.0.1"), PeerAddr: mustA("127.0.0.1"),
+			PeerAS: 65002, Passive: true, HoldTime: 300 * time.Millisecond,
+		})
+		p.EnablePeer("silent")
+	})
+
+	// Handshake manually, then go silent.
+	conn := dialBGP(t, p.ListenAddr())
+	defer conn.Close()
+	conn.write(t, AppendOpen(nil, &OpenMsg{Version: 4, AS: 65002, HoldTime: 1, BGPID: mustA("2.2.2.2")}))
+	conn.expectType(t, MsgOpen)
+	conn.expectType(t, MsgKeepalive)
+	conn.write(t, AppendKeepalive(nil))
+
+	waitFor(t, "established", func() bool {
+		var st PeerState
+		loop.DispatchAndWait(func() {
+			if peer, ok := p.Peer("silent"); ok {
+				st = peer.State()
+			}
+		})
+		return st == StateEstablished
+	})
+	// Silence: hold timer (min(300ms,1s)=300ms) must fire.
+	waitFor(t, "teardown", func() bool {
+		var st PeerState
+		loop.DispatchAndWait(func() {
+			if peer, ok := p.Peer("silent"); ok {
+				st = peer.State()
+			}
+		})
+		return st != StateEstablished
+	})
+}
+
+func TestBadASRejected(t *testing.T) {
+	loop := eventloop.New(nil)
+	p := NewProcess(loop, Config{AS: 65001, BGPID: mustA("1.1.1.1"), ListenAddr: "127.0.0.1:0"}, nil, nil)
+	if err := p.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go loop.Run()
+	defer loop.Stop()
+	loop.DispatchAndWait(func() {
+		p.AddPeer(PeerConfig{
+			Name: "x", LocalAddr: mustA("127.0.0.1"), PeerAddr: mustA("127.0.0.1"),
+			PeerAS: 65002, Passive: true,
+		})
+		p.EnablePeer("x")
+	})
+	conn := dialBGP(t, p.ListenAddr())
+	defer conn.Close()
+	// Wrong AS in OPEN: must get a NOTIFICATION code 2 (OPEN error).
+	conn.write(t, AppendOpen(nil, &OpenMsg{Version: 4, AS: 65099, HoldTime: 90, BGPID: mustA("2.2.2.2")}))
+	conn.expectType(t, MsgOpen)
+	m := conn.expectType(t, MsgNotification)
+	if m.Notification.Code != NotifOpenErr {
+		t.Fatalf("notification code %d", m.Notification.Code)
+	}
+}
+
+// rawConn is a hand-driven BGP connection for protocol tests.
+type rawConn struct {
+	c interface {
+		Write([]byte) (int, error)
+		Read([]byte) (int, error)
+		Close() error
+	}
+}
+
+func dialBGP(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	c, err := netDial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawConn{c: c}
+}
+
+func (r *rawConn) Close() { r.c.Close() }
+
+func (r *rawConn) write(t *testing.T, buf []byte) {
+	t.Helper()
+	if _, err := r.c.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectType reads messages until one of the wanted type arrives
+// (skipping keepalives unless asked for one).
+func (r *rawConn) expectType(t *testing.T, msgType uint8) *Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		hdr := make([]byte, headerLen)
+		if err := readFull(r.c, hdr); err != nil {
+			t.Fatalf("read header: %v", err)
+		}
+		msgLen, typ, err := HeaderInfo(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, msgLen)
+		copy(body, hdr)
+		if err := readFull(r.c, body[headerLen:]); err != nil {
+			t.Fatal(err)
+		}
+		m, err := DecodeMessage(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ == msgType {
+			return m
+		}
+		if typ == MsgKeepalive {
+			continue
+		}
+		t.Fatalf("got message type %d, want %d", typ, msgType)
+	}
+	t.Fatal("timeout waiting for message")
+	return nil
+}

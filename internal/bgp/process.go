@@ -1,0 +1,436 @@
+package bgp
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"xorp/internal/core"
+	"xorp/internal/eventloop"
+	"xorp/internal/profiler"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// RIBClient is where BGP's best routes go (the "Best routes to RIB" arrow
+// of Figure 5). The production implementation sends XRLs to the RIB
+// process; tests plug in collectors.
+type RIBClient interface {
+	AddRoute(r *Route, done func(error))
+	ReplaceRoute(old, new *Route, done func(error))
+	DeleteRoute(r *Route, done func(error))
+}
+
+// Config configures a BGP process.
+type Config struct {
+	AS    uint16
+	BGPID netip.Addr
+	// ListenAddr accepts incoming peer connections ("" = none).
+	ListenAddr string
+	// EnableDamping plumbs a route-flap damping stage into each peering's
+	// input branch (§8.3).
+	EnableDamping bool
+	// ConsistencyChecks plumbs the §5.1 cache stage before the RIB branch
+	// ("has helped us discover many subtle bugs").
+	ConsistencyChecks bool
+}
+
+// Process is the XORP BGP process: peers, the staged pipeline, and the
+// XRL interface.
+type Process struct {
+	cfg  Config
+	loop *eventloop.Loop
+
+	decision *Decision
+	fanout   *Fanout
+
+	peers     map[string]*Peer
+	localIn   *PeerIn // locally originated routes (originate_route XRLs)
+	localNH   *NexthopResolver
+	ribClient RIBClient
+	metricSrc MetricSource
+
+	prof      *profiler.Profiler
+	profEnter *profiler.Point // "route_ribin": route enters BGP
+	profQueue *profiler.Point // "route_queued_rib": queued for RIB
+	profSent  *profiler.Point // "route_sent_rib": handed to the transport
+
+	cache    *CacheStage
+	listener net.Listener
+}
+
+// NewProcess assembles a BGP process on loop. ribClient and metricSrc may
+// be nil (standalone operation: routes go nowhere, nexthops resolve
+// statically).
+func NewProcess(loop *eventloop.Loop, cfg Config, ribClient RIBClient, metricSrc MetricSource) *Process {
+	if metricSrc == nil {
+		metricSrc = &StaticMetricSource{}
+	}
+	p := &Process{
+		cfg:       cfg,
+		loop:      loop,
+		decision:  NewDecision("decision"),
+		fanout:    NewFanout("fanout", loop),
+		peers:     make(map[string]*Peer),
+		ribClient: ribClient,
+		metricSrc: metricSrc,
+		prof:      profiler.New(loop.Clock()),
+	}
+	p.profEnter = p.prof.Point("route_ribin")
+	p.profQueue = p.prof.Point("route_queued_rib")
+	p.profSent = p.prof.Point("route_sent_rib")
+	Plumb(p.decision, p.fanout)
+
+	// The RIB branch of the fanout, optionally behind a consistency cache.
+	var ribHead Stage
+	ribSink := &ribSinkStage{base: base{name: "rib-branch"}, proc: p}
+	ribHead = ribSink
+	if cfg.ConsistencyChecks {
+		p.cache = NewCacheStage("rib-branch-cache")
+		Plumb(p.cache, ribSink)
+		ribHead = p.cache
+	}
+	p.fanout.AddSinkBranch("rib", func(op core.Op, old, new *Route) bool {
+		switch op {
+		case core.OpAdd:
+			p.profQueue.Logf("add %v", new.Net)
+			ribHead.Add(new)
+		case core.OpReplace:
+			p.profQueue.Logf("replace %v", new.Net)
+			ribHead.Replace(old, new)
+		case core.OpDelete:
+			p.profQueue.Logf("delete %v", old.Net)
+			ribHead.Delete(old)
+		}
+		return true
+	})
+
+	// Local origination branch.
+	localPeer := &PeerHandle{Name: "local", AS: cfg.AS}
+	p.localIn = NewPeerIn(loop, localPeer)
+	p.localNH = NewNexthopResolver("nexthop(local)", metricSrc)
+	Plumb(p.localIn, p.localNH)
+	p.decision.AddParent(p.localNH)
+	return p
+}
+
+// Loop returns the process event loop.
+func (p *Process) Loop() *eventloop.Loop { return p.loop }
+
+// Profiler returns the process profiler.
+func (p *Process) Profiler() *profiler.Profiler { return p.prof }
+
+// Fanout returns the fanout stage (tests, flow control).
+func (p *Process) Fanout() *Fanout { return p.fanout }
+
+// CacheViolations returns consistency violations recorded on the RIB
+// branch (nil without ConsistencyChecks).
+func (p *Process) CacheViolations() []*core.ConsistencyError {
+	if p.cache == nil {
+		return nil
+	}
+	return p.cache.Violations()
+}
+
+// ribSinkStage converts the fanout's RIB branch into RIBClient calls.
+type ribSinkStage struct {
+	base
+	proc *Process
+}
+
+func (s *ribSinkStage) Add(r *Route) {
+	if s.proc.ribClient == nil {
+		return
+	}
+	s.proc.profSent.Logf("add %v", r.Net)
+	s.proc.ribClient.AddRoute(r, nil)
+}
+
+func (s *ribSinkStage) Replace(old, new *Route) {
+	if s.proc.ribClient == nil {
+		return
+	}
+	s.proc.profSent.Logf("replace %v", new.Net)
+	s.proc.ribClient.ReplaceRoute(old, new, nil)
+}
+
+func (s *ribSinkStage) Delete(r *Route) {
+	if s.proc.ribClient == nil {
+		return
+	}
+	s.proc.profSent.Logf("delete %v", r.Net)
+	s.proc.ribClient.DeleteRoute(r, nil)
+}
+
+func (s *ribSinkStage) Lookup(net netip.Prefix) *Route { return s.lookupParent(net) }
+
+// AddPeer configures a peering and builds its input/output branches:
+//
+//	PeerIn → [damping] → in-filter → nexthop-resolver → Decision
+//	Fanout → out-filter → PeerOut → session
+//
+// Peers start disabled; call EnablePeer. Must run on the loop.
+func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
+	if _, dup := p.peers[cfg.Name]; dup {
+		return nil, fmt.Errorf("bgp: peer %q already configured", cfg.Name)
+	}
+	ibgp := cfg.PeerAS == p.cfg.AS
+	peer := &Peer{
+		cfg:  cfg,
+		loop: p.loop,
+		proc: p,
+		handle: &PeerHandle{
+			Name: cfg.Name, Addr: cfg.PeerAddr, AS: cfg.PeerAS, IBGP: ibgp,
+		},
+	}
+	peer.peerin = NewPeerIn(p.loop, peer.handle)
+	inFilter := NewFilterBank("in-filter(" + cfg.Name + ")")
+	resolver := NewNexthopResolver("nexthop("+cfg.Name+")", p.metricSrc)
+	if p.cfg.EnableDamping {
+		damp := NewDampingStage("damping("+cfg.Name+")", p.loop)
+		Plumb(peer.peerin, damp, inFilter, resolver)
+	} else {
+		Plumb(peer.peerin, inFilter, resolver)
+	}
+	p.decision.AddParent(resolver)
+
+	// Output branch.
+	var outFilters []Filter
+	if ibgp {
+		outFilters = append(outFilters, FilterIBGPExport())
+	} else {
+		outFilters = append(outFilters, FilterEBGPExport(p.cfg.AS, cfg.LocalAddr))
+	}
+	outBank := NewFilterBank("out-filter("+cfg.Name+")", outFilters...)
+	peer.peerout = NewPeerOut(peer.handle, peer)
+	Plumb(outBank, peer.peerout)
+	p.fanout.AddPeerBranch(cfg.Name, peer.handle, outBank)
+
+	p.peers[cfg.Name] = peer
+	return peer, nil
+}
+
+// Peer returns a configured peer by name.
+func (p *Process) Peer(name string) (*Peer, bool) {
+	peer, ok := p.peers[name]
+	return peer, ok
+}
+
+// EnablePeer starts a peering's FSM.
+func (p *Process) EnablePeer(name string) error {
+	peer, ok := p.peers[name]
+	if !ok {
+		return fmt.Errorf("bgp: unknown peer %q", name)
+	}
+	peer.Enable()
+	return nil
+}
+
+// peerStateChanged is the FSM's callback on session transitions.
+func (p *Process) peerStateChanged(peer *Peer) {}
+
+// Originate injects a locally originated route (the originate_route XRL;
+// also the redistribution entry point used by the RIB's redist stage).
+func (p *Process) Originate(net netip.Prefix, nexthop netip.Addr, med uint32) {
+	attrs := &PathAttrs{
+		Origin:  OriginIGP,
+		ASPath:  ASPath{},
+		NextHop: nexthop,
+		MED:     med,
+		HasMED:  med != 0,
+	}
+	p.profEnter.Logf("add %v", net)
+	p.localIn.Announce(net, attrs)
+}
+
+// WithdrawOriginated removes a locally originated route.
+func (p *Process) WithdrawOriginated(net netip.Prefix) {
+	p.localIn.Withdraw(net)
+}
+
+// InjectUpdate feeds an UPDATE into a peering as if received from the
+// session — the workload-injection path used by benchmarks and tests
+// (the paper's test peers replayed captured feeds the same way).
+func (p *Process) InjectUpdate(peerName string, u *UpdateMsg) error {
+	peer, ok := p.peers[peerName]
+	if !ok {
+		return fmt.Errorf("bgp: unknown peer %q", peerName)
+	}
+	p.profEnter.Logf("add %v", firstNet(u))
+	peer.peerin.ReceiveUpdate(u, p.cfg.AS)
+	return nil
+}
+
+// Listen starts accepting incoming peer connections on cfg.ListenAddr.
+func (p *Process) Listen() error {
+	if p.cfg.ListenAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", p.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	p.listener = ln
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// ListenAddr returns the bound listen address ("" if not listening).
+func (p *Process) ListenAddr() string {
+	if p.listener == nil {
+		return ""
+	}
+	return p.listener.Addr().String()
+}
+
+func (p *Process) acceptLoop(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.loop.Dispatch(func() { p.adoptIncoming(c) })
+	}
+}
+
+// adoptIncoming matches a connection to the peer configured for its
+// source address.
+func (p *Process) adoptIncoming(c net.Conn) {
+	host, _, err := net.SplitHostPort(c.RemoteAddr().String())
+	if err != nil {
+		c.Close()
+		return
+	}
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		c.Close()
+		return
+	}
+	addr = addr.Unmap()
+	for _, peer := range p.peers {
+		if peer.cfg.PeerAddr == addr {
+			peer.AdoptIncoming(newTCPMsgConn(peer, c))
+			return
+		}
+	}
+	c.Close() // no peer configured for this source
+}
+
+// Close shuts the process down.
+func (p *Process) Close() {
+	if p.listener != nil {
+		p.listener.Close()
+	}
+	for _, peer := range p.peers {
+		peer.Disable()
+	}
+}
+
+// RegisterXRLs exposes the bgp/1.0 interface on target t. Handlers run on
+// the process loop (the router shares it).
+func (p *Process) RegisterXRLs(t *xipc.Target) {
+	t.Register("bgp", "1.0", "get_bgp_version", func(xrl.Args) (xrl.Args, error) {
+		return xrl.Args{xrl.U32("version", Version)}, nil
+	})
+	t.Register("bgp", "1.0", "local_config", func(args xrl.Args) (xrl.Args, error) {
+		// AS/ID are fixed at construction; report them.
+		return xrl.Args{
+			xrl.U32("as", uint32(p.cfg.AS)),
+			xrl.Addr("id", p.cfg.BGPID),
+		}, nil
+	})
+	t.Register("bgp", "1.0", "add_peer", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		localAddr, err := args.AddrArg("local_addr")
+		if err != nil {
+			return nil, err
+		}
+		peerAddr, err := args.AddrArg("peer_addr")
+		if err != nil {
+			return nil, err
+		}
+		as, err := args.U32Arg("as")
+		if err != nil {
+			return nil, err
+		}
+		dial, _ := args.TextArg("dial")
+		holdTime, _ := args.U32Arg("holdtime")
+		cfg := PeerConfig{
+			Name:      name,
+			LocalAddr: localAddr,
+			PeerAddr:  peerAddr,
+			PeerAS:    uint16(as),
+			DialAddr:  dial,
+			HoldTime:  time.Duration(holdTime) * time.Second,
+		}
+		_, aerr := p.AddPeer(cfg)
+		return nil, aerr
+	})
+	t.Register("bgp", "1.0", "enable_peer", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.EnablePeer(name)
+	})
+	t.Register("bgp", "1.0", "disable_peer", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		peer, ok := p.peers[name]
+		if !ok {
+			return nil, xrl.Errorf(xrl.CodeCommandFailed, "unknown peer %q", name)
+		}
+		peer.Disable()
+		return nil, nil
+	})
+	t.Register("bgp", "1.0", "peer_state", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		peer, ok := p.peers[name]
+		if !ok {
+			return nil, xrl.Errorf(xrl.CodeCommandFailed, "unknown peer %q", name)
+		}
+		return xrl.Args{xrl.Text("state", peer.State().String())}, nil
+	})
+	t.Register("bgp", "1.0", "originate_route4", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("nlri")
+		if err != nil {
+			return nil, err
+		}
+		nh, err := args.AddrArg("next_hop")
+		if err != nil {
+			return nil, err
+		}
+		med, _ := args.U32Arg("med")
+		p.Originate(net, nh, med)
+		return nil, nil
+	})
+	t.Register("bgp", "1.0", "withdraw_route4", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("nlri")
+		if err != nil {
+			return nil, err
+		}
+		p.WithdrawOriginated(net)
+		return nil, nil
+	})
+	// The RIB pushes nexthop cache invalidations here (§5.2.1).
+	t.Register("rib_client", "0.1", "route_info_invalid", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		if inv, ok := p.metricSrc.(interface{ Invalidate(netip.Prefix) }); ok {
+			inv.Invalidate(net)
+		}
+		return nil, nil
+	})
+	p.prof.RegisterXRLs(t)
+}

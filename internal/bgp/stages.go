@@ -1,0 +1,176 @@
+package bgp
+
+import (
+	"net/netip"
+
+	"xorp/internal/core"
+)
+
+// Stage is one element of the BGP pipeline (§5.1). Routes flow downstream
+// as Add/Replace/Delete messages; Lookup flows upstream. Stages share this
+// API and are indifferent to their surroundings, so new stages can be
+// plumbed in without disturbing their neighbours.
+//
+// Consistency rules (§5.1): a Delete must match a previous Add; Lookup
+// answers must agree with the message stream already sent downstream.
+type Stage interface {
+	// Name identifies the stage for diagnostics.
+	Name() string
+	// Add announces a new route for a prefix this stage has not announced.
+	Add(r *Route)
+	// Replace substitutes the announced route for a prefix.
+	Replace(old, new *Route)
+	// Delete withdraws the announced route for a prefix.
+	Delete(r *Route)
+	// Lookup returns this stage's announced route for net (asking
+	// upstream as needed), or nil.
+	Lookup(net netip.Prefix) *Route
+
+	// setDownstream / setParent plumb the stage network; downstream and
+	// parent expose the links for re-plumbing (dynamic stages, §5.1.2).
+	setDownstream(s Stage)
+	downstream() Stage
+	setParent(s Stage)
+	parentStage() Stage
+}
+
+// base provides the plumbing shared by stage implementations.
+type base struct {
+	name   string
+	next   Stage
+	parent Stage
+}
+
+func (b *base) Name() string          { return b.name }
+func (b *base) setDownstream(s Stage) { b.next = s }
+func (b *base) downstream() Stage     { return b.next }
+func (b *base) setParent(s Stage)     { b.parent = s }
+func (b *base) parentStage() Stage    { return b.parent }
+
+// lookupParent forwards a lookup upstream, the default for stages that
+// hold no routes of their own.
+func (b *base) lookupParent(net netip.Prefix) *Route {
+	if b.parent == nil {
+		return nil
+	}
+	return b.parent.Lookup(net)
+}
+
+// Plumb links stages left-to-right: Plumb(a, b, c) wires a → b → c and
+// the corresponding upstream (lookup) pointers.
+func Plumb(stages ...Stage) {
+	for i := 0; i+1 < len(stages); i++ {
+		stages[i].setDownstream(stages[i+1])
+		stages[i+1].setParent(stages[i])
+	}
+}
+
+// Splice inserts s between parent and parent's current downstream.
+func Splice(parent, s Stage) {
+	old := parent.downstream()
+	parent.setDownstream(s)
+	s.setParent(parent)
+	s.setDownstream(old)
+	if old != nil {
+		old.setParent(s)
+	}
+}
+
+// Unsplice removes s from the chain, reconnecting its neighbours.
+func Unsplice(s Stage) {
+	p, n := s.parentStage(), s.downstream()
+	if p != nil {
+		p.setDownstream(n)
+	}
+	if n != nil {
+		n.setParent(p)
+	}
+	s.setParent(nil)
+	s.setDownstream(nil)
+}
+
+// sink is a terminal stage collecting messages; used by tests and as a
+// default downstream so stages never nil-check.
+type sink struct {
+	base
+	adds, replaces, deletes int
+	tbl                     map[netip.Prefix]*Route
+}
+
+func newSink(name string) *sink {
+	return &sink{base: base{name: name}, tbl: make(map[netip.Prefix]*Route)}
+}
+
+func (s *sink) Add(r *Route) {
+	s.adds++
+	s.tbl[r.Net] = r
+}
+
+func (s *sink) Replace(old, new *Route) {
+	s.replaces++
+	s.tbl[new.Net] = new
+}
+
+func (s *sink) Delete(r *Route) {
+	s.deletes++
+	delete(s.tbl, r.Net)
+}
+
+func (s *sink) Lookup(net netip.Prefix) *Route { return s.tbl[net] }
+
+// CacheStage is the consistency-checking cache stage of §5.1: it shadows
+// the message stream in its own table, verifies the two consistency rules,
+// and answers lookups locally. "While not intended for normal production
+// use, this stage could aid with debugging if a consistency error is
+// suspected" — all integration tests run with it plumbed in.
+type CacheStage struct {
+	base
+	chk *core.Checker[*Route]
+	// Panic indicates a violation should panic (tests) rather than be
+	// recorded.
+	Panic bool
+}
+
+// NewCacheStage returns a cache stage labeled name.
+func NewCacheStage(name string) *CacheStage {
+	return &CacheStage{base: base{name: name}, chk: core.NewChecker[*Route](name)}
+}
+
+// Violations returns the recorded consistency violations.
+func (c *CacheStage) Violations() []*core.ConsistencyError { return c.chk.Violations() }
+
+func (c *CacheStage) check(v *core.ConsistencyError) {
+	if v != nil && c.Panic {
+		panic(v.Error())
+	}
+}
+
+// Add implements Stage.
+func (c *CacheStage) Add(r *Route) {
+	c.check(c.chk.Add(r.Net, r))
+	if c.next != nil {
+		c.next.Add(r)
+	}
+}
+
+// Replace implements Stage.
+func (c *CacheStage) Replace(old, new *Route) {
+	c.check(c.chk.Replace(new.Net, new))
+	if c.next != nil {
+		c.next.Replace(old, new)
+	}
+}
+
+// Delete implements Stage.
+func (c *CacheStage) Delete(r *Route) {
+	c.check(c.chk.Delete(r.Net))
+	if c.next != nil {
+		c.next.Delete(r)
+	}
+}
+
+// Lookup implements Stage: the cache answers from its shadow table.
+func (c *CacheStage) Lookup(net netip.Prefix) *Route {
+	r, _ := c.chk.Lookup(net)
+	return r
+}

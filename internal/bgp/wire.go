@@ -1,0 +1,356 @@
+// Package bgp implements the XORP BGP process (paper §5.1): the RFC 4271
+// wire protocol, the per-peer state machine, and — the paper's central
+// contribution — the staged routing-table pipeline: PeerIn stages storing
+// original routes, pluggable filter banks, nexthop resolvers, a decision
+// process, a fanout queue with per-peer readers, per-peer output filter
+// banks and PeerOut stages, plus dynamic background deletion stages for
+// failed peerings and an optional consistency-checking cache stage.
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// BGP message types (RFC 4271 §4.1).
+const (
+	MsgOpen         = 1
+	MsgUpdate       = 2
+	MsgNotification = 3
+	MsgKeepalive    = 4
+)
+
+// Wire limits.
+const (
+	headerLen  = 19
+	maxMsgLen  = 4096
+	markerByte = 0xff
+)
+
+// Version is the implemented BGP version.
+const Version = 4
+
+// OpenMsg is a BGP OPEN message.
+type OpenMsg struct {
+	Version  uint8
+	AS       uint16
+	HoldTime uint16
+	BGPID    netip.Addr // 4-byte router id
+}
+
+// UpdateMsg is a BGP UPDATE message: withdrawn prefixes, path attributes,
+// and the NLRI the attributes apply to.
+type UpdateMsg struct {
+	Withdrawn []netip.Prefix
+	Attrs     *PathAttrs
+	NLRI      []netip.Prefix
+}
+
+// NotificationMsg is a BGP NOTIFICATION message.
+type NotificationMsg struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMsgHeaderErr    = 1
+	NotifOpenErr         = 2
+	NotifUpdateErr       = 3
+	NotifHoldTimerExpire = 4
+	NotifFSMErr          = 5
+	NotifCease           = 6
+)
+
+func (n *NotificationMsg) Error() string {
+	return fmt.Sprintf("bgp: NOTIFICATION code %d subcode %d", n.Code, n.Subcode)
+}
+
+// appendHeader appends the 19-byte message header with a placeholder
+// length, returning the offset of the length field.
+func appendHeader(dst []byte, msgType uint8) ([]byte, int) {
+	for i := 0; i < 16; i++ {
+		dst = append(dst, markerByte)
+	}
+	lenOff := len(dst)
+	dst = append(dst, 0, 0, msgType)
+	return dst, lenOff
+}
+
+func patchLen(buf []byte, lenOff, start int) {
+	binary.BigEndian.PutUint16(buf[lenOff:], uint16(len(buf)-start))
+}
+
+// AppendOpen appends an encoded OPEN message to dst.
+func AppendOpen(dst []byte, m *OpenMsg) []byte {
+	start := len(dst)
+	dst, lenOff := appendHeader(dst, MsgOpen)
+	dst = append(dst, m.Version)
+	dst = binary.BigEndian.AppendUint16(dst, m.AS)
+	dst = binary.BigEndian.AppendUint16(dst, m.HoldTime)
+	id := m.BGPID.As4()
+	dst = append(dst, id[:]...)
+	dst = append(dst, 0) // no optional parameters
+	patchLen(dst, lenOff, start)
+	return dst
+}
+
+// AppendKeepalive appends an encoded KEEPALIVE message to dst.
+func AppendKeepalive(dst []byte) []byte {
+	start := len(dst)
+	dst, lenOff := appendHeader(dst, MsgKeepalive)
+	patchLen(dst, lenOff, start)
+	return dst
+}
+
+// AppendNotification appends an encoded NOTIFICATION message to dst.
+func AppendNotification(dst []byte, m *NotificationMsg) []byte {
+	start := len(dst)
+	dst, lenOff := appendHeader(dst, MsgNotification)
+	dst = append(dst, m.Code, m.Subcode)
+	dst = append(dst, m.Data...)
+	patchLen(dst, lenOff, start)
+	return dst
+}
+
+// AppendUpdate appends an encoded UPDATE message to dst. All prefixes must
+// be IPv4 (IPv6 runs over MP-BGP, outside this reproduction's wire scope;
+// the staged pipeline itself is family-generic).
+func AppendUpdate(dst []byte, m *UpdateMsg) ([]byte, error) {
+	start := len(dst)
+	dst, lenOff := appendHeader(dst, MsgUpdate)
+
+	// Withdrawn routes.
+	wOff := len(dst)
+	dst = append(dst, 0, 0)
+	var err error
+	for _, p := range m.Withdrawn {
+		if dst, err = appendPrefix(dst, p); err != nil {
+			return dst, err
+		}
+	}
+	binary.BigEndian.PutUint16(dst[wOff:], uint16(len(dst)-wOff-2))
+
+	// Path attributes.
+	aOff := len(dst)
+	dst = append(dst, 0, 0)
+	if len(m.NLRI) > 0 || m.Attrs != nil {
+		if m.Attrs == nil && len(m.NLRI) > 0 {
+			return dst, fmt.Errorf("bgp: NLRI without path attributes")
+		}
+		if m.Attrs != nil {
+			if dst, err = m.Attrs.appendTo(dst); err != nil {
+				return dst, err
+			}
+		}
+	}
+	binary.BigEndian.PutUint16(dst[aOff:], uint16(len(dst)-aOff-2))
+
+	for _, p := range m.NLRI {
+		if dst, err = appendPrefix(dst, p); err != nil {
+			return dst, err
+		}
+	}
+	if len(dst)-start > maxMsgLen {
+		return dst, fmt.Errorf("bgp: UPDATE of %d bytes exceeds %d", len(dst)-start, maxMsgLen)
+	}
+	patchLen(dst, lenOff, start)
+	return dst, nil
+}
+
+// appendPrefix appends RFC 4271 prefix encoding: length byte + minimal
+// prefix octets.
+func appendPrefix(dst []byte, p netip.Prefix) ([]byte, error) {
+	if !p.Addr().Is4() {
+		return dst, fmt.Errorf("bgp: non-IPv4 prefix %v in wire message", p)
+	}
+	p = p.Masked()
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	b := p.Addr().As4()
+	dst = append(dst, b[:(bits+7)/8]...)
+	return dst, nil
+}
+
+func decodePrefix(d *wireDecoder) netip.Prefix {
+	bits := int(d.u8())
+	if bits > 32 {
+		d.fail("prefix length %d", bits)
+		return netip.Prefix{}
+	}
+	n := (bits + 7) / 8
+	raw := d.take(n)
+	if raw == nil {
+		return netip.Prefix{}
+	}
+	var b [4]byte
+	copy(b[:], raw)
+	return netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+}
+
+// Message is a decoded BGP message: exactly one field is non-nil.
+type Message struct {
+	Open         *OpenMsg
+	Update       *UpdateMsg
+	Notification *NotificationMsg
+	Keepalive    bool
+}
+
+// HeaderInfo reports the total message length and type from a wire header,
+// so a reader can frame messages. buf must hold at least headerLen bytes.
+func HeaderInfo(buf []byte) (msgLen int, msgType uint8, err error) {
+	if len(buf) < headerLen {
+		return 0, 0, fmt.Errorf("bgp: short header")
+	}
+	for i := 0; i < 16; i++ {
+		if buf[i] != markerByte {
+			return 0, 0, fmt.Errorf("bgp: bad marker")
+		}
+	}
+	msgLen = int(binary.BigEndian.Uint16(buf[16:]))
+	msgType = buf[18]
+	if msgLen < headerLen || msgLen > maxMsgLen {
+		return 0, 0, fmt.Errorf("bgp: bad message length %d", msgLen)
+	}
+	return msgLen, msgType, nil
+}
+
+// DecodeMessage decodes one complete wire message (header included).
+func DecodeMessage(buf []byte) (*Message, error) {
+	msgLen, msgType, err := HeaderInfo(buf)
+	if err != nil {
+		return nil, err
+	}
+	if msgLen != len(buf) {
+		return nil, fmt.Errorf("bgp: message length %d != buffer %d", msgLen, len(buf))
+	}
+	d := &wireDecoder{buf: buf, off: headerLen}
+	switch msgType {
+	case MsgOpen:
+		m := &OpenMsg{}
+		m.Version = d.u8()
+		m.AS = d.u16()
+		m.HoldTime = d.u16()
+		b := d.take(4)
+		if b != nil {
+			m.BGPID = netip.AddrFrom4([4]byte(b))
+		}
+		optLen := int(d.u8())
+		d.take(optLen) // optional parameters ignored
+		if d.err != nil {
+			return nil, d.err
+		}
+		return &Message{Open: m}, nil
+	case MsgKeepalive:
+		if msgLen != headerLen {
+			return nil, fmt.Errorf("bgp: KEEPALIVE with body")
+		}
+		return &Message{Keepalive: true}, nil
+	case MsgNotification:
+		m := &NotificationMsg{}
+		m.Code = d.u8()
+		m.Subcode = d.u8()
+		m.Data = append([]byte(nil), d.rest()...)
+		if d.err != nil {
+			return nil, d.err
+		}
+		return &Message{Notification: m}, nil
+	case MsgUpdate:
+		m := &UpdateMsg{}
+		wLen := int(d.u16())
+		wEnd := d.off + wLen
+		if wEnd > len(buf) {
+			return nil, fmt.Errorf("bgp: withdrawn length overruns message")
+		}
+		for d.off < wEnd && d.err == nil {
+			m.Withdrawn = append(m.Withdrawn, decodePrefix(d))
+		}
+		aLen := int(d.u16())
+		aEnd := d.off + aLen
+		if aEnd > len(buf) {
+			return nil, fmt.Errorf("bgp: attribute length overruns message")
+		}
+		if aLen > 0 {
+			attrs, err := decodePathAttrs(d, aEnd)
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs = attrs
+		}
+		for d.off < len(buf) && d.err == nil {
+			m.NLRI = append(m.NLRI, decodePrefix(d))
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if len(m.NLRI) > 0 {
+			if m.Attrs == nil {
+				return nil, fmt.Errorf("bgp: NLRI without path attributes")
+			}
+			if err := m.Attrs.WellFormed(); err != nil {
+				return nil, err
+			}
+		}
+		return &Message{Update: m}, nil
+	default:
+		return nil, fmt.Errorf("bgp: unknown message type %d", msgType)
+	}
+}
+
+// wireDecoder is a bounds-checked cursor with sticky errors.
+type wireDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("bgp: decode: "+format, args...)
+	}
+}
+
+func (d *wireDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated at %d (+%d of %d)", d.off, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *wireDecoder) rest() []byte {
+	b := d.buf[d.off:]
+	d.off = len(d.buf)
+	return b
+}
+
+func (d *wireDecoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireDecoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *wireDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}

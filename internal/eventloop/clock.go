@@ -1,0 +1,79 @@
+// Package eventloop implements the single-threaded, event-driven
+// programming model at the core of every XORP process (paper §4).
+//
+// A Loop owns all state of one router "process": timers, deferred
+// callbacks, and cooperative background tasks that run only when no
+// foreground events are pending. Callbacks always execute on the loop's
+// goroutine, so component code needs no locking — the Go analogue of the
+// paper's select-based SFS event loop.
+//
+// The Loop is driven either in real time (Run/Stop) or deterministically
+// under a simulated clock (RunPending/AdvanceTo), which lets tests and the
+// Figure-13 harness replay minutes of router time in milliseconds.
+package eventloop
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so a Loop can run against the wall clock or a
+// simulated clock. All Loop scheduling goes through its Clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// IsSimulated reports whether time advances only via SimClock.Advance.
+	IsSimulated() bool
+}
+
+// RealClock is a Clock backed by the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// IsSimulated implements Clock.
+func (RealClock) IsSimulated() bool { return false }
+
+// SimClock is a manually advanced Clock for deterministic tests and
+// simulations. The zero value starts at the zero time; use NewSimClock to
+// start at a fixed epoch.
+type SimClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSimClock returns a SimClock whose current time is start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// IsSimulated implements Clock.
+func (c *SimClock) IsSimulated() bool { return true }
+
+// Advance moves the simulated time forward by d. It never moves backward;
+// a negative d is ignored.
+func (c *SimClock) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set moves the simulated time to t if t is later than the current time.
+func (c *SimClock) Set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}

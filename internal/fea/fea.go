@@ -1,0 +1,240 @@
+// Package fea implements the Forwarding Engine Abstraction (paper §3):
+// the stable API between the control plane and the forwarding plane. The
+// FEA installs routes into the (simulated) kernel FIB, exposes interface
+// information, and — as the security framework's network-access relay
+// (§7) — sends and receives routing protocol packets on behalf of
+// sandboxed processes like RIP, so they never need raw network access.
+package fea
+
+import (
+	"fmt"
+	"net/netip"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/kernel"
+	"xorp/internal/profiler"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// Process is the FEA process.
+type Process struct {
+	loop *eventloop.Loop
+	fib  *kernel.FIB
+	host *kernel.Host // attachment to the simulated datagram network
+
+	// udpClients maps bound port -> client target to push received
+	// datagrams to (the RIP relay path).
+	udpClients map[uint16]string
+	router     *xipc.Router
+
+	prof       *profiler.Profiler
+	profArrive *profiler.Point // "route_arrive_fea"
+	profKernel *profiler.Point // "route_enter_kernel"
+}
+
+// New returns an FEA bound to fib. host may be nil (no packet relay);
+// router enables pushes to UDP clients.
+func New(loop *eventloop.Loop, fib *kernel.FIB, host *kernel.Host, router *xipc.Router) *Process {
+	p := &Process{
+		loop:       loop,
+		fib:        fib,
+		host:       host,
+		udpClients: make(map[uint16]string),
+		router:     router,
+		prof:       profiler.New(loop.Clock()),
+	}
+	p.profArrive = p.prof.Point("route_arrive_fea")
+	p.profKernel = p.prof.Point("route_enter_kernel")
+	return p
+}
+
+// Loop returns the process event loop.
+func (p *Process) Loop() *eventloop.Loop { return p.loop }
+
+// Profiler returns the process profiler.
+func (p *Process) Profiler() *profiler.Profiler { return p.prof }
+
+// FIB returns the underlying forwarding table.
+func (p *Process) FIB() *kernel.FIB { return p.fib }
+
+// AddEntry installs a forwarding entry ("the FEA will unconditionally
+// install the route in the kernel", §8.2).
+func (p *Process) AddEntry(e route.Entry) error {
+	p.profArrive.Logf("add %v", e.Net)
+	err := p.fib.Install(kernel.FIBEntry{Net: e.Net, NextHop: e.NextHop, IfName: e.IfName})
+	if err == nil {
+		p.profKernel.Logf("add %v", e.Net)
+	}
+	return err
+}
+
+// DeleteEntry removes a forwarding entry.
+func (p *Process) DeleteEntry(net netip.Prefix) error {
+	p.profArrive.Logf("delete %v", net)
+	if !p.fib.Remove(net) {
+		return fmt.Errorf("fea: no FIB entry %v", net)
+	}
+	p.profKernel.Logf("delete %v", net)
+	return nil
+}
+
+// RIBClient adapts the FEA as the RIB's FIBClient (rib.FIBClient) for
+// in-process assemblies.
+type RIBClient struct{ P *Process }
+
+// FIBAdd implements rib.FIBClient.
+func (c RIBClient) FIBAdd(e route.Entry) { c.P.AddEntry(e) }
+
+// FIBReplace implements rib.FIBClient.
+func (c RIBClient) FIBReplace(_, new route.Entry) { c.P.AddEntry(new) }
+
+// FIBDelete implements rib.FIBClient.
+func (c RIBClient) FIBDelete(e route.Entry) { c.P.DeleteEntry(e.Net) }
+
+// UDPBind binds a relay port on behalf of client; received datagrams are
+// pushed to the client target's fea_udp_client/0.1/recv method (or to
+// recv directly when non-nil, for in-process protocols).
+func (p *Process) UDPBind(port uint16, client string, recv func(src netip.AddrPort, payload []byte)) error {
+	if p.host == nil {
+		return fmt.Errorf("fea: no network attachment")
+	}
+	if recv == nil {
+		recv = func(src netip.AddrPort, payload []byte) {
+			if p.router == nil {
+				return
+			}
+			p.router.Send(xrl.New(client, "fea_udp_client", "0.1", "recv",
+				xrl.Addr("src", src.Addr()),
+				xrl.U32("sport", uint32(src.Port())),
+				xrl.Binary("payload", payload)), nil)
+		}
+	}
+	handler := func(src netip.AddrPort, payload []byte) {
+		// Handler runs on the sender's goroutine; hop onto our loop.
+		p.loop.Dispatch(func() { recv(src, payload) })
+	}
+	if err := p.host.Bind(port, handler); err != nil {
+		return err
+	}
+	p.udpClients[port] = client
+	return nil
+}
+
+// UDPSend relays one datagram from srcPort to dst.
+func (p *Process) UDPSend(srcPort uint16, dst netip.AddrPort, payload []byte) error {
+	if p.host == nil {
+		return fmt.Errorf("fea: no network attachment")
+	}
+	p.host.SendTo(srcPort, dst, payload)
+	return nil
+}
+
+// UDPBroadcast relays a datagram to all on-link neighbours (RIP's
+// multicast updates).
+func (p *Process) UDPBroadcast(srcPort, dstPort uint16, payload []byte) error {
+	if p.host == nil {
+		return fmt.Errorf("fea: no network attachment")
+	}
+	p.host.Broadcast(srcPort, dstPort, payload)
+	return nil
+}
+
+// RegisterXRLs exposes fti/0.2 (forwarding table), ifmgr/0.1 (interfaces)
+// and fea_udp/0.1 (packet relay) on target t.
+func (p *Process) RegisterXRLs(t *xipc.Target) {
+	t.Register("fti", "0.2", "add_entry4", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		e := route.Entry{Net: net}
+		if nh, err := args.AddrArg("nexthop"); err == nil {
+			e.NextHop = nh
+		}
+		if ifn, err := args.TextArg("ifname"); err == nil {
+			e.IfName = ifn
+		}
+		return nil, p.AddEntry(e)
+	})
+	t.Register("fti", "0.2", "delete_entry4", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.DeleteEntry(net)
+	})
+	t.Register("fti", "0.2", "lookup_entry4", func(args xrl.Args) (xrl.Args, error) {
+		addr, err := args.AddrArg("addr")
+		if err != nil {
+			return nil, err
+		}
+		e, ok := p.fib.Lookup(addr)
+		if !ok {
+			return xrl.Args{xrl.Bool("found", false)}, nil
+		}
+		out := xrl.Args{
+			xrl.Bool("found", true),
+			xrl.Net("network", e.Net),
+			xrl.Text("ifname", e.IfName),
+		}
+		if e.NextHop.IsValid() {
+			out = append(out, xrl.Addr("nexthop", e.NextHop))
+		}
+		return out, nil
+	})
+	t.Register("ifmgr", "0.1", "get_interfaces", func(xrl.Args) (xrl.Args, error) {
+		var items []xrl.Atom
+		for _, i := range p.fib.Interfaces() {
+			items = append(items, xrl.Text("", fmt.Sprintf("%s %v %d %v", i.Name, i.Addr, i.MTU, i.Up)))
+		}
+		return xrl.Args{xrl.List("interfaces", items...)}, nil
+	})
+	t.Register("fea_udp", "0.1", "bind", func(args xrl.Args) (xrl.Args, error) {
+		port, err := args.U32Arg("port")
+		if err != nil {
+			return nil, err
+		}
+		client, err := args.TextArg("client")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.UDPBind(uint16(port), client, nil)
+	})
+	t.Register("fea_udp", "0.1", "send", func(args xrl.Args) (xrl.Args, error) {
+		sport, err := args.U32Arg("sport")
+		if err != nil {
+			return nil, err
+		}
+		dst, err := args.AddrArg("dst")
+		if err != nil {
+			return nil, err
+		}
+		dport, err := args.U32Arg("dport")
+		if err != nil {
+			return nil, err
+		}
+		payload, err := args.BinaryArg("payload")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.UDPSend(uint16(sport), netip.AddrPortFrom(dst, uint16(dport)), payload)
+	})
+	t.Register("fea_udp", "0.1", "broadcast", func(args xrl.Args) (xrl.Args, error) {
+		sport, err := args.U32Arg("sport")
+		if err != nil {
+			return nil, err
+		}
+		dport, err := args.U32Arg("dport")
+		if err != nil {
+			return nil, err
+		}
+		payload, err := args.BinaryArg("payload")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.UDPBroadcast(uint16(sport), uint16(dport), payload)
+	})
+	p.prof.RegisterXRLs(t)
+}

@@ -1,0 +1,142 @@
+package fea
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/kernel"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+func mustP(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustA(s string) netip.Addr   { return netip.MustParseAddr(s) }
+
+func newFEA(t *testing.T) (*Process, *kernel.FIB, *eventloop.Loop) {
+	t.Helper()
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	fib := kernel.NewFIB()
+	return New(loop, fib, nil, nil), fib, loop
+}
+
+func TestAddDeleteEntry(t *testing.T) {
+	p, fib, _ := newFEA(t)
+	e := route.Entry{Net: mustP("10.0.0.0/8"), NextHop: mustA("192.168.1.254"), IfName: "eth0"}
+	if err := p.AddEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if fib.Len() != 1 {
+		t.Fatal("entry not installed")
+	}
+	if err := p.DeleteEntry(e.Net); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeleteEntry(e.Net); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestProfilePointsFire(t *testing.T) {
+	p, _, loop := newFEA(t)
+	var enabled bool
+	loop.Dispatch(func() {
+		p.Profiler().Enable("route_enter_kernel")
+		enabled = true
+	})
+	loop.RunPending()
+	if !enabled {
+		t.Fatal("loop stuck")
+	}
+	p.AddEntry(route.Entry{Net: mustP("10.0.0.0/8"), IfName: "eth0"})
+	recs := p.Profiler().Entries("route_enter_kernel")
+	if len(recs) != 1 || recs[0].Event != "add 10.0.0.0/8" {
+		t.Fatalf("records %v", recs)
+	}
+}
+
+func TestXRLInterface(t *testing.T) {
+	loop := eventloop.New(nil)
+	fib := kernel.NewFIB()
+	fib.AddInterface("eth0", mustP("192.168.1.1/24"), 1500)
+	router := xipc.NewRouter("fea_process", loop)
+	p := New(loop, fib, nil, router)
+	target := xipc.NewTarget("fea", "fea")
+	p.RegisterXRLs(target)
+	router.AddTarget(target)
+	go loop.Run()
+	defer loop.Stop()
+
+	call := func(s string) (xrl.Args, *xrl.Error) {
+		x, err := xrl.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return router.Call(x)
+	}
+	if _, err := call("finder://fea/fti/0.2/add_entry4?network:ipv4net=10.0.0.0/8&nexthop:ipv4=192.168.1.254&ifname:txt=eth0"); err != nil {
+		t.Fatalf("add_entry4: %v", err)
+	}
+	args, err := call("finder://fea/fti/0.2/lookup_entry4?addr:ipv4=10.1.2.3")
+	if err != nil {
+		t.Fatalf("lookup_entry4: %v", err)
+	}
+	if found, _ := args.BoolArg("found"); !found {
+		t.Fatal("entry not found via XRL")
+	}
+	if net, _ := args.NetArg("network"); net != mustP("10.0.0.0/8") {
+		t.Fatalf("network %v", net)
+	}
+	args, err = call("finder://fea/ifmgr/0.1/get_interfaces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs, _ := args.ListArg("interfaces")
+	if len(ifs) != 1 {
+		t.Fatalf("interfaces %v", ifs)
+	}
+	if _, err := call("finder://fea/fti/0.2/delete_entry4?network:ipv4net=10.0.0.0/8"); err != nil {
+		t.Fatalf("delete_entry4: %v", err)
+	}
+	if _, err := call("finder://fea/fti/0.2/delete_entry4?network:ipv4net=10.0.0.0/8"); err == nil {
+		t.Fatal("double delete via XRL accepted")
+	}
+}
+
+func TestUDPRelayWithoutNetworkFails(t *testing.T) {
+	p, _, _ := newFEA(t)
+	if err := p.UDPBind(520, "rip", nil); err == nil {
+		t.Fatal("bind without network accepted")
+	}
+	if err := p.UDPSend(520, netip.AddrPortFrom(mustA("10.0.0.2"), 520), nil); err == nil {
+		t.Fatal("send without network accepted")
+	}
+	if err := p.UDPBroadcast(520, 520, nil); err == nil {
+		t.Fatal("broadcast without network accepted")
+	}
+}
+
+func TestUDPRelayRoundTrip(t *testing.T) {
+	netw := kernel.NewNetwork()
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	hostA, _ := netw.Attach(mustA("10.0.0.1"))
+	hostB, _ := netw.Attach(mustA("10.0.0.2"))
+	feaA := New(loop, kernel.NewFIB(), hostA, nil)
+	feaB := New(loop, kernel.NewFIB(), hostB, nil)
+
+	var got []byte
+	if err := feaB.UDPBind(520, "rip", func(src netip.AddrPort, payload []byte) {
+		got = payload
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := feaA.UDPSend(520, netip.AddrPortFrom(mustA("10.0.0.2"), 520), []byte("rip-pkt")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunPending()
+	if string(got) != "rip-pkt" {
+		t.Fatalf("relay got %q", got)
+	}
+}

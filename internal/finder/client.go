@@ -1,0 +1,101 @@
+package finder
+
+import (
+	"fmt"
+
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// RegisterTarget registers target t — hosted by router r — with the
+// Finder: it announces the instance with r's transport endpoints, then
+// registers every method, recording the Finder-issued keys on t so the
+// router enforces them on dispatch. done runs on r's loop.
+func RegisterTarget(r *xipc.Router, t *xipc.Target, sole bool, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	eps := r.Endpoints()
+	epAtoms := make([]xrl.Atom, len(eps))
+	for i, ep := range eps {
+		epAtoms[i] = xrl.Text("", ep)
+	}
+	reg := xrl.New(xipc.FinderTargetName, "finder", "1.0", "register_target",
+		xrl.Text("instance", t.Name),
+		xrl.Text("class", t.Class),
+		xrl.Bool("sole", sole),
+		xrl.List("endpoints", epAtoms...))
+	r.Send(reg, func(_ xrl.Args, err *xrl.Error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		cmds := t.Commands()
+		if len(cmds) == 0 {
+			done(nil)
+			return
+		}
+		cmdAtoms := make([]xrl.Atom, len(cmds))
+		for i, c := range cmds {
+			cmdAtoms[i] = xrl.Text("", c)
+		}
+		rm := xrl.New(xipc.FinderTargetName, "finder", "1.0", "register_methods",
+			xrl.Text("instance", t.Name),
+			xrl.List("commands", cmdAtoms...))
+		r.Send(rm, func(args xrl.Args, err *xrl.Error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			keys, kerr := args.ListArg("keys")
+			if kerr != nil || len(keys) != len(cmds) {
+				done(fmt.Errorf("finder: malformed register_methods reply"))
+				return
+			}
+			for i, c := range cmds {
+				t.SetMethodKey(c, keys[i].TextVal)
+			}
+			done(nil)
+		})
+	})
+}
+
+// RegisterTargetSync is RegisterTarget for code running outside the event
+// loop (process setup, tests).
+func RegisterTargetSync(r *xipc.Router, t *xipc.Target, sole bool) error {
+	ch := make(chan error, 1)
+	RegisterTarget(r, t, sole, func(err error) { ch <- err })
+	return <-ch
+}
+
+// UnregisterTarget removes the instance from the Finder.
+func UnregisterTarget(r *xipc.Router, instance string, done func(error)) {
+	r.Send(xrl.New(xipc.FinderTargetName, "finder", "1.0", "unregister_target",
+		xrl.Text("instance", instance)),
+		func(_ xrl.Args, err *xrl.Error) {
+			if done != nil {
+				if err != nil {
+					done(err)
+				} else {
+					done(nil)
+				}
+			}
+		})
+}
+
+// Watch subscribes watcherTarget to birth/death events for class ("*" for
+// all classes). Events arrive via the router's SetFinderEvent callback.
+func Watch(r *xipc.Router, watcherTarget, class string, done func(error)) {
+	r.Send(xrl.New(xipc.FinderTargetName, "finder", "1.0", "watch",
+		xrl.Text("watcher", watcherTarget),
+		xrl.Text("class", class)),
+		func(_ xrl.Args, err *xrl.Error) {
+			if done != nil {
+				if err != nil {
+					done(err)
+				} else {
+					done(nil)
+				}
+			}
+		})
+}

@@ -1,0 +1,376 @@
+// Package finder implements the XORP Finder (paper §6.2): the broker that
+// resolves generic XRLs into concrete transport endpoints, issues the
+// 16-byte random method keys of the security framework (§7), enforces
+// per-method access control, and provides component lifetime notification.
+package finder
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// instanceInfo is the Finder's record of one registered component.
+type instanceInfo struct {
+	name      string
+	class     string
+	sole      bool
+	endpoints []string          // "proto|addr"
+	methods   map[string]string // command -> key
+	lastSeen  time.Time
+}
+
+// aclRule allows caller to invoke command on target. "*" wildcards any
+// field; target matches instance or class.
+type aclRule struct {
+	caller, target, command string
+}
+
+// Finder is the broker service. All state is confined to its event loop.
+type Finder struct {
+	loop   *eventloop.Loop
+	router *xipc.Router
+
+	instances map[string]*instanceInfo
+	classes   map[string][]string        // class -> instance names
+	watchers  map[string]map[string]bool // class ("*" = all) -> watcher targets
+	rules     []aclRule
+	strict    bool // true: resolution requires a matching rule
+
+	pingTimer *eventloop.Timer
+}
+
+// New creates a Finder on its own router named "finder_process", hosting
+// the well-known "finder" target, and attaches it to loop.
+func New(loop *eventloop.Loop) *Finder {
+	f := &Finder{
+		loop:      loop,
+		router:    xipc.NewRouter("finder_process", loop),
+		instances: make(map[string]*instanceInfo),
+		classes:   make(map[string][]string),
+		watchers:  make(map[string]map[string]bool),
+	}
+	t := xipc.NewTarget(xipc.FinderTargetName, "finder")
+	t.Register("finder", "1.0", "register_target", f.handleRegisterTarget)
+	t.Register("finder", "1.0", "register_methods", f.handleRegisterMethods)
+	t.Register("finder", "1.0", "unregister_target", f.handleUnregisterTarget)
+	t.Register("finder", "1.0", "resolve", f.handleResolve)
+	t.Register("finder", "1.0", "watch", f.handleWatch)
+	t.Register("finder", "1.0", "targets", f.handleTargets)
+	t.Register("finder", "1.0", "add_permission", f.handleAddPermission)
+	t.Register("finder", "1.0", "set_strict", f.handleSetStrict)
+	f.router.AddTarget(t)
+	return f
+}
+
+// Router returns the Finder's XRL router (to attach hubs or listeners).
+func (f *Finder) Router() *xipc.Router { return f.router }
+
+// AttachHub joins the Finder to an in-process hub.
+func (f *Finder) AttachHub(h *xipc.Hub) { f.router.AttachHub(h) }
+
+// ListenTCP makes the Finder reachable over TCP.
+func (f *Finder) ListenTCP(addr string) error { return f.router.ListenTCP(addr) }
+
+// TCPAddr returns the Finder's TCP endpoint ("" if not listening).
+func (f *Finder) TCPAddr() string {
+	for _, ep := range f.router.Endpoints() {
+		if len(ep) > 5 && ep[:5] == xrl.ProtoSTCP+"|" {
+			return ep[5:]
+		}
+	}
+	return ""
+}
+
+// SetStrict switches the resolver to deny-by-default: only XRLs matched by
+// an AddPermission rule resolve (§7's "set of XRLs that each process is
+// allowed to call").
+func (f *Finder) SetStrict(strict bool) {
+	f.loop.DispatchAndWait(func() { f.strict = strict })
+}
+
+// AddPermission allows caller to call command on target. "*" wildcards.
+func (f *Finder) AddPermission(caller, target, command string) {
+	f.loop.DispatchAndWait(func() {
+		f.rules = append(f.rules, aclRule{caller, target, command})
+	})
+}
+
+// EnableLiveness makes the Finder ping registered components every period
+// and expire (with death notifications) those that miss two pings.
+func (f *Finder) EnableLiveness(period time.Duration) {
+	f.loop.Dispatch(func() {
+		if f.pingTimer != nil {
+			f.pingTimer.Cancel()
+		}
+		f.pingTimer = f.loop.Periodic(period, func() { f.pingAll(period) })
+	})
+}
+
+func newKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("finder: cannot read randomness: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (f *Finder) handleRegisterTarget(args xrl.Args) (xrl.Args, error) {
+	instance, err := args.TextArg("instance")
+	if err != nil {
+		return nil, err
+	}
+	class, err := args.TextArg("class")
+	if err != nil {
+		return nil, err
+	}
+	sole, err := args.BoolArg("sole")
+	if err != nil {
+		return nil, err
+	}
+	epAtoms, err := args.ListArg("endpoints")
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := f.instances[instance]; dup {
+		return nil, xrl.Errorf(xrl.CodeCommandFailed, "instance %q already registered", instance)
+	}
+	if sole {
+		if n := len(f.classes[class]); n > 0 {
+			return nil, xrl.Errorf(xrl.CodeCommandFailed,
+				"class %q already has %d instance(s), sole registration refused", class, n)
+		}
+	}
+	info := &instanceInfo{
+		name:     instance,
+		class:    class,
+		sole:     sole,
+		methods:  make(map[string]string),
+		lastSeen: f.loop.Now(),
+	}
+	for _, a := range epAtoms {
+		info.endpoints = append(info.endpoints, a.TextVal)
+	}
+	f.instances[instance] = info
+	f.classes[class] = append(f.classes[class], instance)
+	f.notifyLifetime("birth", class, instance)
+	return nil, nil
+}
+
+func (f *Finder) handleRegisterMethods(args xrl.Args) (xrl.Args, error) {
+	instance, err := args.TextArg("instance")
+	if err != nil {
+		return nil, err
+	}
+	cmds, err := args.ListArg("commands")
+	if err != nil {
+		return nil, err
+	}
+	info, ok := f.instances[instance]
+	if !ok {
+		return nil, xrl.Errorf(xrl.CodeCommandFailed, "unknown instance %q", instance)
+	}
+	keys := make([]xrl.Atom, 0, len(cmds))
+	for _, c := range cmds {
+		key, exists := info.methods[c.TextVal]
+		if !exists {
+			key = newKey()
+			info.methods[c.TextVal] = key
+		}
+		keys = append(keys, xrl.Text("", key))
+	}
+	return xrl.Args{xrl.List("keys", keys...)}, nil
+}
+
+func (f *Finder) handleUnregisterTarget(args xrl.Args) (xrl.Args, error) {
+	instance, err := args.TextArg("instance")
+	if err != nil {
+		return nil, err
+	}
+	f.removeInstance(instance)
+	return nil, nil
+}
+
+func (f *Finder) removeInstance(instance string) {
+	info, ok := f.instances[instance]
+	if !ok {
+		return
+	}
+	delete(f.instances, instance)
+	list := f.classes[info.class]
+	for i, n := range list {
+		if n == instance {
+			f.classes[info.class] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(f.classes[info.class]) == 0 {
+		delete(f.classes, info.class)
+	}
+	f.broadcastInvalidate(instance)
+	f.notifyLifetime("death", info.class, instance)
+}
+
+func (f *Finder) allowed(caller, target, command string) bool {
+	if !f.strict {
+		return true
+	}
+	for _, r := range f.rules {
+		if (r.caller == "*" || r.caller == caller) &&
+			(r.target == "*" || r.target == target) &&
+			(r.command == "*" || r.command == command) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Finder) handleResolve(args xrl.Args) (xrl.Args, error) {
+	caller, err := args.TextArg("caller")
+	if err != nil {
+		return nil, err
+	}
+	target, err := args.TextArg("target")
+	if err != nil {
+		return nil, err
+	}
+	command, err := args.TextArg("command")
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve by instance name first, then by class.
+	info, ok := f.instances[target]
+	if !ok {
+		if list := f.classes[target]; len(list) > 0 {
+			info = f.instances[list[0]]
+			ok = info != nil
+		}
+	}
+	if !ok {
+		return nil, xrl.Errorf(xrl.CodeResolveFailed, "no target %q", target)
+	}
+	// The finder_client interface is implemented by every router
+	// internally (cache invalidation, lifetime events, ping) and is never
+	// explicitly registered; it resolves with an empty key.
+	key := ""
+	if !strings.HasPrefix(command, "finder_client/1.0/") {
+		key, ok = info.methods[command]
+		if !ok {
+			return nil, xrl.Errorf(xrl.CodeResolveFailed, "%s has no method %q", info.name, command)
+		}
+	}
+	// ACL is checked against both the generic name used and the concrete
+	// instance, so rules can be written either way.
+	if !f.allowed(caller, target, command) && !f.allowed(caller, info.name, command) &&
+		!f.allowed(caller, info.class, command) {
+		return nil, xrl.Errorf(xrl.CodeResolveFailed,
+			"%q is not permitted to call %s on %s", caller, command, info.name)
+	}
+	eps := make([]xrl.Atom, len(info.endpoints))
+	for i, ep := range info.endpoints {
+		eps[i] = xrl.Text("", ep)
+	}
+	return xrl.Args{
+		xrl.Text("instance", info.name),
+		xrl.Text("key", key),
+		xrl.List("endpoints", eps...),
+	}, nil
+}
+
+func (f *Finder) handleWatch(args xrl.Args) (xrl.Args, error) {
+	watcher, err := args.TextArg("watcher")
+	if err != nil {
+		return nil, err
+	}
+	class, err := args.TextArg("class")
+	if err != nil {
+		return nil, err
+	}
+	m := f.watchers[class]
+	if m == nil {
+		m = make(map[string]bool)
+		f.watchers[class] = m
+	}
+	m[watcher] = true
+	return nil, nil
+}
+
+func (f *Finder) handleTargets(xrl.Args) (xrl.Args, error) {
+	items := make([]xrl.Atom, 0, len(f.instances))
+	for _, info := range f.instances {
+		items = append(items, xrl.Text("", info.name+":"+info.class))
+	}
+	return xrl.Args{xrl.List("targets", items...)}, nil
+}
+
+func (f *Finder) handleAddPermission(args xrl.Args) (xrl.Args, error) {
+	caller, e1 := args.TextArg("caller")
+	target, e2 := args.TextArg("target")
+	command, e3 := args.TextArg("command")
+	if e1 != nil || e2 != nil || e3 != nil {
+		return nil, &xrl.Error{Code: xrl.CodeBadArgs, Note: "need caller, target, command"}
+	}
+	f.rules = append(f.rules, aclRule{caller, target, command})
+	return nil, nil
+}
+
+func (f *Finder) handleSetStrict(args xrl.Args) (xrl.Args, error) {
+	strict, err := args.BoolArg("strict")
+	if err != nil {
+		return nil, err
+	}
+	f.strict = strict
+	return nil, nil
+}
+
+// notifyLifetime pushes a birth/death event to watchers of the class and
+// of "*".
+func (f *Finder) notifyLifetime(event, class, instance string) {
+	seen := map[string]bool{}
+	for _, classKey := range []string{class, "*"} {
+		for watcher := range f.watchers[classKey] {
+			if seen[watcher] || watcher == instance {
+				continue
+			}
+			seen[watcher] = true
+			f.router.Send(xrl.New(watcher, "finder_client", "1.0", event,
+				xrl.Text("class", class),
+				xrl.Text("instance", instance)), nil)
+		}
+	}
+}
+
+// broadcastInvalidate tells every registered component to drop cached
+// resolutions of instance ("the Finder updates caches when entries become
+// invalidated", §6.1).
+func (f *Finder) broadcastInvalidate(instance string) {
+	for name := range f.instances {
+		f.router.Send(xrl.New(name, "finder_client", "1.0", "invalidate",
+			xrl.Text("instance", instance)), nil)
+	}
+}
+
+// pingAll checks component liveness and expires the silent.
+func (f *Finder) pingAll(period time.Duration) {
+	now := f.loop.Now()
+	for name, info := range f.instances {
+		if now.Sub(info.lastSeen) > 2*period {
+			f.removeInstance(name)
+			continue
+		}
+		name := name
+		info := info
+		f.router.Send(xrl.New(name, "finder_client", "1.0", "ping"),
+			func(_ xrl.Args, err *xrl.Error) {
+				if err == nil {
+					info.lastSeen = f.loop.Now()
+				}
+			})
+	}
+}

@@ -1,0 +1,119 @@
+package kernel
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Network is a simulated datagram fabric connecting hosts by address —
+// the substitute for the paper's lab LAN. Routing protocol packets (RIP)
+// travel over it via the FEA's UDP relay. Delivery is in-order per
+// (src, dst) pair; optional loss injection supports failure testing.
+type Network struct {
+	mu    sync.Mutex
+	hosts map[netip.Addr]*Host
+	// dropFn, if set, decides whether to drop a datagram (failure
+	// injection).
+	dropFn func(src, dst netip.AddrPort) bool
+}
+
+// Host is one attachment point on the simulated network.
+type Host struct {
+	net  *Network
+	addr netip.Addr
+
+	mu       sync.Mutex
+	handlers map[uint16]func(src netip.AddrPort, payload []byte)
+}
+
+// NewNetwork returns an empty fabric.
+func NewNetwork() *Network {
+	return &Network{hosts: make(map[netip.Addr]*Host)}
+}
+
+// SetDropFunc installs a loss-injection predicate (nil = lossless).
+func (n *Network) SetDropFunc(fn func(src, dst netip.AddrPort) bool) {
+	n.mu.Lock()
+	n.dropFn = fn
+	n.mu.Unlock()
+}
+
+// Attach creates a host with the given address.
+func (n *Network) Attach(addr netip.Addr) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[addr]; dup {
+		return nil, fmt.Errorf("kernel: address %v already attached", addr)
+	}
+	h := &Host{net: n, addr: addr, handlers: make(map[uint16]func(netip.AddrPort, []byte))}
+	n.hosts[addr] = h
+	return h, nil
+}
+
+// Detach removes a host.
+func (n *Network) Detach(addr netip.Addr) {
+	n.mu.Lock()
+	delete(n.hosts, addr)
+	n.mu.Unlock()
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// Bind installs a datagram handler for a port. The handler is invoked on
+// the sender's goroutine; receivers dispatch onto their own loops.
+func (h *Host) Bind(port uint16, handler func(src netip.AddrPort, payload []byte)) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.handlers[port]; dup {
+		return fmt.Errorf("kernel: port %d already bound on %v", port, h.addr)
+	}
+	h.handlers[port] = handler
+	return nil
+}
+
+// Unbind removes a port handler.
+func (h *Host) Unbind(port uint16) {
+	h.mu.Lock()
+	delete(h.handlers, port)
+	h.mu.Unlock()
+}
+
+// SendTo delivers a datagram from this host's srcPort to dst. Unknown
+// destinations and unbound ports silently drop, like real UDP.
+func (h *Host) SendTo(srcPort uint16, dst netip.AddrPort, payload []byte) {
+	src := netip.AddrPortFrom(h.addr, srcPort)
+	h.net.mu.Lock()
+	drop := h.net.dropFn != nil && h.net.dropFn(src, dst)
+	target := h.net.hosts[dst.Addr()]
+	h.net.mu.Unlock()
+	if drop || target == nil {
+		return
+	}
+	target.mu.Lock()
+	handler := target.handlers[dst.Port()]
+	target.mu.Unlock()
+	if handler == nil {
+		return
+	}
+	// Copy: the receiver must not alias the sender's buffer.
+	buf := append([]byte(nil), payload...)
+	handler(src, buf)
+}
+
+// Broadcast delivers to every attached host except the sender (simulated
+// subnet broadcast/multicast, used by RIP's 224.0.0.9 updates).
+func (h *Host) Broadcast(srcPort, dstPort uint16, payload []byte) {
+	h.net.mu.Lock()
+	targets := make([]*Host, 0, len(h.net.hosts))
+	for addr, t := range h.net.hosts {
+		if addr != h.addr {
+			targets = append(targets, t)
+		}
+	}
+	h.net.mu.Unlock()
+	for _, t := range targets {
+		h.SendTo(srcPort, netip.AddrPortFrom(t.addr, dstPort), payload)
+	}
+}

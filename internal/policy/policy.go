@@ -1,0 +1,363 @@
+// Package policy implements XORP's routing policy framework (paper §8.3:
+// "Our policy framework consists of three new BGP stages and two new RIB
+// stages, each of which supports a common simple stack language for
+// operating on routes").
+//
+// A policy is a sequence of terms; each term has a match program and an
+// action program, both compiled to a small stack VM. The VM operates on
+// an abstract Route (attribute get/set), so the same compiled policy runs
+// in BGP filter-bank stages and RIB redist stages.
+//
+// Source syntax (line-oriented):
+//
+//	term reject-private {
+//	    from net <= 10.0.0.0/8
+//	    from protocol == static
+//	    then reject
+//	}
+//	term set-med {
+//	    from as-path-len > 3
+//	    then set med 100
+//	    then set tag add 42
+//	    then accept
+//	}
+//
+// All "from" lines of a term AND together; the first term whose match
+// succeeds runs its actions and (on accept/reject) ends evaluation. A
+// route matched by no term is accepted unchanged.
+package policy
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Route is the abstract route a policy operates on. Attribute names are
+// policy-level ("med", "as-path-len", "net", "protocol", "tag", ...);
+// adapters map them to concrete route representations.
+type Route interface {
+	// Get returns a named attribute.
+	Get(attr string) (Value, bool)
+	// Set updates a named attribute (only on mutable adapters).
+	Set(attr string, v Value) error
+}
+
+// Value is a policy value: one of uint64, string, or netip.Prefix.
+type Value struct {
+	Kind KindType
+	Num  uint64
+	Str  string
+	Net  netip.Prefix
+}
+
+// KindType discriminates Value.
+type KindType uint8
+
+// Value kinds.
+const (
+	KindNum KindType = iota + 1
+	KindStr
+	KindNet
+)
+
+// Num returns a numeric value.
+func Num(v uint64) Value { return Value{Kind: KindNum, Num: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindStr, Str: s} }
+
+// NetVal returns a prefix value.
+func NetVal(p netip.Prefix) Value { return Value{Kind: KindNet, Net: p} }
+
+// Action is a policy verdict.
+type Action uint8
+
+// Verdicts. ActionPass means "no term decided": the caller's default
+// (accept) applies.
+const (
+	ActionPass Action = iota
+	ActionAccept
+	ActionReject
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionPass:
+		return "pass"
+	case ActionAccept:
+		return "accept"
+	case ActionReject:
+		return "reject"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// op is one VM instruction.
+type op struct {
+	code    opcode
+	attr    string
+	val     Value
+	cmpKind string // for opCmp: "==", "!=", "<", "<=", ">", ">=", "<=net"
+}
+
+type opcode uint8
+
+const (
+	opLoad   opcode = iota + 1 // push attribute value
+	opPush                     // push literal
+	opCmp                      // pop b, a; push bool(a cmp b)
+	opSet                      // pop value; set attribute
+	opSetLit                   // set attribute to literal
+	opTagAdd                   // add literal to tag list
+	opAccept
+	opReject
+)
+
+// term is one compiled term.
+type term struct {
+	name    string
+	matches []op // each must evaluate true
+	actions []op
+}
+
+// Policy is a compiled policy program.
+type Policy struct {
+	Name  string
+	terms []term
+}
+
+// Compile parses policy source. name labels diagnostics.
+func Compile(name, src string) (*Policy, error) {
+	p := &Policy{Name: name}
+	lines := strings.Split(src, "\n")
+	var cur *term
+	for ln, raw := range lines {
+		line := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(raw), ";"))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "term":
+			if cur != nil {
+				return nil, fmt.Errorf("policy %s:%d: nested term", name, ln+1)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("policy %s:%d: term needs a name", name, ln+1)
+			}
+			cur = &term{name: strings.TrimSuffix(fields[1], "{")}
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("policy %s:%d: unmatched }", name, ln+1)
+			}
+			p.terms = append(p.terms, *cur)
+			cur = nil
+		case fields[0] == "from":
+			if cur == nil {
+				return nil, fmt.Errorf("policy %s:%d: from outside term", name, ln+1)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("policy %s:%d: want 'from <attr> <cmp> <value>'", name, ln+1)
+			}
+			val, err := parseValue(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("policy %s:%d: %v", name, ln+1, err)
+			}
+			cmp := fields[2]
+			switch cmp {
+			case "==", "!=", "<", "<=", ">", ">=":
+			default:
+				return nil, fmt.Errorf("policy %s:%d: unknown comparison %q", name, ln+1, cmp)
+			}
+			cur.matches = append(cur.matches,
+				op{code: opLoad, attr: fields[1]},
+				op{code: opPush, val: val},
+				op{code: opCmp, cmpKind: cmp})
+		case fields[0] == "then":
+			if cur == nil {
+				return nil, fmt.Errorf("policy %s:%d: then outside term", name, ln+1)
+			}
+			switch {
+			case len(fields) == 2 && fields[1] == "accept":
+				cur.actions = append(cur.actions, op{code: opAccept})
+			case len(fields) == 2 && fields[1] == "reject":
+				cur.actions = append(cur.actions, op{code: opReject})
+			case len(fields) == 4 && fields[1] == "set":
+				val, err := parseValue(fields[3])
+				if err != nil {
+					return nil, fmt.Errorf("policy %s:%d: %v", name, ln+1, err)
+				}
+				cur.actions = append(cur.actions, op{code: opSetLit, attr: fields[2], val: val})
+			case len(fields) == 5 && fields[1] == "set" && fields[3] == "add":
+				val, err := parseValue(fields[4])
+				if err != nil {
+					return nil, fmt.Errorf("policy %s:%d: %v", name, ln+1, err)
+				}
+				cur.actions = append(cur.actions, op{code: opTagAdd, attr: fields[2], val: val})
+			default:
+				return nil, fmt.Errorf("policy %s:%d: unknown action %q", name, ln+1, line)
+			}
+		default:
+			return nil, fmt.Errorf("policy %s:%d: unknown statement %q", name, ln+1, fields[0])
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("policy %s: unterminated term %q", name, cur.name)
+	}
+	return p, nil
+}
+
+func parseValue(s string) (Value, error) {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return Num(n), nil
+	}
+	if p, err := netip.ParsePrefix(s); err == nil {
+		return NetVal(p), nil
+	}
+	return Str(s), nil
+}
+
+// Execute runs the policy against r, applying actions of the first
+// matching term. The returned Action is ActionPass when no term matched.
+func (p *Policy) Execute(r Route) (Action, error) {
+	for _, t := range p.terms {
+		matched, err := t.match(r)
+		if err != nil {
+			return ActionPass, fmt.Errorf("policy %s term %s: %w", p.Name, t.name, err)
+		}
+		if !matched {
+			continue
+		}
+		act, err := t.run(r)
+		if err != nil {
+			return ActionPass, fmt.Errorf("policy %s term %s: %w", p.Name, t.name, err)
+		}
+		if act != ActionPass {
+			return act, nil
+		}
+		// Term matched and modified but did not decide: continue to the
+		// next term, like XORP policy chains.
+	}
+	return ActionPass, nil
+}
+
+func (t *term) match(r Route) (bool, error) {
+	var stack []Value
+	for _, o := range t.matches {
+		switch o.code {
+		case opLoad:
+			v, ok := r.Get(o.attr)
+			if !ok {
+				return false, nil // missing attribute: no match
+			}
+			stack = append(stack, v)
+		case opPush:
+			stack = append(stack, o.val)
+		case opCmp:
+			if len(stack) < 2 {
+				return false, fmt.Errorf("stack underflow")
+			}
+			b := stack[len(stack)-1]
+			a := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			ok, err := compare(a, b, o.cmpKind)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil // AND semantics: first false ends it
+			}
+		}
+	}
+	return true, nil
+}
+
+func (t *term) run(r Route) (Action, error) {
+	for _, o := range t.actions {
+		switch o.code {
+		case opAccept:
+			return ActionAccept, nil
+		case opReject:
+			return ActionReject, nil
+		case opSetLit:
+			if err := r.Set(o.attr, o.val); err != nil {
+				return ActionPass, err
+			}
+		case opTagAdd:
+			cur, _ := r.Get(o.attr)
+			// Tags are represented as a space-joined string list.
+			s := cur.Str
+			if s != "" {
+				s += " "
+			}
+			s += valueString(o.val)
+			if err := r.Set(o.attr, Str(s)); err != nil {
+				return ActionPass, err
+			}
+		}
+	}
+	return ActionPass, nil
+}
+
+func valueString(v Value) string {
+	switch v.Kind {
+	case KindNum:
+		return strconv.FormatUint(v.Num, 10)
+	case KindNet:
+		return v.Net.String()
+	}
+	return v.Str
+}
+
+// compare applies cmp between two values. Prefix comparisons use
+// containment: a <= b means "a is inside b" (the standard policy idiom
+// net <= 10.0.0.0/8), a < b strict containment, and the reverse for >.
+func compare(a, b Value, cmp string) (bool, error) {
+	if a.Kind == KindNet || b.Kind == KindNet {
+		if a.Kind != KindNet || b.Kind != KindNet {
+			return false, fmt.Errorf("prefix compared with non-prefix")
+		}
+		switch cmp {
+		case "==":
+			return a.Net == b.Net, nil
+		case "!=":
+			return a.Net != b.Net, nil
+		case "<=":
+			return b.Net.Bits() <= a.Net.Bits() && b.Net.Overlaps(a.Net), nil
+		case "<":
+			return b.Net.Bits() < a.Net.Bits() && b.Net.Overlaps(a.Net), nil
+		case ">=":
+			return a.Net.Bits() <= b.Net.Bits() && a.Net.Overlaps(b.Net), nil
+		case ">":
+			return a.Net.Bits() < b.Net.Bits() && a.Net.Overlaps(b.Net), nil
+		}
+	}
+	if a.Kind == KindStr || b.Kind == KindStr {
+		as, bs := valueString(a), valueString(b)
+		switch cmp {
+		case "==":
+			return as == bs, nil
+		case "!=":
+			return as != bs, nil
+		default:
+			return false, fmt.Errorf("ordering comparison on strings")
+		}
+	}
+	switch cmp {
+	case "==":
+		return a.Num == b.Num, nil
+	case "!=":
+		return a.Num != b.Num, nil
+	case "<":
+		return a.Num < b.Num, nil
+	case "<=":
+		return a.Num <= b.Num, nil
+	case ">":
+		return a.Num > b.Num, nil
+	case ">=":
+		return a.Num >= b.Num, nil
+	}
+	return false, fmt.Errorf("unknown comparison %q", cmp)
+}

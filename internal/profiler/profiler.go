@@ -1,0 +1,166 @@
+// Package profiler implements XORP's profiling mechanism (§8.2): named
+// profiling points may be inserted anywhere in the code; each is
+// associated with a profiling variable configured by an external program
+// (cmd/xorp_profiler) using XRLs. Enabling a point causes time-stamped
+// records such as
+//
+//	route ribin 1097173928 664085 add 10.0.1.0/24
+//
+// to be stored for later retrieval. Disabled points cost one map-free
+// boolean check on the hot path.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// Record is one time-stamped profiling record.
+type Record struct {
+	When  time.Time
+	Event string
+}
+
+// String renders the record in the paper's format: point name, seconds,
+// microseconds, event.
+func (r Record) String() string {
+	return fmt.Sprintf("%d %06d %s", r.When.Unix(), r.When.Nanosecond()/1000, r.Event)
+}
+
+// Point is one profiling point. Log is safe to call on the owning event
+// loop only, like all component state.
+type Point struct {
+	name    string
+	clock   eventloop.Clock
+	enabled bool
+	records []Record
+}
+
+// Name returns the point's name.
+func (p *Point) Name() string { return p.name }
+
+// Enabled reports whether records are being kept.
+func (p *Point) Enabled() bool { return p.enabled }
+
+// Log stores a record if the point is enabled.
+func (p *Point) Log(event string) {
+	if !p.enabled {
+		return
+	}
+	p.records = append(p.records, Record{When: p.clock.Now(), Event: event})
+}
+
+// Logf stores a formatted record if the point is enabled; arguments are
+// not evaluated when disabled.
+func (p *Point) Logf(format string, args ...any) {
+	if !p.enabled {
+		return
+	}
+	p.records = append(p.records, Record{When: p.clock.Now(), Event: fmt.Sprintf(format, args...)})
+}
+
+// Profiler owns a process's profiling points.
+type Profiler struct {
+	clock  eventloop.Clock
+	points map[string]*Point
+}
+
+// New returns a Profiler stamping records with clock (nil = wall clock).
+func New(clock eventloop.Clock) *Profiler {
+	if clock == nil {
+		clock = eventloop.RealClock{}
+	}
+	return &Profiler{clock: clock, points: make(map[string]*Point)}
+}
+
+// Point returns (creating on first use) the named point.
+func (pr *Profiler) Point(name string) *Point {
+	if p, ok := pr.points[name]; ok {
+		return p
+	}
+	p := &Point{name: name, clock: pr.clock}
+	pr.points[name] = p
+	return p
+}
+
+// Enable turns a point on.
+func (pr *Profiler) Enable(name string) { pr.Point(name).enabled = true }
+
+// Disable turns a point off (records are kept).
+func (pr *Profiler) Disable(name string) { pr.Point(name).enabled = false }
+
+// EnableAll enables every existing point.
+func (pr *Profiler) EnableAll() {
+	for _, p := range pr.points {
+		p.enabled = true
+	}
+}
+
+// Clear drops a point's records.
+func (pr *Profiler) Clear(name string) { pr.Point(name).records = nil }
+
+// Entries returns a copy of a point's records.
+func (pr *Profiler) Entries(name string) []Record {
+	return append([]Record(nil), pr.Point(name).records...)
+}
+
+// List returns all point names, sorted.
+func (pr *Profiler) List() []string {
+	names := make([]string, 0, len(pr.points))
+	for n := range pr.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterXRLs exposes the profiler on target t under the "profile/0.1"
+// interface, mirroring xorp_profiler's control protocol. All handlers run
+// on the owning loop.
+func (pr *Profiler) RegisterXRLs(t *xipc.Target) {
+	t.Register("profile", "0.1", "enable", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("pname")
+		if err != nil {
+			return nil, err
+		}
+		pr.Enable(name)
+		return nil, nil
+	})
+	t.Register("profile", "0.1", "disable", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("pname")
+		if err != nil {
+			return nil, err
+		}
+		pr.Disable(name)
+		return nil, nil
+	})
+	t.Register("profile", "0.1", "clear", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("pname")
+		if err != nil {
+			return nil, err
+		}
+		pr.Clear(name)
+		return nil, nil
+	})
+	t.Register("profile", "0.1", "list", func(xrl.Args) (xrl.Args, error) {
+		return xrl.Args{xrl.Text("points", strings.Join(pr.List(), " "))}, nil
+	})
+	t.Register("profile", "0.1", "get_entries", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("pname")
+		if err != nil {
+			return nil, err
+		}
+		recs := pr.Entries(name)
+		items := make([]xrl.Atom, len(recs))
+		for i, r := range recs {
+			items[i] = xrl.Text("", name+" "+r.String())
+		}
+		return xrl.Args{xrl.List("entries", items...)}, nil
+	})
+}

@@ -1,0 +1,188 @@
+package rib
+
+import (
+	"net/netip"
+
+	"xorp/internal/route"
+	"xorp/internal/trie"
+)
+
+// ExtIntStage composes a set of external routes (BGP, whose nexthops are
+// remote routers) with a set of internal routes (connected/static/IGP,
+// whose nexthops are on-link), per Figure 7. External routes are
+// recursively resolved against the internal side: an IBGP route "via
+// 10.0.9.9" only becomes usable once an internal route tells us which
+// interface and gateway reach 10.0.9.9. When internal routing changes,
+// dependent external routes are re-resolved and re-announced — the
+// event-driven dependency tracking that route scanners approximate with
+// periodic rescans (§4).
+type ExtIntStage struct {
+	base
+	ext, int Stage
+
+	// resolved tracks external routes: original, the resolved form
+	// announced downstream (ok=false when unresolvable), and which
+	// internal prefix resolved it.
+	resolvedExt map[netip.Prefix]*extState
+	// announced is the stage's downstream view (both sides merged).
+	announced *trie.Trie[route.Entry]
+}
+
+type extState struct {
+	orig     route.Entry
+	resolved route.Entry
+	ok       bool
+	via      netip.Prefix
+}
+
+// NewExtIntStage composes parents ext and int.
+func NewExtIntStage(name string, ext, int_ Stage) *ExtIntStage {
+	e := &ExtIntStage{
+		base:        base{name: name},
+		ext:         ext,
+		int:         int_,
+		resolvedExt: make(map[netip.Prefix]*extState),
+		announced:   trie.New[route.Entry](),
+	}
+	ext.setDownstream(&extInput{e: e})
+	int_.setDownstream(&intInput{e: e})
+	return e
+}
+
+// extInput receives the external stream.
+type extInput struct {
+	base
+	e *ExtIntStage
+}
+
+func (x *extInput) Add(e route.Entry)                         { x.e.extChanged(e.Net, &e) }
+func (x *extInput) Replace(_, n route.Entry)                  { x.e.extChanged(n.Net, &n) }
+func (x *extInput) Delete(e route.Entry)                      { x.e.extChanged(e.Net, nil) }
+func (x *extInput) Lookup(netip.Prefix) (route.Entry, bool)   { panic("rib: extInput lookup") }
+func (x *extInput) LookupBest(netip.Addr) (route.Entry, bool) { panic("rib: extInput lookup") }
+
+// intInput receives the internal stream.
+type intInput struct {
+	base
+	e *ExtIntStage
+}
+
+func (x *intInput) Add(e route.Entry)                         { x.e.intChanged(e.Net) }
+func (x *intInput) Replace(_, n route.Entry)                  { x.e.intChanged(n.Net) }
+func (x *intInput) Delete(e route.Entry)                      { x.e.intChanged(e.Net) }
+func (x *intInput) Lookup(netip.Prefix) (route.Entry, bool)   { panic("rib: intInput lookup") }
+func (x *intInput) LookupBest(netip.Addr) (route.Entry, bool) { panic("rib: intInput lookup") }
+
+// resolve recursively resolves an external entry against the internal
+// side. One level of recursion suffices because internal routes are
+// directly usable by construction.
+func (s *ExtIntStage) resolve(orig route.Entry) (route.Entry, netip.Prefix, bool) {
+	if orig.IfName != "" || !orig.NextHop.IsValid() {
+		// Already concrete (or a discard route): usable as-is.
+		return orig, netip.Prefix{}, true
+	}
+	via, ok := s.int.LookupBest(orig.NextHop)
+	if !ok {
+		return orig, netip.Prefix{}, false
+	}
+	out := orig
+	out.IfName = via.IfName
+	if via.NextHop.IsValid() {
+		// Nexthop is reached through a gateway: forward there.
+		out.NextHop = via.NextHop
+	}
+	return out, via.Net, true
+}
+
+// extChanged processes an external-side change (nil = withdrawn).
+func (s *ExtIntStage) extChanged(net netip.Prefix, e *route.Entry) {
+	if e == nil {
+		delete(s.resolvedExt, net)
+	} else {
+		st := &extState{orig: *e}
+		st.resolved, st.via, st.ok = s.resolve(*e)
+		s.resolvedExt[net] = st
+	}
+	s.reconcile(net)
+}
+
+// intChanged re-resolves external routes affected by an internal change
+// and reconciles the changed prefix itself.
+func (s *ExtIntStage) intChanged(net netip.Prefix) {
+	s.reconcile(net)
+	for extNet, st := range s.resolvedExt {
+		affected := (st.ok && st.via.IsValid() && st.via.Overlaps(net)) ||
+			(!st.ok && net.Contains(st.orig.NextHop)) ||
+			(st.ok && net.Contains(st.orig.NextHop) && net.Bits() >= st.via.Bits())
+		if !affected {
+			continue
+		}
+		st.resolved, st.via, st.ok = s.resolve(st.orig)
+		s.reconcile(extNet)
+	}
+}
+
+// desired computes what downstream should see for net.
+func (s *ExtIntStage) desired(net netip.Prefix) (route.Entry, bool) {
+	intE, intOK := s.int.Lookup(net)
+	var extE route.Entry
+	extOK := false
+	if st, ok := s.resolvedExt[net]; ok && st.ok {
+		extE, extOK = st.resolved, true
+	}
+	switch {
+	case intOK && extOK:
+		return betterEntry(extE, intE), true
+	case intOK:
+		return intE, true
+	case extOK:
+		return extE, true
+	}
+	return route.Entry{}, false
+}
+
+// reconcile diffs desired vs announced for net and emits the change.
+func (s *ExtIntStage) reconcile(net netip.Prefix) {
+	want, wantOK := s.desired(net)
+	have, haveOK := s.announced.Get(net)
+	switch {
+	case wantOK && !haveOK:
+		s.announced.Insert(net, want)
+		if s.next != nil {
+			s.next.Add(want)
+		}
+	case !wantOK && haveOK:
+		s.announced.Delete(net)
+		if s.next != nil {
+			s.next.Delete(have)
+		}
+	case wantOK && haveOK && !want.Equal(have):
+		s.announced.Insert(net, want)
+		if s.next != nil {
+			s.next.Replace(have, want)
+		}
+	}
+}
+
+// Add panics: use the parents.
+func (s *ExtIntStage) Add(route.Entry) { panic("rib: ExtIntStage has adapter inputs") }
+
+// Replace panics: use the parents.
+func (s *ExtIntStage) Replace(_, _ route.Entry) { panic("rib: ExtIntStage has adapter inputs") }
+
+// Delete panics: use the parents.
+func (s *ExtIntStage) Delete(route.Entry) { panic("rib: ExtIntStage has adapter inputs") }
+
+// Lookup implements Stage from the announced table.
+func (s *ExtIntStage) Lookup(net netip.Prefix) (route.Entry, bool) {
+	return s.announced.Get(net)
+}
+
+// LookupBest implements Stage from the announced table.
+func (s *ExtIntStage) LookupBest(addr netip.Addr) (route.Entry, bool) {
+	_, e, ok := s.announced.LongestMatch(addr)
+	return e, ok
+}
+
+// AnnouncedLen reports the downstream view's size.
+func (s *ExtIntStage) AnnouncedLen() int { return s.announced.Len() }

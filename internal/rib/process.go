@@ -1,0 +1,323 @@
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/profiler"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// FIBClient receives the RIB's final forwarding decisions (the "Routes to
+// Forwarding Engine" arrow of Figure 7). The production implementation
+// sends fti XRLs to the FEA.
+type FIBClient interface {
+	FIBAdd(e route.Entry)
+	FIBReplace(old, new route.Entry)
+	FIBDelete(e route.Entry)
+}
+
+// Process is the XORP RIB process: the stage network of Figure 7 plus the
+// rib/1.0 XRL interface.
+type Process struct {
+	loop *eventloop.Loop
+
+	origins  map[route.Protocol]*OriginTable
+	extint   *ExtIntStage
+	register *RegisterStage
+	redists  map[string]*RedistStage
+	chain    []Stage // extint ... redists ... register, fibSink
+	fib      FIBClient
+
+	router *xipc.Router // for invalidation pushes; may be nil
+
+	prof       *profiler.Profiler
+	profArrive *profiler.Point
+	profQueue  *profiler.Point
+	profSent   *profiler.Point
+}
+
+// NewProcess assembles the RIB's stage network. fib may be nil (routes
+// terminate at the register stage); router enables XRL pushes.
+func NewProcess(loop *eventloop.Loop, fib FIBClient, router *xipc.Router) *Process {
+	p := &Process{
+		loop:    loop,
+		origins: make(map[route.Protocol]*OriginTable),
+		redists: make(map[string]*RedistStage),
+		fib:     fib,
+		router:  router,
+		prof:    profiler.New(loop.Clock()),
+	}
+	p.profArrive = p.prof.Point("route_arrive_rib")
+	p.profQueue = p.prof.Point("route_queued_fea")
+	p.profSent = p.prof.Point("route_sent_fea")
+
+	for _, proto := range []route.Protocol{
+		route.ProtoConnected, route.ProtoStatic, route.ProtoRIP,
+		route.ProtoOSPF, route.ProtoEBGP, route.ProtoIBGP,
+	} {
+		p.origins[proto] = NewOriginTable(loop, proto)
+	}
+
+	// Internal side: connected + static, then the IGPs (Figure 7's
+	// pairwise merge stages).
+	m1 := NewMergeStage("merge(connected,static)",
+		p.origins[route.ProtoConnected], p.origins[route.ProtoStatic])
+	m2 := NewMergeStage("merge(igp,rip)", m1, p.origins[route.ProtoRIP])
+	m3 := NewMergeStage("merge(igp,ospf)", m2, p.origins[route.ProtoOSPF])
+
+	// External side: EBGP + IBGP.
+	mb := NewMergeStage("merge(ebgp,ibgp)",
+		p.origins[route.ProtoEBGP], p.origins[route.ProtoIBGP])
+
+	p.extint = NewExtIntStage("extint", mb, m3)
+	p.register = NewRegisterStage("register", p.notifyInvalid)
+	fibSink := &fibSinkStage{base: base{name: "fib"}, proc: p}
+	p.chain = []Stage{p.extint, p.register, fibSink}
+	Plumb(p.chain...)
+	return p
+}
+
+// Loop returns the process event loop.
+func (p *Process) Loop() *eventloop.Loop { return p.loop }
+
+// Profiler returns the process profiler.
+func (p *Process) Profiler() *profiler.Profiler { return p.prof }
+
+// Origin returns the origin table for proto.
+func (p *Process) Origin(proto route.Protocol) *OriginTable { return p.origins[proto] }
+
+// Register returns the register stage (for in-process clients like BGP's
+// nexthop lookup).
+func (p *Process) Register() *RegisterStage { return p.register }
+
+// LookupBest returns the RIB's final longest-prefix match.
+func (p *Process) LookupBest(addr netip.Addr) (route.Entry, bool) {
+	return p.register.LookupBest(addr)
+}
+
+// Len returns the number of final routes.
+func (p *Process) Len() int { return p.extint.AnnouncedLen() }
+
+// AddRoute feeds a protocol route into its origin table (the add_route4
+// XRL path; also used directly by in-process protocol clients).
+func (p *Process) AddRoute(proto route.Protocol, e route.Entry) error {
+	o, ok := p.origins[proto]
+	if !ok {
+		return fmt.Errorf("rib: no origin table for %v", proto)
+	}
+	p.profArrive.Logf("add %v", e.Net)
+	o.AddRoute(e)
+	return nil
+}
+
+// DeleteRoute removes a protocol route.
+func (p *Process) DeleteRoute(proto route.Protocol, net netip.Prefix) error {
+	o, ok := p.origins[proto]
+	if !ok {
+		return fmt.Errorf("rib: no origin table for %v", proto)
+	}
+	p.profArrive.Logf("delete %v", net)
+	if !o.DeleteRoute(net) {
+		return fmt.Errorf("rib: %v has no route %v", proto, net)
+	}
+	return nil
+}
+
+// AddRedist splices a redistribution stage (a dynamic stage, §5.2) into
+// the chain ahead of the register stage and primes the subscriber with
+// the current table.
+func (p *Process) AddRedist(name string, filter RedistFilter, out Redistributor) (*RedistStage, error) {
+	if _, dup := p.redists[name]; dup {
+		return nil, fmt.Errorf("rib: redist %q already exists", name)
+	}
+	rd := NewRedistStage("redist("+name+")", filter, out)
+	p.redists[name] = rd
+	// Insert before the register stage (chain = extint ... register fib).
+	idx := len(p.chain) - 2
+	p.chain = append(p.chain[:idx], append([]Stage{rd}, p.chain[idx:]...)...)
+	Plumb(p.chain...)
+	// Prime: replay the current final table into the subscriber only.
+	p.register.shadow.Walk(func(_ netip.Prefix, e route.Entry) bool {
+		rd.apply(e)
+		return true
+	})
+	return rd, nil
+}
+
+// RemoveRedist removes a redistribution stage, withdrawing the mirrored
+// routes from the subscriber.
+func (p *Process) RemoveRedist(name string) error {
+	rd, ok := p.redists[name]
+	if !ok {
+		return fmt.Errorf("rib: no redist %q", name)
+	}
+	delete(p.redists, name)
+	for i, s := range p.chain {
+		if s == rd {
+			p.chain = append(p.chain[:i], p.chain[i+1:]...)
+			break
+		}
+	}
+	Plumb(p.chain...)
+	for _, e := range rd.mirrored {
+		rd.out.RedistDelete(e)
+	}
+	return nil
+}
+
+// notifyInvalid pushes a cache-invalidation to a registered client.
+func (p *Process) notifyInvalid(client string, covering netip.Prefix) {
+	if p.router == nil {
+		return
+	}
+	p.router.Send(xrl.New(client, "rib_client", "0.1", "route_info_invalid",
+		xrl.Net("network", covering)), nil)
+}
+
+// fibSinkStage hands final routes to the FIB client with the §8.2
+// profile points.
+type fibSinkStage struct {
+	base
+	proc *Process
+}
+
+func (s *fibSinkStage) Add(e route.Entry) {
+	p := s.proc
+	p.profQueue.Logf("add %v", e.Net)
+	if p.fib != nil {
+		p.profSent.Logf("add %v", e.Net)
+		p.fib.FIBAdd(e)
+	}
+}
+
+func (s *fibSinkStage) Replace(old, new route.Entry) {
+	p := s.proc
+	p.profQueue.Logf("replace %v", new.Net)
+	if p.fib != nil {
+		p.profSent.Logf("replace %v", new.Net)
+		p.fib.FIBReplace(old, new)
+	}
+}
+
+func (s *fibSinkStage) Delete(e route.Entry) {
+	p := s.proc
+	p.profQueue.Logf("delete %v", e.Net)
+	if p.fib != nil {
+		p.profSent.Logf("delete %v", e.Net)
+		p.fib.FIBDelete(e)
+	}
+}
+
+func (s *fibSinkStage) Lookup(netip.Prefix) (route.Entry, bool)   { return route.Entry{}, false }
+func (s *fibSinkStage) LookupBest(netip.Addr) (route.Entry, bool) { return route.Entry{}, false }
+
+// RegisterXRLs exposes the rib/1.0 interface on target t.
+func (p *Process) RegisterXRLs(t *xipc.Target) {
+	parseProto := func(args xrl.Args) (route.Protocol, error) {
+		s, err := args.TextArg("protocol")
+		if err != nil {
+			return route.ProtoUnknown, err
+		}
+		proto, perr := route.ParseProtocol(s)
+		if perr != nil {
+			return route.ProtoUnknown, xrl.Errorf(xrl.CodeBadArgs, "%v", perr)
+		}
+		return proto, nil
+	}
+	addRoute := func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProto(args)
+		if err != nil {
+			return nil, err
+		}
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		e := route.Entry{Net: net}
+		if nh, err := args.AddrArg("nexthop"); err == nil {
+			e.NextHop = nh
+		}
+		if m, err := args.U32Arg("metric"); err == nil {
+			e.Metric = m
+		}
+		if ifn, err := args.TextArg("ifname"); err == nil {
+			e.IfName = ifn
+		}
+		return nil, p.AddRoute(proto, e)
+	}
+	t.Register("rib", "1.0", "add_route4", addRoute)
+	t.Register("rib", "1.0", "replace_route4", addRoute)
+	t.Register("rib", "1.0", "delete_route4", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProto(args)
+		if err != nil {
+			return nil, err
+		}
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.DeleteRoute(proto, net)
+	})
+	t.Register("rib", "1.0", "register_interest4", func(args xrl.Args) (xrl.Args, error) {
+		client, err := args.TextArg("target")
+		if err != nil {
+			return nil, err
+		}
+		addr, err := args.AddrArg("addr")
+		if err != nil {
+			return nil, err
+		}
+		ans := p.register.RegisterInterest(client, addr)
+		out := xrl.Args{
+			xrl.Bool("resolves", ans.Resolves),
+			xrl.Net("covering", ans.Covering),
+		}
+		if ans.Resolves {
+			out = append(out,
+				xrl.U32("metric", ans.Route.Metric),
+				xrl.Text("ifname", ans.Route.IfName))
+			if ans.Route.NextHop.IsValid() {
+				out = append(out, xrl.Addr("nexthop", ans.Route.NextHop))
+			}
+		}
+		return out, nil
+	})
+	t.Register("rib", "1.0", "deregister_interest4", func(args xrl.Args) (xrl.Args, error) {
+		client, err := args.TextArg("target")
+		if err != nil {
+			return nil, err
+		}
+		covering, err := args.NetArg("covering")
+		if err != nil {
+			return nil, err
+		}
+		p.register.DeregisterInterest(client, covering)
+		return nil, nil
+	})
+	t.Register("rib", "1.0", "lookup_route_by_dest4", func(args xrl.Args) (xrl.Args, error) {
+		addr, err := args.AddrArg("addr")
+		if err != nil {
+			return nil, err
+		}
+		e, ok := p.LookupBest(addr)
+		if !ok {
+			return xrl.Args{xrl.Bool("found", false)}, nil
+		}
+		out := xrl.Args{
+			xrl.Bool("found", true),
+			xrl.Net("network", e.Net),
+			xrl.U32("metric", e.Metric),
+			xrl.Text("protocol", e.Protocol.String()),
+			xrl.Text("ifname", e.IfName),
+		}
+		if e.NextHop.IsValid() {
+			out = append(out, xrl.Addr("nexthop", e.NextHop))
+		}
+		return out, nil
+	})
+	p.prof.RegisterXRLs(t)
+}

@@ -1,0 +1,263 @@
+package rib
+
+import (
+	"net/netip"
+
+	"xorp/internal/route"
+	"xorp/internal/trie"
+)
+
+// RegistrationAnswer is what a client learns when registering interest in
+// an address (§5.2.1): whether a route covers it, that route's data, and
+// the covering subnet the answer is valid for — the largest enclosing
+// subnet not overlaid by a more specific route (Figure 8). Because no
+// covering subnet ever overlaps another in the client's cache, clients
+// can use balanced trees for fast lookup.
+type RegistrationAnswer struct {
+	Resolves bool
+	Covering netip.Prefix
+	Route    route.Entry // valid when Resolves
+}
+
+// registration is one client's interest in one covering subnet.
+type registration struct {
+	client   string
+	covering netip.Prefix
+}
+
+// RegisterStage implements interest registration. It is a pass-through
+// stage that shadows the final route table; on any route change
+// overlapping a registration's covering subnet, the client is sent a
+// "cache invalidated" message and the registration dropped (the client
+// re-queries).
+type RegisterStage struct {
+	base
+	shadow *trie.Trie[route.Entry]
+	regs   []registration
+	// notify delivers an invalidation to a client (XRL in production).
+	notify func(client string, covering netip.Prefix)
+}
+
+// NewRegisterStage returns a register stage; notify delivers cache
+// invalidations.
+func NewRegisterStage(name string, notify func(client string, covering netip.Prefix)) *RegisterStage {
+	if notify == nil {
+		notify = func(string, netip.Prefix) {}
+	}
+	return &RegisterStage{
+		base:   base{name: name},
+		shadow: trie.New[route.Entry](),
+		notify: notify,
+	}
+}
+
+// RegisterInterest answers a client's query about addr and records the
+// registration.
+func (rs *RegisterStage) RegisterInterest(client string, addr netip.Addr) RegistrationAnswer {
+	ans := rs.answer(addr)
+	rs.regs = append(rs.regs, registration{client: client, covering: ans.Covering})
+	return ans
+}
+
+// DeregisterInterest removes a client's registration for covering.
+func (rs *RegisterStage) DeregisterInterest(client string, covering netip.Prefix) {
+	for i, r := range rs.regs {
+		if r.client == client && r.covering == covering {
+			rs.regs = append(rs.regs[:i], rs.regs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Registrations reports the live registration count (tests).
+func (rs *RegisterStage) Registrations() int { return len(rs.regs) }
+
+// answer computes the Figure 8 answer for addr.
+func (rs *RegisterStage) answer(addr netip.Addr) RegistrationAnswer {
+	maxBits := addr.BitLen()
+	matchNet, e, found := rs.shadow.LongestMatch(addr)
+
+	// Start from the matching route's subnet (or the whole space when
+	// nothing matches) and narrow toward addr until no more-specific
+	// route overlays the candidate.
+	var s netip.Prefix
+	if found {
+		s = matchNet
+	} else {
+		s, _ = addr.Prefix(0)
+	}
+	for s.Bits() < maxBits && rs.shadow.HasEntryInside(s) {
+		narrowed, err := addr.Prefix(s.Bits() + 1)
+		if err != nil {
+			break
+		}
+		s = narrowed
+	}
+	if found {
+		return RegistrationAnswer{Resolves: true, Covering: s, Route: e}
+	}
+	return RegistrationAnswer{Resolves: false, Covering: s}
+}
+
+// routeChanged invalidates registrations overlapping net.
+func (rs *RegisterStage) routeChanged(net netip.Prefix) {
+	if len(rs.regs) == 0 {
+		return
+	}
+	kept := rs.regs[:0]
+	for _, r := range rs.regs {
+		if r.covering.Overlaps(net) {
+			rs.notify(r.client, r.covering)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	rs.regs = kept
+}
+
+// Add implements Stage (pass-through + shadow + invalidation).
+func (rs *RegisterStage) Add(e route.Entry) {
+	rs.shadow.Insert(e.Net, e)
+	rs.routeChanged(e.Net)
+	if rs.next != nil {
+		rs.next.Add(e)
+	}
+}
+
+// Replace implements Stage.
+func (rs *RegisterStage) Replace(old, new route.Entry) {
+	rs.shadow.Insert(new.Net, new)
+	rs.routeChanged(new.Net)
+	if rs.next != nil {
+		rs.next.Replace(old, new)
+	}
+}
+
+// Delete implements Stage.
+func (rs *RegisterStage) Delete(e route.Entry) {
+	rs.shadow.Delete(e.Net)
+	rs.routeChanged(e.Net)
+	if rs.next != nil {
+		rs.next.Delete(e)
+	}
+}
+
+// Lookup implements Stage.
+func (rs *RegisterStage) Lookup(net netip.Prefix) (route.Entry, bool) {
+	return rs.shadow.Get(net)
+}
+
+// LookupBest implements Stage.
+func (rs *RegisterStage) LookupBest(addr netip.Addr) (route.Entry, bool) {
+	_, e, ok := rs.shadow.LongestMatch(addr)
+	return e, ok
+}
+
+// RedistFilter decides whether (and how) a route is redistributed; nil
+// return drops it. The policy framework compiles to one of these.
+type RedistFilter func(route.Entry) *route.Entry
+
+// Redistributor receives redistributed routes (e.g. BGP's originate XRLs,
+// RIP's route injection).
+type Redistributor interface {
+	RedistAdd(e route.Entry)
+	RedistDelete(e route.Entry)
+}
+
+// RedistStage is a dynamic stage inserted when a protocol asks for route
+// redistribution (§5.2): a pass-through that mirrors the filtered route
+// subset into the subscriber.
+type RedistStage struct {
+	base
+	filter RedistFilter
+	out    Redistributor
+	// mirrored tracks what the subscriber was given, so filter changes
+	// and deletes stay consistent.
+	mirrored map[netip.Prefix]route.Entry
+}
+
+// NewRedistStage returns a redist stage with the given filter (nil =
+// everything) feeding out.
+func NewRedistStage(name string, filter RedistFilter, out Redistributor) *RedistStage {
+	if filter == nil {
+		filter = func(e route.Entry) *route.Entry { return &e }
+	}
+	return &RedistStage{
+		base:     base{name: name},
+		filter:   filter,
+		out:      out,
+		mirrored: make(map[netip.Prefix]route.Entry),
+	}
+}
+
+func (rd *RedistStage) apply(e route.Entry) {
+	want := rd.filter(e)
+	have, had := rd.mirrored[e.Net]
+	switch {
+	case want != nil && !had:
+		rd.mirrored[e.Net] = *want
+		rd.out.RedistAdd(*want)
+	case want == nil && had:
+		delete(rd.mirrored, e.Net)
+		rd.out.RedistDelete(have)
+	case want != nil && had && !want.Equal(have):
+		rd.mirrored[e.Net] = *want
+		rd.out.RedistDelete(have)
+		rd.out.RedistAdd(*want)
+	}
+}
+
+func (rd *RedistStage) drop(e route.Entry) {
+	if have, had := rd.mirrored[e.Net]; had {
+		delete(rd.mirrored, e.Net)
+		rd.out.RedistDelete(have)
+	}
+}
+
+// Add implements Stage.
+func (rd *RedistStage) Add(e route.Entry) {
+	rd.apply(e)
+	if rd.next != nil {
+		rd.next.Add(e)
+	}
+}
+
+// Replace implements Stage.
+func (rd *RedistStage) Replace(old, new route.Entry) {
+	rd.apply(new)
+	if rd.next != nil {
+		rd.next.Replace(old, new)
+	}
+}
+
+// Delete implements Stage.
+func (rd *RedistStage) Delete(e route.Entry) {
+	rd.drop(e)
+	if rd.next != nil {
+		rd.next.Delete(e)
+	}
+}
+
+// Lookup implements Stage: redist is pure pass-through for lookups; the
+// mirrored set concerns only the subscriber.
+func (rd *RedistStage) Lookup(net netip.Prefix) (route.Entry, bool) {
+	if e, ok := rd.mirrored[net]; ok {
+		return e, ok
+	}
+	return route.Entry{}, false
+}
+
+// LookupBest implements Stage (subscriber view).
+func (rd *RedistStage) LookupBest(addr netip.Addr) (route.Entry, bool) {
+	var best route.Entry
+	found := false
+	for _, e := range rd.mirrored {
+		if e.Net.Contains(addr) && (!found || e.Net.Bits() > best.Net.Bits()) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// MirroredLen reports how many routes the subscriber currently has.
+func (rd *RedistStage) MirroredLen() int { return len(rd.mirrored) }

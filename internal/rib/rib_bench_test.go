@@ -1,0 +1,66 @@
+package rib
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/route"
+)
+
+func loadedRib(b *testing.B, n int) *Process {
+	b.Helper()
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	p := NewProcess(loop, nil, nil)
+	for i := 0; i < n; i++ {
+		net := netip.PrefixFrom(netip.AddrFrom4([4]byte{
+			byte(1 + i%200), byte(i >> 8), byte(i), 0}), 24)
+		p.AddRoute(route.ProtoStatic, route.Entry{
+			Net: net, NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}), IfName: "eth0",
+		})
+	}
+	return p
+}
+
+// BenchmarkRegisterInterest measures the Figure 8 covering-subnet
+// computation against a large table — the operation every BGP nexthop
+// lookup performs.
+func BenchmarkRegisterInterest(b *testing.B) {
+	p := loadedRib(b, 100000)
+	rs := p.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := netip.AddrFrom4([4]byte{byte(1 + i%200), byte(i >> 6), byte(i), 7})
+		ans := rs.RegisterInterest("bench", addr)
+		rs.DeregisterInterest("bench", ans.Covering)
+	}
+}
+
+// BenchmarkRIBAddDelete measures one route's full traversal of the RIB
+// stage network (origin → merges → extint → register).
+func BenchmarkRIBAddDelete(b *testing.B) {
+	p := loadedRib(b, 100000)
+	net := netip.MustParsePrefix("10.200.1.0/24")
+	e := route.Entry{Net: net, NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}), IfName: "eth0"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AddRoute(route.ProtoRIP, e)
+		p.DeleteRoute(route.ProtoRIP, net)
+	}
+}
+
+// BenchmarkExtIntResolution measures recursive nexthop resolution: an
+// IBGP route resolving through an IGP route.
+func BenchmarkExtIntResolution(b *testing.B) {
+	p := loadedRib(b, 10000)
+	p.AddRoute(route.ProtoRIP, route.Entry{
+		Net: netip.MustParsePrefix("10.9.9.0/24"), NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 7}), IfName: "eth1", Metric: 2,
+	})
+	e := route.Entry{Net: netip.MustParsePrefix("172.16.0.0/12"), NextHop: netip.MustParseAddr("10.9.9.9")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AddRoute(route.ProtoIBGP, e)
+		p.DeleteRoute(route.ProtoIBGP, e.Net)
+	}
+}

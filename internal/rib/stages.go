@@ -1,0 +1,305 @@
+// Package rib implements the XORP Routing Information Base (paper §5.2):
+// the plumbing between routing protocols. Like BGP, the RIB is a network
+// of stages through which routes flow — origin tables storing each
+// protocol's routes, pairwise merge stages arbitrating by administrative
+// distance, an ExtInt stage composing external (BGP) routes with internal
+// routes and resolving their nexthops recursively, redist stages feeding
+// route redistribution, and register stages implementing the interest
+// registration protocol of §5.2.1 (Figure 8).
+package rib
+
+import (
+	"net/netip"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/route"
+	"xorp/internal/trie"
+)
+
+// Stage is one element of the RIB's stage network. Semantics mirror
+// bgp.Stage; routes are route.Entry values. The RIB makes decisions
+// "purely on the basis of a single administrative distance metric",
+// allowing the distributed pairwise merge design.
+type Stage interface {
+	Name() string
+	Add(e route.Entry)
+	Replace(old, new route.Entry)
+	Delete(e route.Entry)
+	// Lookup returns the stage's announced route exactly matching net.
+	Lookup(net netip.Prefix) (route.Entry, bool)
+	// LookupBest returns the stage's announced longest-prefix match.
+	LookupBest(addr netip.Addr) (route.Entry, bool)
+
+	setDownstream(s Stage)
+	downstream() Stage
+}
+
+// base supplies plumbing.
+type base struct {
+	name string
+	next Stage
+}
+
+func (b *base) Name() string          { return b.name }
+func (b *base) setDownstream(s Stage) { b.next = s }
+func (b *base) downstream() Stage     { return b.next }
+
+// Plumb wires stages left-to-right.
+func Plumb(stages ...Stage) {
+	for i := 0; i+1 < len(stages); i++ {
+		stages[i].setDownstream(stages[i+1])
+	}
+}
+
+// betterEntry decides between two entries for the same prefix: lower
+// administrative distance, then lower metric, then stable (a wins ties).
+func betterEntry(a, b route.Entry) route.Entry {
+	if b.AdminDistance < a.AdminDistance {
+		return b
+	}
+	if b.AdminDistance == a.AdminDistance && b.Metric < a.Metric {
+		return b
+	}
+	return a
+}
+
+// OriginTable is the origin stage for one protocol (Figure 7): it stores
+// that protocol's routes and emits changes downstream.
+type OriginTable struct {
+	base
+	loop  *eventloop.Loop
+	proto route.Protocol
+	ad    uint8
+	tbl   *trie.Trie[route.Entry]
+}
+
+// NewOriginTable returns an origin table for proto with its default
+// administrative distance.
+func NewOriginTable(loop *eventloop.Loop, proto route.Protocol) *OriginTable {
+	return &OriginTable{
+		base:  base{name: "origin(" + proto.String() + ")"},
+		loop:  loop,
+		proto: proto,
+		ad:    route.AdminDistance(proto),
+		tbl:   trie.New[route.Entry](),
+	}
+}
+
+// SetAdminDistance overrides the table's administrative distance.
+func (o *OriginTable) SetAdminDistance(ad uint8) { o.ad = ad }
+
+// Len returns the number of stored routes.
+func (o *OriginTable) Len() int { return o.tbl.Len() }
+
+// AddRoute stores a route from the protocol, stamping protocol and
+// administrative distance, and emits Add or Replace.
+func (o *OriginTable) AddRoute(e route.Entry) {
+	e.Net = e.Net.Masked()
+	e.Protocol = o.proto
+	e.AdminDistance = o.ad
+	old, existed := o.tbl.Get(e.Net)
+	o.tbl.Insert(e.Net, e)
+	if o.next == nil {
+		return
+	}
+	if existed {
+		if old.Equal(e) {
+			return
+		}
+		o.next.Replace(old, e)
+	} else {
+		o.next.Add(e)
+	}
+}
+
+// DeleteRoute removes a route and emits Delete.
+func (o *OriginTable) DeleteRoute(net netip.Prefix) bool {
+	old, existed := o.tbl.Delete(net.Masked())
+	if existed && o.next != nil {
+		o.next.Delete(old)
+	}
+	return existed
+}
+
+// DeleteAll removes every route as a background task (protocol shutdown),
+// using the safe iterator so concurrent changes are harmless.
+func (o *OriginTable) DeleteAll() *eventloop.Task {
+	it := o.tbl.Iterate()
+	return o.loop.AddTask("delete-all("+o.name+")", func() bool {
+		for i := 0; i < 64; i++ {
+			if !it.Valid() {
+				it.Close()
+				return true
+			}
+			net, e, ok := it.Entry()
+			it.Next()
+			if !ok {
+				continue
+			}
+			o.tbl.Delete(net)
+			if o.next != nil {
+				o.next.Delete(e)
+			}
+		}
+		return false
+	})
+}
+
+// Walk visits the stored routes.
+func (o *OriginTable) Walk(fn func(route.Entry) bool) {
+	o.tbl.Walk(func(_ netip.Prefix, e route.Entry) bool { return fn(e) })
+}
+
+// Add panics: origin tables have no upstream.
+func (o *OriginTable) Add(route.Entry) { panic("rib: OriginTable has no upstream") }
+
+// Replace panics: origin tables have no upstream.
+func (o *OriginTable) Replace(_, _ route.Entry) { panic("rib: OriginTable has no upstream") }
+
+// Delete panics: origin tables have no upstream.
+func (o *OriginTable) Delete(route.Entry) { panic("rib: OriginTable has no upstream") }
+
+// Lookup implements Stage.
+func (o *OriginTable) Lookup(net netip.Prefix) (route.Entry, bool) {
+	return o.tbl.Get(net)
+}
+
+// LookupBest implements Stage.
+func (o *OriginTable) LookupBest(addr netip.Addr) (route.Entry, bool) {
+	_, e, ok := o.tbl.LongestMatch(addr)
+	return e, ok
+}
+
+// MergeStage combines two route streams, preferring the lower
+// administrative distance per prefix (§5.2: "pairwise decisions between
+// Merge Stages... this single metric allows more distributed
+// decision-making, which we prefer, since it better supports future
+// extensions").
+type MergeStage struct {
+	base
+	a, b Stage // a is the preferred side on full ties
+}
+
+// NewMergeStage merges parents a and b.
+func NewMergeStage(name string, a, b Stage) *MergeStage {
+	m := &MergeStage{base: base{name: name}, a: a, b: b}
+	a.setDownstream(&mergeInput{m: m, other: b})
+	b.setDownstream(&mergeInput{m: m, other: a})
+	return m
+}
+
+// mergeInput adapts one parent's stream, remembering which side the
+// message came from.
+type mergeInput struct {
+	base
+	m     *MergeStage
+	other Stage
+}
+
+func (mi *mergeInput) Add(e route.Entry) {
+	other, ok := mi.other.Lookup(e.Net)
+	if !ok {
+		mi.m.emitAdd(e)
+		return
+	}
+	// e is new on this side; other was the winner before.
+	if winner := betterEntry(other, e); winner.Equal(e) {
+		mi.m.emitReplace(other, e)
+	}
+}
+
+func (mi *mergeInput) Replace(old, new route.Entry) {
+	other, ok := mi.other.Lookup(new.Net)
+	if !ok {
+		mi.m.emitReplace(old, new)
+		return
+	}
+	prev := betterEntry(other, old)
+	next := betterEntry(other, new)
+	mi.m.emitTransition(prev, next)
+}
+
+func (mi *mergeInput) Delete(e route.Entry) {
+	other, ok := mi.other.Lookup(e.Net)
+	if !ok {
+		mi.m.emitDelete(e)
+		return
+	}
+	if winner := betterEntry(other, e); winner.Equal(e) {
+		// The deleted route was the winner; the other side takes over.
+		mi.m.emitReplace(e, other)
+	}
+}
+
+func (mi *mergeInput) Lookup(netip.Prefix) (route.Entry, bool)   { panic("rib: mergeInput lookup") }
+func (mi *mergeInput) LookupBest(netip.Addr) (route.Entry, bool) { panic("rib: mergeInput lookup") }
+
+func (m *MergeStage) emitAdd(e route.Entry) {
+	if m.next != nil {
+		m.next.Add(e)
+	}
+}
+
+func (m *MergeStage) emitReplace(old, new route.Entry) {
+	if m.next != nil && !old.Equal(new) {
+		m.next.Replace(old, new)
+	}
+}
+
+func (m *MergeStage) emitDelete(e route.Entry) {
+	if m.next != nil {
+		m.next.Delete(e)
+	}
+}
+
+func (m *MergeStage) emitTransition(prev, next route.Entry) {
+	if !prev.Equal(next) {
+		m.emitReplace(prev, next)
+	}
+}
+
+// Add panics: use the parents.
+func (m *MergeStage) Add(route.Entry) { panic("rib: MergeStage has adapter inputs") }
+
+// Replace panics: use the parents.
+func (m *MergeStage) Replace(_, _ route.Entry) { panic("rib: MergeStage has adapter inputs") }
+
+// Delete panics: use the parents.
+func (m *MergeStage) Delete(route.Entry) { panic("rib: MergeStage has adapter inputs") }
+
+// Lookup implements Stage: the better of the two parents.
+func (m *MergeStage) Lookup(net netip.Prefix) (route.Entry, bool) {
+	ea, oka := m.a.Lookup(net)
+	eb, okb := m.b.Lookup(net)
+	switch {
+	case oka && okb:
+		return betterEntry(ea, eb), true
+	case oka:
+		return ea, true
+	case okb:
+		return eb, true
+	}
+	return route.Entry{}, false
+}
+
+// LookupBest implements Stage: the more specific parent match wins; on
+// equal specificity the better entry wins.
+func (m *MergeStage) LookupBest(addr netip.Addr) (route.Entry, bool) {
+	ea, oka := m.a.LookupBest(addr)
+	eb, okb := m.b.LookupBest(addr)
+	switch {
+	case oka && okb:
+		if ea.Net.Bits() != eb.Net.Bits() {
+			if ea.Net.Bits() > eb.Net.Bits() {
+				return ea, true
+			}
+			return eb, true
+		}
+		return betterEntry(ea, eb), true
+	case oka:
+		return ea, true
+	case okb:
+		return eb, true
+	}
+	return route.Entry{}, false
+}

@@ -1,0 +1,140 @@
+// Package rip implements RIPv2 (RFC 2453) as a XORP routing process:
+// event-driven processing with per-route timeout timers (no scanner),
+// split horizon with poisoned reverse, triggered updates, and network
+// access relayed through the FEA (paper §7: "rather than sending UDP
+// packets directly, RIP sends and receives packets using XRL calls to
+// the FEA").
+package rip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Commands.
+const (
+	CmdRequest  = 1
+	CmdResponse = 2
+)
+
+// Infinity is the RIP unreachable metric.
+const Infinity = 16
+
+// Port is the well-known RIP UDP port.
+const Port = 520
+
+// maxRTEs is the per-packet route entry limit (RFC 2453 §3.6).
+const maxRTEs = 25
+
+// RTE is one RIPv2 route entry.
+type RTE struct {
+	Tag     uint16
+	Net     netip.Prefix
+	NextHop netip.Addr // zero = via the sender
+	Metric  uint32
+}
+
+// Packet is a RIPv2 packet.
+type Packet struct {
+	Command uint8
+	RTEs    []RTE
+}
+
+const afInet = 2
+
+// Append encodes the packet.
+func (p *Packet) Append(dst []byte) ([]byte, error) {
+	if len(p.RTEs) > maxRTEs {
+		return dst, fmt.Errorf("rip: %d RTEs exceeds %d", len(p.RTEs), maxRTEs)
+	}
+	dst = append(dst, p.Command, 2, 0, 0)
+	for _, rte := range p.RTEs {
+		if !rte.Net.Addr().Is4() {
+			return dst, fmt.Errorf("rip: non-IPv4 prefix %v", rte.Net)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, afInet)
+		dst = binary.BigEndian.AppendUint16(dst, rte.Tag)
+		a := rte.Net.Addr().As4()
+		dst = append(dst, a[:]...)
+		mask := net4Mask(rte.Net.Bits())
+		dst = append(dst, mask[:]...)
+		var nh [4]byte
+		if rte.NextHop.IsValid() && rte.NextHop.Is4() {
+			nh = rte.NextHop.As4()
+		}
+		dst = append(dst, nh[:]...)
+		dst = binary.BigEndian.AppendUint32(dst, rte.Metric)
+	}
+	return dst, nil
+}
+
+// Decode parses a RIPv2 packet.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("rip: packet too short (%d)", len(buf))
+	}
+	if buf[1] != 2 {
+		return nil, fmt.Errorf("rip: version %d unsupported", buf[1])
+	}
+	p := &Packet{Command: buf[0]}
+	if p.Command != CmdRequest && p.Command != CmdResponse {
+		return nil, fmt.Errorf("rip: unknown command %d", p.Command)
+	}
+	body := buf[4:]
+	if len(body)%20 != 0 {
+		return nil, fmt.Errorf("rip: body length %d not a multiple of 20", len(body))
+	}
+	if len(body)/20 > maxRTEs {
+		return nil, fmt.Errorf("rip: too many RTEs")
+	}
+	for off := 0; off < len(body); off += 20 {
+		rec := body[off : off+20]
+		af := binary.BigEndian.Uint16(rec[0:])
+		if af != afInet {
+			continue // skip non-IPv4 families (and auth entries)
+		}
+		bits, ok := maskBits([4]byte(rec[8:12]))
+		if !ok {
+			return nil, fmt.Errorf("rip: non-contiguous mask %x", rec[8:12])
+		}
+		metric := binary.BigEndian.Uint32(rec[16:])
+		if metric < 1 || metric > Infinity {
+			return nil, fmt.Errorf("rip: metric %d out of range", metric)
+		}
+		rte := RTE{
+			Tag:    binary.BigEndian.Uint16(rec[2:]),
+			Net:    netip.PrefixFrom(netip.AddrFrom4([4]byte(rec[4:8])), bits).Masked(),
+			Metric: metric,
+		}
+		nh := netip.AddrFrom4([4]byte(rec[12:16]))
+		if nh != netip.AddrFrom4([4]byte{}) {
+			rte.NextHop = nh
+		}
+		p.RTEs = append(p.RTEs, rte)
+	}
+	return p, nil
+}
+
+func net4Mask(bits int) [4]byte {
+	var m [4]byte
+	v := ^uint32(0) << (32 - bits)
+	if bits == 0 {
+		v = 0
+	}
+	binary.BigEndian.PutUint32(m[:], v)
+	return m
+}
+
+func maskBits(m [4]byte) (int, bool) {
+	v := binary.BigEndian.Uint32(m[:])
+	bits := 0
+	for bits < 32 && v&(1<<31) != 0 {
+		v <<= 1
+		bits++
+	}
+	if v != 0 {
+		return 0, false
+	}
+	return bits, true
+}

@@ -1,0 +1,123 @@
+// Package route defines the route representations shared by the RIB, the
+// routing protocols and the FEA: protocol identities, administrative
+// distances, and the RIB-level route entry.
+package route
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Protocol identifies the origin protocol of a route.
+type Protocol uint8
+
+// The routing protocols of the paper's Figure 1.
+const (
+	ProtoUnknown Protocol = iota
+	ProtoConnected
+	ProtoStatic
+	ProtoEBGP
+	ProtoOSPF
+	ProtoISIS
+	ProtoRIP
+	ProtoIBGP
+	// ProtoExperimental is reserved for extension protocols (§8.3's
+	// "Adding a New Routing Protocol").
+	ProtoExperimental
+)
+
+var protoNames = map[Protocol]string{
+	ProtoConnected:    "connected",
+	ProtoStatic:       "static",
+	ProtoEBGP:         "ebgp",
+	ProtoOSPF:         "ospf",
+	ProtoISIS:         "is-is",
+	ProtoRIP:          "rip",
+	ProtoIBGP:         "ibgp",
+	ProtoExperimental: "experimental",
+}
+
+// String returns the configuration name of the protocol.
+func (p Protocol) String() string {
+	if n, ok := protoNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("protocol(%d)", uint8(p))
+}
+
+// ParseProtocol maps a configuration name to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	for p, n := range protoNames {
+		if n == s {
+			return p, nil
+		}
+	}
+	return ProtoUnknown, fmt.Errorf("route: unknown protocol %q", s)
+}
+
+// AdminDistance returns the default administrative distance used by the
+// RIB's merge stages to arbitrate between protocols (§5.2): lower wins.
+func AdminDistance(p Protocol) uint8 {
+	switch p {
+	case ProtoConnected:
+		return 0
+	case ProtoStatic:
+		return 1
+	case ProtoEBGP:
+		return 20
+	case ProtoOSPF:
+		return 110
+	case ProtoISIS:
+		return 115
+	case ProtoRIP:
+		return 120
+	case ProtoIBGP:
+		return 200
+	case ProtoExperimental:
+		return 230
+	}
+	return 255
+}
+
+// Entry is a RIB-level route: what protocols contribute to origin tables
+// and what (after resolution) is installed into the forwarding engine.
+type Entry struct {
+	// Net is the destination prefix.
+	Net netip.Prefix
+	// NextHop is the gateway, which may require recursive resolution
+	// (IBGP) or be zero for directly connected networks.
+	NextHop netip.Addr
+	// IfName is the outgoing interface, when known.
+	IfName string
+	// Metric is the protocol-internal metric.
+	Metric uint32
+	// Protocol is the origin protocol.
+	Protocol Protocol
+	// AdminDistance arbitrates between protocols; normally
+	// AdminDistance(Protocol) but configurable per origin table.
+	AdminDistance uint8
+	// PolicyTags carries the tag list used by the policy framework when
+	// routes are redistributed between protocols (§8.3).
+	PolicyTags []uint32
+}
+
+// Equal reports whether two entries are identical (including tags).
+func (e Entry) Equal(o Entry) bool {
+	if e.Net != o.Net || e.NextHop != o.NextHop || e.IfName != o.IfName ||
+		e.Metric != o.Metric || e.Protocol != o.Protocol || e.AdminDistance != o.AdminDistance ||
+		len(e.PolicyTags) != len(o.PolicyTags) {
+		return false
+	}
+	for i, tag := range e.PolicyTags {
+		if o.PolicyTags[i] != tag {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	return fmt.Sprintf("%v via %v dev %q metric %d proto %v ad %d",
+		e.Net, e.NextHop, e.IfName, e.Metric, e.Protocol, e.AdminDistance)
+}

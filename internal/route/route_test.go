@@ -1,0 +1,74 @@
+package route
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestAdminDistanceOrdering(t *testing.T) {
+	// connected < static < ebgp < ospf < is-is < rip < ibgp < experimental.
+	order := []Protocol{ProtoConnected, ProtoStatic, ProtoEBGP, ProtoOSPF,
+		ProtoISIS, ProtoRIP, ProtoIBGP, ProtoExperimental}
+	for i := 1; i < len(order); i++ {
+		if AdminDistance(order[i-1]) >= AdminDistance(order[i]) {
+			t.Fatalf("%v (%d) should beat %v (%d)", order[i-1],
+				AdminDistance(order[i-1]), order[i], AdminDistance(order[i]))
+		}
+	}
+	if AdminDistance(ProtoUnknown) != 255 {
+		t.Fatal("unknown protocol should have max distance")
+	}
+}
+
+func TestProtocolNamesRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{ProtoConnected, ProtoStatic, ProtoEBGP,
+		ProtoOSPF, ProtoISIS, ProtoRIP, ProtoIBGP, ProtoExperimental} {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProtocol("bogus"); err == nil {
+		t.Fatal("bogus protocol parsed")
+	}
+	if Protocol(99).String() == "" {
+		t.Fatal("unknown protocol prints empty")
+	}
+}
+
+func TestEntryEqual(t *testing.T) {
+	base := Entry{
+		Net:           netip.MustParsePrefix("10.0.0.0/8"),
+		NextHop:       netip.MustParseAddr("192.168.1.1"),
+		IfName:        "eth0",
+		Metric:        5,
+		Protocol:      ProtoRIP,
+		AdminDistance: 120,
+		PolicyTags:    []uint32{1, 2},
+	}
+	same := base
+	same.PolicyTags = []uint32{1, 2}
+	if !base.Equal(same) {
+		t.Fatal("identical entries unequal")
+	}
+	for _, mut := range []func(*Entry){
+		func(e *Entry) { e.Net = netip.MustParsePrefix("11.0.0.0/8") },
+		func(e *Entry) { e.NextHop = netip.MustParseAddr("192.168.1.2") },
+		func(e *Entry) { e.IfName = "eth1" },
+		func(e *Entry) { e.Metric = 6 },
+		func(e *Entry) { e.Protocol = ProtoStatic },
+		func(e *Entry) { e.AdminDistance = 1 },
+		func(e *Entry) { e.PolicyTags = []uint32{1} },
+		func(e *Entry) { e.PolicyTags = []uint32{1, 3} },
+	} {
+		m := base
+		m.PolicyTags = append([]uint32(nil), base.PolicyTags...)
+		mut(&m)
+		if base.Equal(m) {
+			t.Fatalf("mutated entry compares equal: %v", m)
+		}
+	}
+	if base.String() == "" {
+		t.Fatal("empty String")
+	}
+}

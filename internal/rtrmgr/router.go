@@ -1,0 +1,480 @@
+package rtrmgr
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"xorp/internal/bgp"
+	"xorp/internal/eventloop"
+	"xorp/internal/fea"
+	"xorp/internal/finder"
+	"xorp/internal/kernel"
+	"xorp/internal/policy"
+	"xorp/internal/rib"
+	"xorp/internal/rip"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+)
+
+// Options tune how the router manager assembles a router.
+type Options struct {
+	// Clock drives every process loop (nil = wall clock). A SimClock
+	// yields deterministic runs but requires SharedLoop.
+	Clock eventloop.Clock
+	// SharedLoop runs every process on one loop (deterministic tests/
+	// simulations). The default is one loop per process, like real XORP.
+	SharedLoop bool
+	// Network attaches the FEA to a simulated datagram fabric (for RIP).
+	Network *kernel.Network
+	// LocalAddr is this router's address on Network.
+	LocalAddr netip.Addr
+	// BGPListen accepts real BGP peer connections ("" = none).
+	BGPListen string
+	// ConsistencyChecks enables BGP's §5.1 cache stage.
+	ConsistencyChecks bool
+}
+
+// Router is a fully assembled XORP router: Finder, FEA, RIB, and
+// (config-dependent) BGP and RIP, wired over XRLs through an in-process
+// Hub — the paper's multi-process architecture with each "process" an
+// event loop.
+type Router struct {
+	Config *Node
+	Hub    *xipc.Hub
+	Finder *finder.Finder
+	FIB    *kernel.FIB
+	FEA    *fea.Process
+	RIB    *rib.Process
+	BGP    *bgp.Process
+	RIP    *rip.Process
+
+	// Routers (one per process) and their loops.
+	FEARouter *xipc.Router
+	RIBRouter *xipc.Router
+	BGPRouter *xipc.Router
+
+	MetricSource *bgp.MetricSource
+	loops        []*eventloop.Loop
+	ripLoop      *eventloop.Loop
+	opts         Options
+	running      bool
+}
+
+// simulated reports whether the assembly runs on a simulated clock.
+func (r *Router) simulated() bool {
+	return r.opts.Clock != nil && r.opts.Clock.IsSimulated()
+}
+
+// loopFor returns a loop for the next process under the sharing policy.
+// Real-clock loops start running immediately so the XRL wiring performed
+// during assembly can complete.
+func (r *Router) loopFor() *eventloop.Loop {
+	if r.opts.SharedLoop && len(r.loops) > 0 {
+		return r.loops[0]
+	}
+	l := eventloop.New(r.opts.Clock)
+	r.loops = append(r.loops, l)
+	if !r.simulated() {
+		go l.Run()
+	}
+	return l
+}
+
+// syncDo runs fn on loop and waits for completion, driving simulated
+// loops as needed.
+func (r *Router) syncDo(loop *eventloop.Loop, fn func()) {
+	if !r.simulated() {
+		loop.DispatchAndWait(fn)
+		return
+	}
+	done := false
+	loop.Dispatch(func() {
+		fn()
+		done = true
+	})
+	for i := 0; !done && i < 10000; i++ {
+		for _, l := range r.loops {
+			l.RunPending()
+		}
+	}
+	if !done {
+		panic("rtrmgr: simulated loops wedged")
+	}
+}
+
+// registerTarget registers t with the Finder, driving simulated loops.
+func (r *Router) registerTarget(xr *xipc.Router, t *xipc.Target) error {
+	if !r.simulated() {
+		return finder.RegisterTargetSync(xr, t, true)
+	}
+	var err error
+	done := false
+	finder.RegisterTarget(xr, t, true, func(e error) {
+		err = e
+		done = true
+	})
+	for i := 0; !done && i < 10000; i++ {
+		for _, l := range r.loops {
+			l.RunPending()
+		}
+	}
+	if !done {
+		return fmt.Errorf("rtrmgr: finder registration wedged")
+	}
+	return err
+}
+
+// NewRouter assembles a router from configuration text. Supported
+// configuration (see examples/ and the README):
+//
+//	interfaces { eth0 { address 10.0.0.1/24; } }
+//	static { route 10.0.0.0/8 next-hop 10.0.0.254; }
+//	protocols {
+//	    bgp { local-as 65001; id 10.0.0.1;
+//	          peer p1 { local-addr ...; peer-addr ...; as 65002; dial host:port; } }
+//	    rip { }
+//	}
+//	policy import-bgp { term a { from ...; then ...; } }
+func NewRouter(cfgText string, opts Options) (*Router, error) {
+	cfg, err := ParseConfig(cfgText)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{Config: cfg, Hub: xipc.NewHub(), FIB: kernel.NewFIB(), opts: opts}
+
+	// Finder process.
+	r.Finder = finder.New(r.loopFor())
+	r.Finder.AttachHub(r.Hub)
+
+	// FEA process.
+	feaLoop := r.loopFor()
+	r.FEARouter = xipc.NewRouter("fea_process", feaLoop)
+	r.FEARouter.AttachHub(r.Hub)
+	var host *kernel.Host
+	if opts.Network != nil && opts.LocalAddr.IsValid() {
+		host, err = opts.Network.Attach(opts.LocalAddr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.FEA = fea.New(feaLoop, r.FIB, host, r.FEARouter)
+	feaTarget := xipc.NewTarget("fea", "fea")
+	r.FEA.RegisterXRLs(feaTarget)
+	r.FEARouter.AddTarget(feaTarget)
+	if err := r.registerTarget(r.FEARouter, feaTarget); err != nil {
+		return nil, fmt.Errorf("rtrmgr: register fea: %w", err)
+	}
+
+	// RIB process, forwarding to the FEA over XRLs.
+	ribLoop := r.loopFor()
+	r.RIBRouter = xipc.NewRouter("rib_process", ribLoop)
+	r.RIBRouter.AttachHub(r.Hub)
+	r.RIB = rib.NewProcess(ribLoop, &xrlFIBClient{router: r.RIBRouter, feaTarget: "fea"}, r.RIBRouter)
+	ribTarget := xipc.NewTarget("rib", "rib")
+	r.RIB.RegisterXRLs(ribTarget)
+	r.RIBRouter.AddTarget(ribTarget)
+	if err := r.registerTarget(r.RIBRouter, ribTarget); err != nil {
+		return nil, fmt.Errorf("rtrmgr: register rib: %w", err)
+	}
+
+	// Interfaces and connected routes.
+	if ifs := cfg.Child("interfaces"); ifs != nil {
+		for _, ifn := range ifs.Children {
+			addrStr := ifn.Leaf("address")
+			if addrStr == "" {
+				return nil, fmt.Errorf("rtrmgr: interface %s has no address", ifn.Key)
+			}
+			pfx, err := netip.ParsePrefix(addrStr)
+			if err != nil {
+				return nil, fmt.Errorf("rtrmgr: interface %s: %v", ifn.Key, err)
+			}
+			mtu := 1500
+			if m := ifn.Leaf("mtu"); m != "" {
+				if mtu, err = strconv.Atoi(m); err != nil {
+					return nil, err
+				}
+			}
+			r.FIB.AddInterface(ifn.Key, pfx, mtu)
+			entry := route.Entry{Net: pfx.Masked(), IfName: ifn.Key}
+			r.syncDo(ribLoop, func() { r.RIB.AddRoute(route.ProtoConnected, entry) })
+		}
+	}
+
+	// Static routes.
+	if st := cfg.Child("static"); st != nil {
+		for _, rt := range st.ChildrenNamed("route") {
+			if len(rt.Args) < 1 {
+				return nil, fmt.Errorf("rtrmgr: static route needs a prefix")
+			}
+			pfx, err := netip.ParsePrefix(rt.Arg(0))
+			if err != nil {
+				return nil, err
+			}
+			e := route.Entry{Net: pfx}
+			for i := 1; i+1 < len(rt.Args); i += 2 {
+				switch rt.Args[i] {
+				case "next-hop":
+					nh, err := netip.ParseAddr(rt.Args[i+1])
+					if err != nil {
+						return nil, err
+					}
+					e.NextHop = nh
+				case "interface":
+					e.IfName = rt.Args[i+1]
+				case "metric":
+					m, err := strconv.ParseUint(rt.Args[i+1], 10, 32)
+					if err != nil {
+						return nil, err
+					}
+					e.Metric = uint32(m)
+				}
+			}
+			r.syncDo(ribLoop, func() { r.RIB.AddRoute(route.ProtoStatic, e) })
+		}
+	}
+
+	protos := cfg.Child("protocols")
+
+	// BGP process.
+	if protos != nil && protos.Child("bgp") != nil {
+		if err := r.setupBGP(protos.Child("bgp")); err != nil {
+			return nil, err
+		}
+	}
+
+	// RIP process.
+	if protos != nil && protos.Child("rip") != nil {
+		if err := r.setupRIP(protos.Child("rip")); err != nil {
+			return nil, err
+		}
+	}
+
+	return r, nil
+}
+
+func (r *Router) setupBGP(cfg *Node) error {
+	asStr := cfg.Leaf("local-as")
+	if asStr == "" {
+		return fmt.Errorf("rtrmgr: bgp needs local-as")
+	}
+	as, err := strconv.ParseUint(asStr, 10, 16)
+	if err != nil {
+		return err
+	}
+	id, err := cfg.LeafAddr("id")
+	if err != nil {
+		return err
+	}
+
+	bgpLoop := r.loopFor()
+	r.BGPRouter = xipc.NewRouter("bgp_process", bgpLoop)
+	r.BGPRouter.AttachHub(r.Hub)
+
+	ms := &xrlMetricSource{router: r.BGPRouter, ribTarget: "rib", bgpTarget: "bgp"}
+	var metricSrc bgp.MetricSource = ms
+	r.MetricSource = &metricSrc
+	ribClient := &xrlRIBClient{router: r.BGPRouter, ribTarget: "rib"}
+	r.BGP = bgp.NewProcess(bgpLoop, bgp.Config{
+		AS:                uint16(as),
+		BGPID:             id,
+		ListenAddr:        r.opts.BGPListen,
+		EnableDamping:     cfg.Child("damping") != nil,
+		ConsistencyChecks: r.opts.ConsistencyChecks,
+	}, ribClient, metricSrc)
+
+	bgpTarget := xipc.NewTarget("bgp", "bgp")
+	r.BGP.RegisterXRLs(bgpTarget)
+	r.BGPRouter.AddTarget(bgpTarget)
+	if err := r.registerTarget(r.BGPRouter, bgpTarget); err != nil {
+		return fmt.Errorf("rtrmgr: register bgp: %w", err)
+	}
+
+	// Peers (created on the BGP loop; enabled at Start).
+	for _, p := range cfg.ChildrenNamed("peer") {
+		localAddr, err := p.LeafAddr("local-addr")
+		if err != nil {
+			return err
+		}
+		peerAddr, err := p.LeafAddr("peer-addr")
+		if err != nil {
+			return err
+		}
+		peerAS, err := strconv.ParseUint(p.Leaf("as"), 10, 16)
+		if err != nil {
+			return fmt.Errorf("rtrmgr: peer %s: bad as: %v", p.Key, err)
+		}
+		holdTime := 90 * time.Second
+		if ht := p.Leaf("holdtime"); ht != "" {
+			sec, err := strconv.Atoi(ht)
+			if err != nil {
+				return err
+			}
+			holdTime = time.Duration(sec) * time.Second
+		}
+		pc := bgp.PeerConfig{
+			Name:      p.Arg(0),
+			LocalAddr: localAddr,
+			PeerAddr:  peerAddr,
+			PeerAS:    uint16(peerAS),
+			DialAddr:  p.Leaf("dial"),
+			HoldTime:  holdTime,
+			Passive:   p.Child("passive") != nil,
+		}
+		if pc.Name == "" {
+			pc.Name = "peer-" + peerAddr.String()
+		}
+		var aerr error
+		r.syncDo(bgpLoop, func() { _, aerr = r.BGP.AddPeer(pc) })
+		if aerr != nil {
+			return aerr
+		}
+	}
+
+	// Redistribution into BGP, optionally policy-filtered:
+	//   bgp { redistribute static policy-name; }
+	for _, rd := range cfg.ChildrenNamed("redistribute") {
+		proto := rd.Arg(0)
+		var filter rib.RedistFilter
+		if polName := rd.Arg(1); polName != "" {
+			pol, err := r.compilePolicy(polName)
+			if err != nil {
+				return err
+			}
+			filter = policy.RIBRedistFilter(pol)
+		} else {
+			want, err := route.ParseProtocol(proto)
+			if err != nil {
+				return err
+			}
+			filter = func(e route.Entry) *route.Entry {
+				if e.Protocol != want {
+					return nil
+				}
+				return &e
+			}
+		}
+		var rerr error
+		r.syncDo(r.RIB.Loop(), func() {
+			_, rerr = r.RIB.AddRedist("to-bgp-"+proto, filter, directRedist{bgp: r.BGP})
+		})
+		if rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// compilePolicy finds `policy <name> { ... }` in the config and compiles
+// its body.
+func (r *Router) compilePolicy(name string) (*policy.Policy, error) {
+	for _, p := range r.Config.ChildrenNamed("policy") {
+		if p.Arg(0) == name {
+			return policy.Compile(name, Render(p, 0))
+		}
+	}
+	return nil, fmt.Errorf("rtrmgr: no policy %q", name)
+}
+
+func (r *Router) setupRIP(cfg *Node) error {
+	if r.opts.Network == nil || !r.opts.LocalAddr.IsValid() {
+		return fmt.Errorf("rtrmgr: rip requires Options.Network and LocalAddr")
+	}
+	ripLoop := r.loopFor()
+	r.ripLoop = ripLoop
+	tr := &rip.FEATransport{
+		BindFn: func(port uint16, recv func(src netip.AddrPort, payload []byte)) error {
+			// Receive on the FEA, hop to the RIP loop.
+			return r.FEA.UDPBind(port, "rip", func(src netip.AddrPort, payload []byte) {
+				ripLoop.Dispatch(func() { recv(src, payload) })
+			})
+		},
+		SendFn:      r.FEA.UDPSend,
+		BroadcastFn: r.FEA.UDPBroadcast,
+	}
+	rcfg := rip.Config{LocalAddr: r.opts.LocalAddr, IfName: "eth0"}
+	if v := cfg.Leaf("update-interval"); v != "" {
+		sec, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		rcfg.UpdateInterval = time.Duration(sec) * time.Second
+	}
+	r.RIP = rip.NewProcess(ripLoop, rcfg, tr, ripRIBAdapter{r.RIB})
+	return nil
+}
+
+// ripRIBAdapter feeds RIP routes into the RIB's rip origin table
+// directly (RIP and RIB share fate in this assembly; the XRL path is
+// exercised by BGP and the FEA).
+type ripRIBAdapter struct{ rib *rib.Process }
+
+func (a ripRIBAdapter) AddRoute(e route.Entry) {
+	a.rib.Loop().Dispatch(func() { a.rib.AddRoute(route.ProtoRIP, e) })
+}
+
+func (a ripRIBAdapter) DeleteRoute(net netip.Prefix) {
+	a.rib.Loop().Dispatch(func() { a.rib.DeleteRoute(route.ProtoRIP, net) })
+}
+
+// Start enables protocol sessions (loops already run in real-clock mode;
+// simulated assemblies are driven with SettleAll / the loops directly).
+func (r *Router) Start() error {
+	if r.running {
+		return nil
+	}
+	r.running = true
+	if r.BGP != nil {
+		if err := r.BGP.Listen(); err != nil {
+			return err
+		}
+		protos := r.Config.Child("protocols")
+		for _, p := range protos.Child("bgp").ChildrenNamed("peer") {
+			name := p.Arg(0)
+			if name == "" {
+				name = "peer-" + p.Leaf("peer-addr")
+			}
+			r.BGP.Loop().Dispatch(func() { r.BGP.EnablePeer(name) })
+		}
+	}
+	if r.RIP != nil {
+		var err error
+		r.syncDo(r.ripLoop, func() { err = r.RIP.Start() })
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop shuts everything down.
+func (r *Router) Stop() {
+	if r.BGP != nil && !r.simulated() {
+		r.BGP.Loop().DispatchAndWait(r.BGP.Close)
+	}
+	if r.RIP != nil {
+		r.RIP.Stop()
+	}
+	for _, l := range r.loops {
+		l.Stop()
+	}
+	r.running = false
+}
+
+// Loops exposes the process loops (deterministic driving in tests).
+func (r *Router) Loops() []*eventloop.Loop { return r.loops }
+
+// SettleAll runs all loops' pending work until quiescent (SharedLoop +
+// SimClock mode only).
+func (r *Router) SettleAll() {
+	for i := 0; i < 100; i++ {
+		n := 0
+		for _, l := range r.loops {
+			n += l.RunPending()
+		}
+		if n == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package rtrmgr
+
+import (
+	"net/netip"
+
+	"xorp/internal/bgp"
+	"xorp/internal/rib"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// The XRL client adapters wiring processes together across IPC: BGP's
+// best routes to the RIB, the RIB's final routes to the FEA, and BGP's
+// nexthop lookups to the RIB's register stage. These are the arrows of
+// Figure 1 realized as XRLs, so every hop in the Figures 10–12 latency
+// path crosses the real IPC machinery.
+
+// xrlRIBClient implements bgp.RIBClient by sending rib/1.0 XRLs.
+type xrlRIBClient struct {
+	router    *xipc.Router
+	ribTarget string
+}
+
+func protoName(r *bgp.Route) string {
+	if r.Src != nil && r.Src.IBGP {
+		return "ibgp"
+	}
+	return "ebgp"
+}
+
+func (c *xrlRIBClient) send(method string, r *bgp.Route, done func(error)) {
+	args := xrl.Args{
+		xrl.Text("protocol", protoName(r)),
+		xrl.Net("network", r.Net),
+		xrl.U32("metric", r.IGPMetric),
+	}
+	if r.Attrs.NextHop.IsValid() {
+		args = append(args, xrl.Addr("nexthop", r.Attrs.NextHop))
+	}
+	x := xrl.XRL{
+		Protocol: xrl.ProtoFinder, Target: c.ribTarget,
+		Interface: "rib", Version: "1.0", Method: method, Args: args,
+	}
+	c.router.Send(x, func(_ xrl.Args, err *xrl.Error) {
+		if done != nil {
+			if err != nil {
+				done(err)
+			} else {
+				done(nil)
+			}
+		}
+	})
+}
+
+// AddRoute implements bgp.RIBClient.
+func (c *xrlRIBClient) AddRoute(r *bgp.Route, done func(error)) { c.send("add_route4", r, done) }
+
+// ReplaceRoute implements bgp.RIBClient.
+func (c *xrlRIBClient) ReplaceRoute(old, new *bgp.Route, done func(error)) {
+	// Protocol identity may change between old and new (ebgp vs ibgp
+	// winner): the RIB keys origin tables by protocol, so clear the old
+	// entry when it moved.
+	if protoName(old) != protoName(new) {
+		c.DeleteRoute(old, nil)
+	}
+	c.send("replace_route4", new, done)
+}
+
+// DeleteRoute implements bgp.RIBClient.
+func (c *xrlRIBClient) DeleteRoute(r *bgp.Route, done func(error)) {
+	args := xrl.Args{
+		xrl.Text("protocol", protoName(r)),
+		xrl.Net("network", r.Net),
+	}
+	c.router.Send(xrl.XRL{
+		Protocol: xrl.ProtoFinder, Target: c.ribTarget,
+		Interface: "rib", Version: "1.0", Method: "delete_route4", Args: args,
+	}, func(_ xrl.Args, err *xrl.Error) {
+		if done != nil {
+			if err != nil {
+				done(err)
+			} else {
+				done(nil)
+			}
+		}
+	})
+}
+
+// xrlMetricSource implements bgp.MetricSource over rib/1.0
+// register_interest4; invalidations arrive via the BGP target's
+// rib_client/0.1/route_info_invalid method, which calls Invalidate.
+type xrlMetricSource struct {
+	router    *xipc.Router
+	ribTarget string
+	bgpTarget string
+	watchers  []func(netip.Prefix)
+}
+
+// LookupNexthop implements bgp.MetricSource.
+func (m *xrlMetricSource) LookupNexthop(nh netip.Addr, cb func(bgp.NexthopInfo)) {
+	x := xrl.New(m.ribTarget, "rib", "1.0", "register_interest4",
+		xrl.Text("target", m.bgpTarget),
+		xrl.Addr("addr", nh))
+	m.router.Send(x, func(args xrl.Args, err *xrl.Error) {
+		if err != nil {
+			cb(bgp.NexthopInfo{})
+			return
+		}
+		resolves, _ := args.BoolArg("resolves")
+		covering, _ := args.NetArg("covering")
+		metric, _ := args.U32Arg("metric")
+		cb(bgp.NexthopInfo{Resolvable: resolves, Metric: metric, Covering: covering})
+	})
+}
+
+// WatchInvalidation implements bgp.MetricSource.
+func (m *xrlMetricSource) WatchInvalidation(fn func(netip.Prefix)) {
+	m.watchers = append(m.watchers, fn)
+}
+
+// Invalidate fans an invalidation out to all resolver watchers; the BGP
+// process's rib_client XRL handler calls this.
+func (m *xrlMetricSource) Invalidate(net netip.Prefix) {
+	for _, fn := range m.watchers {
+		fn(net)
+	}
+}
+
+// xrlFIBClient implements rib.FIBClient by sending fti/0.2 XRLs to the
+// FEA.
+type xrlFIBClient struct {
+	router    *xipc.Router
+	feaTarget string
+}
+
+// FIBAdd implements rib.FIBClient.
+func (c *xrlFIBClient) FIBAdd(e route.Entry) { c.send("add_entry4", e) }
+
+// FIBReplace implements rib.FIBClient.
+func (c *xrlFIBClient) FIBReplace(_, new route.Entry) { c.send("add_entry4", new) }
+
+// FIBDelete implements rib.FIBClient.
+func (c *xrlFIBClient) FIBDelete(e route.Entry) {
+	c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "delete_entry4",
+		xrl.Net("network", e.Net)), nil)
+}
+
+func (c *xrlFIBClient) send(method string, e route.Entry) {
+	args := xrl.Args{
+		xrl.Net("network", e.Net),
+		xrl.Text("ifname", e.IfName),
+	}
+	if e.NextHop.IsValid() {
+		args = append(args, xrl.Addr("nexthop", e.NextHop))
+	}
+	c.router.Send(xrl.XRL{
+		Protocol: xrl.ProtoFinder, Target: c.feaTarget,
+		Interface: "fti", Version: "0.2", Method: method, Args: args,
+	}, nil)
+}
+
+// directRedist adapts a BGP process as a rib.Redistributor (route
+// redistribution into BGP, §3).
+type directRedist struct {
+	bgp *bgp.Process
+}
+
+// RedistAdd implements rib.Redistributor.
+func (d directRedist) RedistAdd(e route.Entry) {
+	nh := e.NextHop
+	if !nh.IsValid() {
+		nh = netip.AddrFrom4([4]byte{0, 0, 0, 0})
+	}
+	d.bgp.Loop().Dispatch(func() { d.bgp.Originate(e.Net, nh, e.Metric) })
+}
+
+// RedistDelete implements rib.Redistributor.
+func (d directRedist) RedistDelete(e route.Entry) {
+	d.bgp.Loop().Dispatch(func() { d.bgp.WithdrawOriginated(e.Net) })
+}
+
+var _ rib.Redistributor = directRedist{}
+
+// Exported constructors so the standalone process binaries (cmd/xorp_rib,
+// cmd/xorp_bgp) can wire the same XRL clients the router manager uses.
+
+// NewXRLFIBClient returns a rib.FIBClient that sends fti/0.2 XRLs to
+// feaTarget through router.
+func NewXRLFIBClient(router *xipc.Router, feaTarget string) rib.FIBClient {
+	return &xrlFIBClient{router: router, feaTarget: feaTarget}
+}
+
+// NewXRLRIBClient returns a bgp.RIBClient that sends rib/1.0 XRLs to
+// ribTarget through router.
+func NewXRLRIBClient(router *xipc.Router, ribTarget string) bgp.RIBClient {
+	return &xrlRIBClient{router: router, ribTarget: ribTarget}
+}
+
+// NewXRLMetricSource returns a bgp.MetricSource that registers interest
+// with ribTarget; invalidations must be fed to the returned source's
+// Invalidate method (the BGP process's rib_client XRL handler does this).
+func NewXRLMetricSource(router *xipc.Router, ribTarget, bgpTarget string) bgp.MetricSource {
+	return &xrlMetricSource{router: router, ribTarget: ribTarget, bgpTarget: bgpTarget}
+}

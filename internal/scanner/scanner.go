@@ -1,0 +1,169 @@
+// Package scanner implements the route-propagation models behind
+// Figure 13 ("BGP route latency induced by a router"): the same
+// route-flow workload driven through an event-driven router model (XORP,
+// MRTd) and a periodic route-scanner model (Cisco IOS, Quagga/Zebra).
+//
+// Substitution note (DESIGN.md §5): the paper ran real Cisco/Quagga/MRTd
+// routers. Figure 13 measures an architectural property — scanner batching
+// versus event-driven propagation — which these behavioural models
+// implement exactly as the paper describes them ("the obvious symptoms of
+// a 30-second route scanner, where all the routes received in the
+// previous 30 seconds are processed in one batch"). The models run on the
+// simulated clock, so the 255-second experiment replays in milliseconds.
+package scanner
+
+import (
+	"net/netip"
+	"time"
+
+	"xorp/internal/eventloop"
+)
+
+// RouterModel receives routes from one peer and emits them toward
+// another, after whatever internal processing its architecture implies.
+type RouterModel interface {
+	// Name labels the model in reports.
+	Name() string
+	// Receive hands the model a route at the current (simulated) time.
+	Receive(net netip.Prefix)
+	// SetEmit installs the downstream: called when the model propagates
+	// the route.
+	SetEmit(fn func(net netip.Prefix))
+}
+
+// EventDriven propagates each route as soon as it is processed, with a
+// fixed per-route processing delay — the XORP and MRTd architectures.
+// XORP's measured delay is milliseconds (Figures 10–12); MRTd's similar.
+type EventDriven struct {
+	name  string
+	loop  *eventloop.Loop
+	delay time.Duration
+	emit  func(netip.Prefix)
+}
+
+// NewEventDriven returns an event-driven model with the given processing
+// delay per route.
+func NewEventDriven(name string, loop *eventloop.Loop, delay time.Duration) *EventDriven {
+	return &EventDriven{name: name, loop: loop, delay: delay}
+}
+
+// Name implements RouterModel.
+func (m *EventDriven) Name() string { return m.name }
+
+// SetEmit implements RouterModel.
+func (m *EventDriven) SetEmit(fn func(netip.Prefix)) { m.emit = fn }
+
+// Receive implements RouterModel.
+func (m *EventDriven) Receive(net netip.Prefix) {
+	if m.delay <= 0 {
+		m.emit(net)
+		return
+	}
+	m.loop.OneShot(m.delay, func() { m.emit(net) })
+}
+
+// Scanner buffers received routes and processes the batch whenever its
+// periodic scan timer fires — the Cisco IOS / Zebra / Quagga
+// architecture (§2: "Cisco IOS and Zebra both use route scanners, with a
+// significant latency cost").
+type Scanner struct {
+	name     string
+	loop     *eventloop.Loop
+	interval time.Duration
+	pending  []netip.Prefix
+	emit     func(netip.Prefix)
+}
+
+// NewScanner returns a scanner model; the scan timer starts immediately
+// (first fire one interval from now), independent of route arrivals.
+func NewScanner(name string, loop *eventloop.Loop, interval time.Duration) *Scanner {
+	m := &Scanner{name: name, loop: loop, interval: interval}
+	loop.Periodic(interval, m.scan)
+	return m
+}
+
+// Name implements RouterModel.
+func (m *Scanner) Name() string { return m.name }
+
+// SetEmit implements RouterModel.
+func (m *Scanner) SetEmit(fn func(netip.Prefix)) { m.emit = fn }
+
+// Receive implements RouterModel: routes wait for the next scan.
+func (m *Scanner) Receive(net netip.Prefix) {
+	m.pending = append(m.pending, net)
+}
+
+// scan processes the accumulated batch.
+func (m *Scanner) scan() {
+	batch := m.pending
+	m.pending = nil
+	for _, net := range batch {
+		m.emit(net)
+	}
+}
+
+// Sample is one Figure 13 data point.
+type Sample struct {
+	ArrivalTime time.Duration // when the route entered the router
+	Delay       time.Duration // how long until it was propagated
+}
+
+// Series is one router's Figure 13 curve.
+type Series struct {
+	Router  string
+	Samples []Sample
+}
+
+// RunExperiment replays the Figure 13 workload against a model: n routes
+// introduced at the given interval from one peer, recording the delay
+// until each appears at the other peer. It drives the loop's simulated
+// clock and returns when all routes have propagated (or after the safety
+// horizon).
+func RunExperiment(loop *eventloop.Loop, model RouterModel, n int, interval time.Duration) Series {
+	start := loop.Now()
+	type key = netip.Prefix
+	sent := make(map[key]time.Duration, n)
+	s := Series{Router: model.Name()}
+	model.SetEmit(func(net netip.Prefix) {
+		arr := sent[net]
+		s.Samples = append(s.Samples, Sample{
+			ArrivalTime: arr,
+			Delay:       loop.Now().Sub(start) - arr,
+		})
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		at := time.Duration(i) * interval
+		loop.OneShot(at, func() {
+			net := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+			sent[net] = loop.Now().Sub(start)
+			model.Receive(net)
+		})
+	}
+	// Run to the end of arrivals plus two scan generations of slack.
+	loop.RunFor(time.Duration(n)*interval + 2*time.Minute)
+	return s
+}
+
+// MaxDelay returns the series' worst-case propagation delay.
+func (s Series) MaxDelay() time.Duration {
+	var max time.Duration
+	for _, smp := range s.Samples {
+		if smp.Delay > max {
+			max = smp.Delay
+		}
+	}
+	return max
+}
+
+// MeanDelay returns the series' mean propagation delay.
+func (s Series) MeanDelay() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, smp := range s.Samples {
+		sum += smp.Delay
+	}
+	return sum / time.Duration(len(s.Samples))
+}

@@ -1,0 +1,67 @@
+package scanner
+
+import (
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+)
+
+func TestEventDrivenNeverExceedsProcessingDelay(t *testing.T) {
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	m := NewEventDriven("xorp", loop, 4*time.Millisecond)
+	s := RunExperiment(loop, m, 255, time.Second)
+	if len(s.Samples) != 255 {
+		t.Fatalf("propagated %d routes", len(s.Samples))
+	}
+	// The paper's claim: "the delay never exceeds one second".
+	if s.MaxDelay() > time.Second {
+		t.Fatalf("event-driven max delay %v", s.MaxDelay())
+	}
+	if s.MaxDelay() != 4*time.Millisecond {
+		t.Fatalf("max delay %v, want the 4ms processing delay", s.MaxDelay())
+	}
+}
+
+func TestScannerBatchesUpToInterval(t *testing.T) {
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	m := NewScanner("cisco", loop, 30*time.Second)
+	s := RunExperiment(loop, m, 255, time.Second)
+	if len(s.Samples) != 255 {
+		t.Fatalf("propagated %d routes", len(s.Samples))
+	}
+	max := s.MaxDelay()
+	if max < 25*time.Second || max > 30*time.Second {
+		t.Fatalf("scanner max delay %v, want close to the 30s interval", max)
+	}
+	// Mean should sit near interval/2 for uniform arrivals (the sawtooth).
+	mean := s.MeanDelay()
+	if mean < 10*time.Second || mean > 20*time.Second {
+		t.Fatalf("scanner mean delay %v, want ~15s", mean)
+	}
+	// Event-driven mean is orders of magnitude lower — the Figure 13 gap.
+	loop2 := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	ed := RunExperiment(loop2, NewEventDriven("xorp", loop2, 4*time.Millisecond), 255, time.Second)
+	if ed.MeanDelay()*100 > mean {
+		t.Fatalf("event-driven mean %v not ≪ scanner mean %v", ed.MeanDelay(), mean)
+	}
+}
+
+func TestScannerSawtoothShape(t *testing.T) {
+	// Routes arriving just after a scan wait nearly the full interval;
+	// just before, almost nothing: the distinctive Figure 13 sawtooth.
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	m := NewScanner("quagga", loop, 30*time.Second)
+	s := RunExperiment(loop, m, 60, time.Second)
+	byArrival := make(map[time.Duration]time.Duration)
+	for _, smp := range s.Samples {
+		byArrival[smp.ArrivalTime] = smp.Delay
+	}
+	// Arrival at t=1s waits ~29s (first scan at t=30); at t=29s waits ~1s.
+	if d := byArrival[1*time.Second]; d < 28*time.Second {
+		t.Fatalf("early arrival delay %v, want ~29s", d)
+	}
+	if d := byArrival[29*time.Second]; d > 2*time.Second {
+		t.Fatalf("late arrival delay %v, want ~1s", d)
+	}
+}

@@ -1,0 +1,334 @@
+// Package trie implements the path-compressed binary (Patricia) trie used
+// for every routing table in this XORP reproduction, together with the
+// paper's "safe route iterators" (§5.3): iterators that remain valid while
+// a background task is paused, even if the route they point at is deleted.
+//
+// Deletion defers physical node removal while iterators reference a node.
+// Each node carries an iterator reference count held in what the paper
+// calls "spare bits"; the last iterator to leave a previously-deleted node
+// performs the removal.
+//
+// A Trie transparently holds both IPv4 and IPv6 prefixes (one internal
+// root per family — the Go analogue of XORP's per-family C++ template
+// instantiations, behind one API).
+package trie
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// node is a trie node. A node either carries a value (a real route) or is
+// structural "glue" at a branch point. Glue nodes with fewer than two
+// children are spliced out as soon as no iterator references them.
+type node[T any] struct {
+	prefix  netip.Prefix
+	val     T
+	hasVal  bool
+	child   [2]*node[T]
+	parent  *node[T]
+	iterRef int
+}
+
+// Trie is a longest-prefix-match table mapping netip.Prefix to values of
+// type T. IPv4 and IPv6 prefixes coexist (separate internal roots). The
+// zero value is not usable; call New.
+type Trie[T any] struct {
+	root4 *node[T] // created on first v4 insert; never removed
+	root6 *node[T] // created on first v6 insert; never removed
+	size  int
+}
+
+// New returns an empty trie.
+func New[T any]() *Trie[T] { return &Trie[T]{} }
+
+// Len returns the number of valued entries.
+func (t *Trie[T]) Len() int { return t.size }
+
+// rootFor returns the root for p's family (nil if never created).
+func (t *Trie[T]) rootFor(p netip.Prefix) *node[T] {
+	if p.Addr().Is4() {
+		return t.root4
+	}
+	return t.root6
+}
+
+// ensureRoot returns (creating if needed) the root for p's family.
+func (t *Trie[T]) ensureRoot(p netip.Prefix) *node[T] {
+	if p.Addr().Is4() {
+		if t.root4 == nil {
+			t.root4 = &node[T]{prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{}), 0)}
+		}
+		return t.root4
+	}
+	if t.root6 == nil {
+		t.root6 = &node[T]{prefix: netip.PrefixFrom(netip.AddrFrom16([16]byte{}), 0)}
+	}
+	return t.root6
+}
+
+// isRoot reports whether n is one of the family roots.
+func (t *Trie[T]) isRoot(n *node[T]) bool { return n == t.root4 || n == t.root6 }
+
+// bitAt returns bit i (0 = most significant) of a.
+func bitAt(a netip.Addr, i int) int {
+	b := a.As16()
+	if a.Is4() {
+		b4 := a.As4()
+		return int(b4[i/8]>>(7-i%8)) & 1
+	}
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// contains reports whether p covers q (p is equal to or less specific).
+func contains(p, q netip.Prefix) bool {
+	return p.Bits() <= q.Bits() && p.Contains(q.Addr())
+}
+
+// commonBits returns the length of the longest common prefix of a and b,
+// capped at max.
+func commonBits(a, b netip.Addr, max int) int {
+	n := 0
+	for n < max && bitAt(a, n) == bitAt(b, n) {
+		n++
+	}
+	return n
+}
+
+// Insert adds or replaces the value for p (which is masked first). It
+// reports whether an existing value was replaced, and returns an error on
+// an address-family mismatch or an invalid prefix.
+func (t *Trie[T]) Insert(p netip.Prefix, v T) (replaced bool, err error) {
+	if !p.IsValid() {
+		return false, fmt.Errorf("trie: invalid prefix %v", p)
+	}
+	p = p.Masked()
+	cur := t.ensureRoot(p)
+	for {
+		if cur.prefix == p {
+			replaced = cur.hasVal
+			cur.val = v
+			cur.hasVal = true
+			if !replaced {
+				t.size++
+			}
+			return replaced, nil
+		}
+		b := bitAt(p.Addr(), cur.prefix.Bits())
+		c := cur.child[b]
+		if c == nil {
+			cur.child[b] = &node[T]{prefix: p, val: v, hasVal: true, parent: cur}
+			t.size++
+			return false, nil
+		}
+		if contains(c.prefix, p) {
+			cur = c
+			continue
+		}
+		if contains(p, c.prefix) {
+			// Insert p between cur and c.
+			n := &node[T]{prefix: p, val: v, hasVal: true, parent: cur}
+			cur.child[b] = n
+			n.child[bitAt(c.prefix.Addr(), p.Bits())] = c
+			c.parent = n
+			t.size++
+			return false, nil
+		}
+		// Diverge: create a glue node at the longest common prefix.
+		max := min(p.Bits(), c.prefix.Bits())
+		gb := commonBits(p.Addr(), c.prefix.Addr(), max)
+		gp, perr := p.Addr().Prefix(gb)
+		if perr != nil {
+			return false, perr
+		}
+		g := &node[T]{prefix: gp, parent: cur}
+		cur.child[b] = g
+		g.child[bitAt(c.prefix.Addr(), gb)] = c
+		c.parent = g
+		n := &node[T]{prefix: p, val: v, hasVal: true, parent: g}
+		g.child[bitAt(p.Addr(), gb)] = n
+		t.size++
+		return false, nil
+	}
+}
+
+// find returns the node holding exactly p, valued or not.
+func (t *Trie[T]) find(p netip.Prefix) *node[T] {
+	p = p.Masked()
+	cur := t.rootFor(p)
+	if cur == nil {
+		return nil
+	}
+	for cur != nil {
+		if cur.prefix == p {
+			return cur
+		}
+		if !contains(cur.prefix, p) {
+			return nil
+		}
+		cur = cur.child[bitAt(p.Addr(), cur.prefix.Bits())]
+	}
+	return nil
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[T]) Get(p netip.Prefix) (T, bool) {
+	var zero T
+	n := t.find(p)
+	if n == nil || !n.hasVal {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the entry stored exactly at p, returning the removed
+// value. If iterators reference the node, its value is invalidated now and
+// the node is physically removed when the last iterator leaves (§5.3).
+func (t *Trie[T]) Delete(p netip.Prefix) (T, bool) {
+	var zero T
+	n := t.find(p)
+	if n == nil || !n.hasVal {
+		return zero, false
+	}
+	v := n.val
+	n.val = zero
+	n.hasVal = false
+	t.size--
+	t.cleanup(n)
+	return v, true
+}
+
+// cleanup physically removes n if it is valueless, unreferenced, and
+// structurally unnecessary, cascading to parents that become removable.
+func (t *Trie[T]) cleanup(n *node[T]) {
+	for n != nil && !t.isRoot(n) && !n.hasVal && n.iterRef == 0 {
+		switch {
+		case n.child[0] != nil && n.child[1] != nil:
+			return // needed as a branch point
+		case n.child[0] == nil && n.child[1] == nil:
+			p := n.parent
+			if p.child[0] == n {
+				p.child[0] = nil
+			} else {
+				p.child[1] = nil
+			}
+			n.parent = nil
+			n = p
+		default:
+			c := n.child[0]
+			if c == nil {
+				c = n.child[1]
+			}
+			p := n.parent
+			if p.child[0] == n {
+				p.child[0] = c
+			} else {
+				p.child[1] = c
+			}
+			c.parent = p
+			n.parent, n.child[0], n.child[1] = nil, nil, nil
+			return
+		}
+	}
+}
+
+// LongestMatch returns the most specific entry covering addr.
+func (t *Trie[T]) LongestMatch(addr netip.Addr) (netip.Prefix, T, bool) {
+	var (
+		bestP netip.Prefix
+		bestV T
+		found bool
+	)
+	cur := t.root6
+	if addr.Is4() {
+		cur = t.root4
+	}
+	if cur == nil {
+		return bestP, bestV, false
+	}
+	for cur != nil {
+		if !cur.prefix.Contains(addr) {
+			break
+		}
+		if cur.hasVal {
+			bestP, bestV, found = cur.prefix, cur.val, true
+		}
+		cur = cur.child[bitAt(addr, cur.prefix.Bits())]
+	}
+	return bestP, bestV, found
+}
+
+// LongestMatchPrefix returns the most specific entry covering the whole
+// prefix p.
+func (t *Trie[T]) LongestMatchPrefix(p netip.Prefix) (netip.Prefix, T, bool) {
+	var (
+		bestP netip.Prefix
+		bestV T
+		found bool
+	)
+	p = p.Masked()
+	cur := t.rootFor(p)
+	for cur != nil && contains(cur.prefix, p) {
+		if cur.hasVal {
+			bestP, bestV, found = cur.prefix, cur.val, true
+		}
+		if cur.prefix.Bits() >= p.Bits() {
+			break
+		}
+		cur = cur.child[bitAt(p.Addr(), cur.prefix.Bits())]
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits every valued entry in lexicographic (DFS pre-)order. fn
+// returning false stops the walk. The trie must not be mutated during the
+// walk; use an Iterator for that.
+func (t *Trie[T]) Walk(fn func(netip.Prefix, T) bool) {
+	if t.root4 != nil && !t.walkSubtree(t.root4, fn) {
+		return
+	}
+	if t.root6 != nil {
+		t.walkSubtree(t.root6, fn)
+	}
+}
+
+func (t *Trie[T]) walkSubtree(n *node[T], fn func(netip.Prefix, T) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasVal && !fn(n.prefix, n.val) {
+		return false
+	}
+	return t.walkSubtree(n.child[0], fn) && t.walkSubtree(n.child[1], fn)
+}
+
+// WalkCovered visits every valued entry whose prefix is contained within p
+// (including an entry exactly at p).
+func (t *Trie[T]) WalkCovered(p netip.Prefix, fn func(netip.Prefix, T) bool) {
+	p = p.Masked()
+	cur := t.rootFor(p)
+	for cur != nil {
+		if contains(p, cur.prefix) {
+			t.walkSubtree(cur, fn)
+			return
+		}
+		if !contains(cur.prefix, p) {
+			return
+		}
+		cur = cur.child[bitAt(p.Addr(), cur.prefix.Bits())]
+	}
+}
+
+// HasEntryInside reports whether any valued entry lies strictly within p
+// (more specific than p itself).
+func (t *Trie[T]) HasEntryInside(p netip.Prefix) bool {
+	found := false
+	t.WalkCovered(p, func(q netip.Prefix, _ T) bool {
+		if q.Bits() > p.Bits() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

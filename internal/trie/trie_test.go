@@ -1,0 +1,549 @@
+package trie
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustP(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustA(s string) netip.Addr   { return netip.MustParseAddr(s) }
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[int]()
+	ps := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24", "192.168.0.0/16", "0.0.0.0/0"}
+	for i, s := range ps {
+		replaced, err := tr.Insert(mustP(s), i)
+		if err != nil || replaced {
+			t.Fatalf("Insert(%s) = %v, %v", s, replaced, err)
+		}
+	}
+	if tr.Len() != len(ps) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ps))
+	}
+	for i, s := range ps {
+		v, ok := tr.Get(mustP(s))
+		if !ok || v != i {
+			t.Fatalf("Get(%s) = %d, %v", s, v, ok)
+		}
+	}
+	if _, ok := tr.Get(mustP("10.2.0.0/16")); ok {
+		t.Fatal("Get of absent prefix succeeded")
+	}
+	replaced, err := tr.Insert(mustP("10.1.0.0/16"), 99)
+	if err != nil || !replaced {
+		t.Fatalf("re-Insert: replaced=%v err=%v", replaced, err)
+	}
+	if v, _ := tr.Get(mustP("10.1.0.0/16")); v != 99 {
+		t.Fatalf("value after replace = %d", v)
+	}
+	if v, ok := tr.Delete(mustP("10.1.0.0/16")); !ok || v != 99 {
+		t.Fatalf("Delete = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(mustP("10.1.0.0/16")); ok {
+		t.Fatal("deleted prefix still present")
+	}
+	if tr.Len() != len(ps)-1 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	if _, ok := tr.Delete(mustP("10.1.0.0/16")); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestInsertUnmaskedPrefixIsMasked(t *testing.T) {
+	tr := New[string]()
+	p, _ := netip.ParsePrefix("10.1.2.3/8")
+	if _, err := tr.Insert(p, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Get(mustP("10.0.0.0/8")); !ok {
+		t.Fatal("unmasked insert not normalized")
+	}
+}
+
+func TestMixedFamilies(t *testing.T) {
+	// IPv4 and IPv6 coexist in one trie (one internal root per family).
+	tr := New[int]()
+	if _, err := tr.Insert(mustP("10.0.0.0/8"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Insert(mustP("2001:db8::/32"), 2); err != nil {
+		t.Fatalf("mixed-family insert rejected: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, v, ok := tr.LongestMatch(mustA("10.1.1.1")); !ok || v != 1 {
+		t.Fatalf("v4 lookup %d %v", v, ok)
+	}
+	if _, v, ok := tr.LongestMatch(mustA("2001:db8::1")); !ok || v != 2 {
+		t.Fatalf("v6 lookup %d %v", v, ok)
+	}
+	// A v6 lookup never matches a v4 route and vice versa.
+	if _, _, ok := tr.LongestMatch(mustA("2001:db9::1")); ok {
+		t.Fatal("v6 address matched v4 space")
+	}
+	// Iteration covers both families, v4 first.
+	var order []netip.Prefix
+	it := tr.Iterate()
+	for ; it.Valid(); it.Next() {
+		order = append(order, it.Prefix())
+	}
+	it.Close()
+	if len(order) != 2 || !order[0].Addr().Is4() || order[1].Addr().Is4() {
+		t.Fatalf("iteration order %v", order)
+	}
+	// Walk covers both too.
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("walked %d", n)
+	}
+	if _, ok := tr.Delete(mustP("2001:db8::/32")); !ok {
+		t.Fatal("v6 delete failed")
+	}
+}
+
+func TestIPv6(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustP("2001:db8::/32"), 1)
+	tr.Insert(mustP("2001:db8:1::/48"), 2)
+	tr.Insert(mustP("::/0"), 0)
+	p, v, ok := tr.LongestMatch(mustA("2001:db8:1::5"))
+	if !ok || v != 2 || p != mustP("2001:db8:1::/48") {
+		t.Fatalf("LongestMatch = %v, %d, %v", p, v, ok)
+	}
+	p, v, ok = tr.LongestMatch(mustA("2001:db9::1"))
+	if !ok || v != 0 || p != mustP("::/0") {
+		t.Fatalf("LongestMatch default = %v, %d, %v", p, v, ok)
+	}
+}
+
+func TestLongestMatch(t *testing.T) {
+	tr := New[string]()
+	for _, s := range []string{"128.16.0.0/16", "128.16.0.0/18", "128.16.128.0/17", "128.16.192.0/18"} {
+		tr.Insert(mustP(s), s)
+	}
+	cases := []struct{ addr, want string }{
+		{"128.16.32.1", "128.16.0.0/18"},
+		{"128.16.160.1", "128.16.128.0/17"},
+		{"128.16.192.1", "128.16.192.0/18"},
+		{"128.16.64.1", "128.16.0.0/16"},
+	}
+	for _, c := range cases {
+		_, v, ok := tr.LongestMatch(mustA(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("LongestMatch(%s) = %q, %v; want %q", c.addr, v, ok, c.want)
+		}
+	}
+	if _, _, ok := tr.LongestMatch(mustA("1.2.3.4")); ok {
+		t.Error("match for uncovered address")
+	}
+	if _, _, ok := tr.LongestMatch(mustA("2001:db8::1")); ok {
+		t.Error("v6 lookup in v4 trie matched")
+	}
+}
+
+func TestLongestMatchPrefix(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mustP("10.0.0.0/8"), "/8")
+	tr.Insert(mustP("10.1.0.0/16"), "/16")
+	_, v, ok := tr.LongestMatchPrefix(mustP("10.1.2.0/24"))
+	if !ok || v != "/16" {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	_, v, ok = tr.LongestMatchPrefix(mustP("10.1.0.0/16"))
+	if !ok || v != "/16" {
+		t.Fatalf("self match got %q, %v", v, ok)
+	}
+	_, v, ok = tr.LongestMatchPrefix(mustP("10.0.0.0/7"))
+	if ok {
+		t.Fatalf("/7 should have no cover, got %q", v)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tr := New[int]()
+	in := []string{"10.1.1.0/24", "0.0.0.0/0", "10.0.0.0/8", "192.168.0.0/16", "10.1.0.0/16"}
+	for i, s := range in {
+		tr.Insert(mustP(s), i)
+	}
+	var got []string
+	tr.Walk(func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24", "192.168.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkCovered(t *testing.T) {
+	tr := New[int]()
+	for i, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24", "10.2.0.0/16", "11.0.0.0/8"} {
+		tr.Insert(mustP(s), i)
+	}
+	var got []string
+	tr.WalkCovered(mustP("10.1.0.0/16"), func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 2 || got[0] != "10.1.0.0/16" || got[1] != "10.1.1.0/24" {
+		t.Fatalf("WalkCovered = %v", got)
+	}
+	got = nil
+	tr.WalkCovered(mustP("12.0.0.0/8"), func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("WalkCovered disjoint = %v", got)
+	}
+}
+
+func TestHasEntryInside(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustP("128.16.128.0/17"), 1)
+	tr.Insert(mustP("128.16.192.0/18"), 2)
+	if !tr.HasEntryInside(mustP("128.16.128.0/17")) {
+		t.Fatal("should see /18 inside /17")
+	}
+	if tr.HasEntryInside(mustP("128.16.192.0/18")) {
+		t.Fatal("nothing strictly inside /18")
+	}
+	if tr.HasEntryInside(mustP("128.16.128.0/18")) {
+		t.Fatal("nothing inside left half /18")
+	}
+}
+
+func TestIteratorBasic(t *testing.T) {
+	tr := New[int]()
+	in := []string{"10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12", "192.168.1.0/24"}
+	for i, s := range in {
+		tr.Insert(mustP(s), i)
+	}
+	it := tr.Iterate()
+	defer it.Close()
+	var got []string
+	for ; it.Valid(); it.Next() {
+		p, _, ok := it.Entry()
+		if !ok {
+			t.Fatal("live entry reported deleted")
+		}
+		got = append(got, p.String())
+	}
+	if len(got) != len(in) {
+		t.Fatalf("iterated %v", got)
+	}
+}
+
+func TestIteratorSurvivesDeletionOfCurrent(t *testing.T) {
+	// The §5.3 scenario: a background task pauses on a route, the route is
+	// deleted, and the iterator must still make forward progress and
+	// perform the deferred physical deletion.
+	tr := New[int]()
+	for i, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16", "10.3.0.0/16"} {
+		tr.Insert(mustP(s), i)
+	}
+	it := tr.Iterate()
+	it.Next() // now on 10.1.0.0/16
+	if it.Prefix() != mustP("10.1.0.0/16") {
+		t.Fatalf("iterator at %v", it.Prefix())
+	}
+	tr.Delete(mustP("10.1.0.0/16"))
+	if _, _, ok := it.Entry(); ok {
+		t.Fatal("deleted entry should report !ok")
+	}
+	it.Next()
+	if it.Prefix() != mustP("10.2.0.0/16") {
+		t.Fatalf("after delete, iterator at %v", it.Prefix())
+	}
+	it.Close()
+	// The deleted node must be physically gone: re-inserting and walking
+	// must behave normally, and Len must be consistent.
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("walked %d entries", n)
+	}
+}
+
+func TestIteratorDeleteEverythingWhilePaused(t *testing.T) {
+	tr := New[int]()
+	var ps []netip.Prefix
+	for i := 0; i < 32; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		ps = append(ps, p)
+		tr.Insert(p, i)
+	}
+	it := tr.Iterate()
+	for _, p := range ps {
+		tr.Delete(p)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Iterator still pinned on first (now deleted) node; Next must
+	// terminate cleanly.
+	count := 0
+	for ; it.Valid(); it.Next() {
+		if _, _, ok := it.Entry(); ok {
+			count++
+		}
+	}
+	if count != 0 {
+		t.Fatalf("saw %d live entries after delete-all", count)
+	}
+	it.Close()
+}
+
+func TestIteratorSeesInsertsAhead(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustP("10.0.0.0/8"), 0)
+	tr.Insert(mustP("30.0.0.0/8"), 2)
+	it := tr.Iterate()
+	tr.Insert(mustP("20.0.0.0/8"), 1)
+	var got []string
+	for ; it.Valid(); it.Next() {
+		got = append(got, it.Prefix().String())
+	}
+	it.Close()
+	if len(got) != 3 {
+		t.Fatalf("iterated %v, want the insert-ahead visible", got)
+	}
+}
+
+func TestIterateFrom(t *testing.T) {
+	tr := New[int]()
+	for i, s := range []string{"10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"} {
+		tr.Insert(mustP(s), i)
+	}
+	it := tr.IterateFrom(mustP("15.0.0.0/8"))
+	defer it.Close()
+	if it.Prefix() != mustP("20.0.0.0/8") {
+		t.Fatalf("IterateFrom landed on %v", it.Prefix())
+	}
+}
+
+func TestMultipleIteratorsSameNode(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mustP("10.0.0.0/8"), 0)
+	tr.Insert(mustP("20.0.0.0/8"), 1)
+	it1 := tr.Iterate()
+	it2 := tr.Iterate()
+	tr.Delete(mustP("10.0.0.0/8"))
+	it1.Next()
+	// Node must survive: it2 still references it.
+	if !it2.Valid() {
+		t.Fatal("it2 invalidated")
+	}
+	it2.Next()
+	if it2.Prefix() != mustP("20.0.0.0/8") {
+		t.Fatalf("it2 at %v", it2.Prefix())
+	}
+	it1.Close()
+	it2.Close()
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// checkInvariants verifies structural invariants: child prefixes are
+// contained in parents, branch bits are correct, glue nodes (unreferenced)
+// have two children, and parent pointers are consistent.
+func checkInvariants[T any](t *testing.T, tr *Trie[T]) {
+	t.Helper()
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		for b, c := range n.child {
+			if c == nil {
+				continue
+			}
+			if c.parent != n {
+				t.Fatalf("parent pointer broken at %v", c.prefix)
+			}
+			if !contains(n.prefix, c.prefix) || n.prefix == c.prefix {
+				t.Fatalf("child %v not strictly inside parent %v", c.prefix, n.prefix)
+			}
+			if bitAt(c.prefix.Addr(), n.prefix.Bits()) != b {
+				t.Fatalf("child %v under wrong branch of %v", c.prefix, n.prefix)
+			}
+			walk(c)
+		}
+		if !tr.isRoot(n) && !n.hasVal && n.iterRef == 0 {
+			if n.child[0] == nil || n.child[1] == nil {
+				t.Fatalf("degenerate glue node %v survived", n.prefix)
+			}
+		}
+	}
+	for _, root := range []*node[T]{tr.root4, tr.root6} {
+		if root != nil {
+			walk(root)
+		}
+	}
+}
+
+func randomPrefix(r *rand.Rand) netip.Prefix {
+	bits := r.Intn(25) // 0..24 keeps collisions frequent
+	a := netip.AddrFrom4([4]byte{byte(r.Intn(4)), byte(r.Intn(4)), byte(r.Intn(256)), 0})
+	p, _ := a.Prefix(bits)
+	return p
+}
+
+func TestQuickAgainstModel(t *testing.T) {
+	// Property: a trie subjected to a random op sequence agrees with a
+	// map-based model on Get, Len, LongestMatch and Walk contents.
+	f := func(seed int64, nops uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New[int]()
+		model := map[netip.Prefix]int{}
+		for i := 0; i < int(nops)+20; i++ {
+			p := randomPrefix(r)
+			switch r.Intn(3) {
+			case 0, 1:
+				tr.Insert(p, i)
+				model[p] = i
+			case 2:
+				_, okT := tr.Delete(p)
+				_, okM := model[p]
+				if okT != okM {
+					return false
+				}
+				delete(model, p)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for p, v := range model {
+			got, ok := tr.Get(p)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// LongestMatch agrees with a brute-force scan.
+		for i := 0; i < 30; i++ {
+			addr := netip.AddrFrom4([4]byte{byte(r.Intn(4)), byte(r.Intn(4)), byte(r.Intn(256)), byte(r.Intn(256))})
+			var bestP netip.Prefix
+			bestLen, found := -1, false
+			for p := range model {
+				if p.Contains(addr) && p.Bits() > bestLen {
+					bestP, bestLen, found = p, p.Bits(), true
+				}
+			}
+			gp, _, ok := tr.LongestMatch(addr)
+			if ok != found || (ok && gp != bestP) {
+				return false
+			}
+		}
+		count := 0
+		tr.Walk(func(p netip.Prefix, v int) bool {
+			if model[p] != v {
+				return false
+			}
+			count++
+			return true
+		})
+		checkInvariants(t, tr)
+		return count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIteratorUnderMutation(t *testing.T) {
+	// Property: an iterator interleaved with random mutation always
+	// terminates, never yields a deleted entry from Entry()'s ok path,
+	// and afterwards the trie still satisfies structural invariants.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New[int]()
+		for i := 0; i < 60; i++ {
+			tr.Insert(randomPrefix(r), i)
+		}
+		it := tr.Iterate()
+		steps := 0
+		for it.Valid() && steps < 500 {
+			steps++
+			switch r.Intn(4) {
+			case 0:
+				tr.Insert(randomPrefix(r), steps)
+			case 1:
+				tr.Delete(randomPrefix(r))
+			case 2:
+				// Delete the entry under the iterator.
+				if p, _, ok := it.Entry(); ok {
+					tr.Delete(p)
+				}
+			}
+			if p, _, ok := it.Entry(); ok {
+				if _, present := tr.Get(p); !present {
+					return false // iterator claims a live entry the trie lacks
+				}
+			}
+			it.Next()
+		}
+		it.Close()
+		checkInvariants(t, tr)
+		// After Close, no deferred nodes may remain pinned.
+		n := 0
+		tr.Walk(func(netip.Prefix, int) bool { n++; return true })
+		return n == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidPrefix(t *testing.T) {
+	tr := New[int]()
+	if _, err := tr.Insert(netip.Prefix{}, 1); err == nil {
+		t.Fatal("invalid prefix accepted")
+	}
+}
+
+func BenchmarkInsert150k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ps := make([]netip.Prefix, 150000)
+	for i := range ps {
+		a := netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+		ps[i], _ = a.Prefix(16 + r.Intn(9))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New[int]()
+		for j, p := range ps {
+			tr.Insert(p, j)
+		}
+	}
+}
+
+func BenchmarkLongestMatch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	for i := 0; i < 150000; i++ {
+		a := netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+		p, _ := a.Prefix(16 + r.Intn(9))
+		tr.Insert(p, i)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LongestMatch(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestGenerateTableProperties(t *testing.T) {
+	const n = 5000
+	tbl := GenerateTable(7, n, nil)
+	if len(tbl.Prefixes) != n || len(tbl.Attrs) != n {
+		t.Fatalf("generated %d/%d", len(tbl.Prefixes), len(tbl.Attrs))
+	}
+	seen := make(map[netip.Prefix]bool, n)
+	slash24 := 0
+	for i, p := range tbl.Prefixes {
+		if seen[p] {
+			t.Fatalf("duplicate prefix %v", p)
+		}
+		seen[p] = true
+		if p.Bits() < 8 || p.Bits() > 24 {
+			t.Fatalf("prefix length %d out of distribution", p.Bits())
+		}
+		if p.Bits() == 24 {
+			slash24++
+		}
+		first := p.Addr().As4()[0]
+		if first == 0 || first == 10 || first == 127 || first >= 224 {
+			t.Fatalf("prefix %v outside public space", p)
+		}
+		if err := tbl.Attrs[i].WellFormed(); err != nil {
+			t.Fatalf("attrs %d: %v", i, err)
+		}
+	}
+	// The 2005 table was ~45%%-55%% /24s; allow a broad band.
+	frac := float64(slash24) / n
+	if frac < 0.35 || frac < 0.0 || frac > 0.6 {
+		t.Fatalf("/24 fraction %.2f outside [0.35,0.6]", frac)
+	}
+}
+
+func TestGenerateTableDeterministic(t *testing.T) {
+	a := GenerateTable(42, 1000, nil)
+	b := GenerateTable(42, 1000, nil)
+	for i := range a.Prefixes {
+		if a.Prefixes[i] != b.Prefixes[i] {
+			t.Fatalf("prefix %d differs: %v vs %v", i, a.Prefixes[i], b.Prefixes[i])
+		}
+		if !a.Attrs[i].Equal(b.Attrs[i]) {
+			t.Fatalf("attrs %d differ", i)
+		}
+	}
+	c := GenerateTable(43, 1000, nil)
+	same := 0
+	for i := range a.Prefixes {
+		if a.Prefixes[i] == c.Prefixes[i] {
+			same++
+		}
+	}
+	if same == len(a.Prefixes) {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestUpdatesMatchTable(t *testing.T) {
+	tbl := GenerateTable(1, 100, nil)
+	ups := tbl.Updates()
+	if len(ups) != 100 {
+		t.Fatalf("%d updates", len(ups))
+	}
+	for i, u := range ups {
+		if len(u.NLRI) != 1 || u.NLRI[0] != tbl.Prefixes[i] || u.Attrs != tbl.Attrs[i] {
+			t.Fatalf("update %d mismatched", i)
+		}
+	}
+}
+
+func TestTestRoutesDisjointFromTable(t *testing.T) {
+	routes := TestRoutes(255)
+	if len(routes) != 255 {
+		t.Fatalf("%d test routes", len(routes))
+	}
+	seen := map[netip.Prefix]bool{}
+	for _, p := range routes {
+		if seen[p] {
+			t.Fatalf("duplicate test route %v", p)
+		}
+		seen[p] = true
+		if p.Addr().As4()[0] != 10 {
+			t.Fatalf("test route %v outside 10/8", p)
+		}
+	}
+	attrs := TestAttrs(netip.MustParseAddr("10.0.0.1"), 65001)
+	if err := attrs.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if !attrs.ASPath.Contains(65001) {
+		t.Fatal("peer AS missing from path")
+	}
+}

@@ -1,0 +1,96 @@
+package xipc
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+
+	"xorp/internal/xrl"
+)
+
+// Hub is the intra-process protocol family (§6.3): a registry connecting
+// Routers that live in the same OS process, so XRLs between them are
+// direct calls with no marshaling. In single-process deployments (tests,
+// benchmarks, the quickstart example) every XORP "process" is a Router on
+// its own event loop attached to one Hub.
+type Hub struct {
+	id string
+
+	mu      sync.Mutex
+	routers map[*Router]struct{}
+	targets map[string]*Router
+}
+
+// NewHub returns an empty Hub with a unique id.
+func NewHub() *Hub {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("xipc: cannot read randomness: " + err.Error())
+	}
+	return &Hub{
+		id:      hex.EncodeToString(b[:]),
+		routers: make(map[*Router]struct{}),
+		targets: make(map[string]*Router),
+	}
+}
+
+// ID returns the hub's unique id (the intra endpoint address).
+func (h *Hub) ID() string { return h.id }
+
+func (h *Hub) addRouter(r *Router) {
+	h.mu.Lock()
+	h.routers[r] = struct{}{}
+	h.mu.Unlock()
+}
+
+func (h *Hub) removeRouter(r *Router) {
+	h.mu.Lock()
+	delete(h.routers, r)
+	h.mu.Unlock()
+}
+
+func (h *Hub) addTarget(name string, r *Router) {
+	h.mu.Lock()
+	h.targets[name] = r
+	h.mu.Unlock()
+}
+
+func (h *Hub) removeTarget(name string) {
+	h.mu.Lock()
+	delete(h.targets, name)
+	h.mu.Unlock()
+}
+
+// routerForTarget returns the router hosting the named target.
+func (h *Hub) routerForTarget(name string) (*Router, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.targets[name]
+	return r, ok
+}
+
+// intraSender delivers requests to another Router on the same Hub by
+// enqueueing directly onto its event loop.
+type intraSender struct {
+	router *Router // the sending router
+	hub    *Hub
+}
+
+func (s *intraSender) send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error)) {
+	dest, ok := s.hub.routerForTarget(req.Target)
+	if !ok {
+		s.router.loop.Dispatch(func() {
+			cb(nil, &xrl.Error{Code: xrl.CodeNoSuchTarget,
+				Note: "no target " + req.Target + " on hub"})
+		})
+		return
+	}
+	src := s.router
+	dest.loop.Dispatch(func() {
+		dest.handleRequest(req, func(rep *xrl.Reply) {
+			src.loop.Dispatch(func() { cb(rep, nil) })
+		})
+	})
+}
+
+func (s *intraSender) close() {}

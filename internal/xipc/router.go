@@ -1,0 +1,578 @@
+package xipc
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/xrl"
+)
+
+// FinderTargetName is the well-known component name of the Finder. XRLs to
+// this target bypass resolution (the Finder brokers everyone else).
+const FinderTargetName = "finder"
+
+// Callback receives the result of an asynchronous Send. It runs on the
+// sending Router's event loop. err is nil on success.
+type Callback func(args xrl.Args, err *xrl.Error)
+
+// resolved is a cached Finder resolution for one (target, command).
+type resolved struct {
+	proto    string // xrl.ProtoIntra / ProtoSTCP / ProtoSUDP
+	addr     string // hub id or host:port
+	instance string // concrete component instance name
+	key      string // method key
+}
+
+// Router is the per-process XRL dispatcher (XORP's XrlRouter). It hosts
+// local Targets, resolves and sends outgoing XRLs, and listens on the
+// transports it has been given. All callbacks run on its event loop.
+type Router struct {
+	name string
+	loop *eventloop.Loop
+
+	mu            sync.Mutex
+	targets       map[string]*Target
+	cache         map[string]resolved // "target\x00command" -> resolution
+	senders       map[string]sender   // "proto|addr" -> live sender
+	hub           *Hub
+	tcpLn         *tcpListener
+	udpLn         *udpListener
+	finderEp      string // "proto|addr" of the Finder ("" = hub lookup)
+	timeout       time.Duration
+	seq           uint32
+	onFinderEvent func(event, class, instance string)
+}
+
+// NewRouter returns a Router named name (the process instance name,
+// e.g. "bgp") bound to loop.
+func NewRouter(name string, loop *eventloop.Loop) *Router {
+	return &Router{
+		name:    name,
+		loop:    loop,
+		targets: make(map[string]*Target),
+		cache:   make(map[string]resolved),
+		senders: make(map[string]sender),
+		timeout: 30 * time.Second,
+	}
+}
+
+// Name returns the router's instance name.
+func (r *Router) Name() string { return r.name }
+
+// Loop returns the router's event loop.
+func (r *Router) Loop() *eventloop.Loop { return r.loop }
+
+// SetTimeout sets the reply timeout for outgoing XRLs.
+func (r *Router) SetTimeout(d time.Duration) { r.timeout = d }
+
+// SetFinderEvent installs a callback (run on the loop) invoked for Finder
+// birth/death events delivered to this router.
+func (r *Router) SetFinderEvent(fn func(event, class, instance string)) {
+	r.onFinderEvent = fn
+}
+
+// AddTarget makes t reachable through this router. It does not register t
+// with the Finder; call RegisterWithFinder for that.
+func (r *Router) AddTarget(t *Target) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.targets[t.Name] = t
+	if r.hub != nil {
+		r.hub.addTarget(t.Name, r)
+	}
+}
+
+// RemoveTarget detaches a target.
+func (r *Router) RemoveTarget(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.targets, name)
+	if r.hub != nil {
+		r.hub.removeTarget(name)
+	}
+}
+
+// Target returns the local target with the given name.
+func (r *Router) Target(name string) (*Target, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.targets[name]
+	return t, ok
+}
+
+// AttachHub joins the router to an in-process Hub, enabling the
+// intra-process protocol family.
+func (r *Router) AttachHub(h *Hub) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hub = h
+	h.addRouter(r)
+	for name := range r.targets {
+		h.addTarget(name, r)
+	}
+}
+
+// SetFinderTCP points the router at a Finder reachable over TCP at addr.
+// Without this, the Finder is located through the Hub.
+func (r *Router) SetFinderTCP(addr string) {
+	r.mu.Lock()
+	r.finderEp = xrl.ProtoSTCP + "|" + addr
+	r.mu.Unlock()
+}
+
+// Endpoints returns the transport endpoints this router can be reached on,
+// as "proto|addr" strings, for Finder registration.
+func (r *Router) Endpoints() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var eps []string
+	if r.hub != nil {
+		eps = append(eps, xrl.ProtoIntra+"|"+r.hub.id)
+	}
+	if r.tcpLn != nil {
+		eps = append(eps, xrl.ProtoSTCP+"|"+r.tcpLn.addr())
+	}
+	if r.udpLn != nil {
+		eps = append(eps, xrl.ProtoSUDP+"|"+r.udpLn.addr())
+	}
+	return eps
+}
+
+// nextSeq allocates a request sequence number.
+func (r *Router) nextSeq() uint32 {
+	r.mu.Lock()
+	r.seq++
+	s := r.seq
+	r.mu.Unlock()
+	return s
+}
+
+// Send dispatches x asynchronously. cb (which may be nil) runs on the
+// router's event loop with the reply. Unresolved XRLs are resolved via the
+// Finder first, with results cached; resolved XRLs go straight to the
+// named transport. Safe to call from any goroutine.
+func (r *Router) Send(x xrl.XRL, cb Callback) {
+	if cb == nil {
+		cb = func(xrl.Args, *xrl.Error) {}
+	}
+	r.loop.Dispatch(func() { r.sendInLoop(x, cb, true) })
+}
+
+// Call is a synchronous convenience wrapper around Send for code running
+// OUTSIDE the event loop (tools, tests). Calling it from a loop callback
+// deadlocks.
+func (r *Router) Call(x xrl.XRL) (xrl.Args, *xrl.Error) {
+	type result struct {
+		args xrl.Args
+		err  *xrl.Error
+	}
+	ch := make(chan result, 1)
+	r.Send(x, func(args xrl.Args, err *xrl.Error) {
+		ch <- result{args, err}
+	})
+	res := <-ch
+	return res.args, res.err
+}
+
+func (r *Router) sendInLoop(x xrl.XRL, cb Callback, allowRetry bool) {
+	cmd := x.Command()
+
+	// Already resolved by the caller (e.g. parsed from a call_xrl string).
+	if x.IsResolved() {
+		r.transportSend(resolved{proto: x.Protocol, addr: x.Target, instance: x.Target, key: x.Key},
+			x.Target, cmd, x.Args, cb)
+		return
+	}
+
+	// Local target: direct dispatch, no marshaling, no Finder (the
+	// intra-process "direct method call" family of §6.3 and Figure 9).
+	r.mu.Lock()
+	t, isLocal := r.targets[x.Target]
+	r.mu.Unlock()
+	if isLocal {
+		r.dispatchLocal(t, cmd, x.Args, cb)
+		return
+	}
+
+	// The Finder itself is addressed directly, never resolved.
+	if x.Target == FinderTargetName {
+		ep, ok := r.finderEndpoint()
+		if !ok {
+			r.loop.Dispatch(func() { cb(nil, &xrl.Error{Code: xrl.CodeNoFinder, Note: "no route to finder"}) })
+			return
+		}
+		r.transportSend(ep, FinderTargetName, cmd, x.Args, cb)
+		return
+	}
+
+	// Cached resolution?
+	ck := x.Target + "\x00" + cmd
+	r.mu.Lock()
+	res, hit := r.cache[ck]
+	r.mu.Unlock()
+	if hit {
+		wrapped := cb
+		if allowRetry {
+			wrapped = func(args xrl.Args, err *xrl.Error) {
+				if err != nil && (err.Code == xrl.CodeNoSuchTarget || err.Code == xrl.CodeSendFailed || err.Code == xrl.CodeBadKey) {
+					// Stale cache: drop and re-resolve once.
+					r.mu.Lock()
+					delete(r.cache, ck)
+					r.mu.Unlock()
+					r.sendInLoop(x, cb, false)
+					return
+				}
+				cb(args, err)
+			}
+		}
+		r.transportSend(res, res.instance, cmd, x.Args, wrapped)
+		return
+	}
+
+	// Resolve through the Finder, then send.
+	r.resolve(x.Target, cmd, func(res resolved, err *xrl.Error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		r.mu.Lock()
+		r.cache[ck] = res
+		r.mu.Unlock()
+		r.transportSend(res, res.instance, cmd, x.Args, cb)
+	})
+}
+
+// resolve asks the Finder for the concrete endpoint of (target, command).
+func (r *Router) resolve(target, cmd string, done func(resolved, *xrl.Error)) {
+	q := xrl.New(FinderTargetName, "finder", "1.0", "resolve",
+		xrl.Text("caller", r.name),
+		xrl.Text("target", target),
+		xrl.Text("command", cmd))
+	r.sendInLoop(q, func(args xrl.Args, err *xrl.Error) {
+		if err != nil {
+			if err.Code == xrl.CodeReplyTimeout || err.Code == xrl.CodeSendFailed {
+				err = &xrl.Error{Code: xrl.CodeNoFinder, Note: err.Note}
+			}
+			done(resolved{}, err)
+			return
+		}
+		instance, e1 := args.TextArg("instance")
+		key, e2 := args.TextArg("key")
+		eps, e3 := args.ListArg("endpoints")
+		if e1 != nil || e2 != nil || e3 != nil {
+			done(resolved{}, &xrl.Error{Code: xrl.CodeInternal, Note: "malformed finder resolve reply"})
+			return
+		}
+		res, ok := r.pickEndpoint(instance, key, eps)
+		if !ok {
+			done(resolved{}, &xrl.Error{Code: xrl.CodeResolveFailed,
+				Note: "no usable transport to " + instance})
+			return
+		}
+		done(res, nil)
+	}, false)
+}
+
+// pickEndpoint chooses the best protocol family from a resolution reply:
+// intra-process if the target shares our Hub, then TCP, then UDP.
+func (r *Router) pickEndpoint(instance, key string, eps []xrl.Atom) (resolved, bool) {
+	r.mu.Lock()
+	hubID := ""
+	if r.hub != nil {
+		hubID = r.hub.id
+	}
+	r.mu.Unlock()
+	best := resolved{instance: instance, key: key}
+	rank := 0 // 3=intra, 2=tcp, 1=udp
+	for _, ep := range eps {
+		proto, addr, ok := strings.Cut(ep.TextVal, "|")
+		if !ok {
+			continue
+		}
+		switch {
+		case proto == xrl.ProtoIntra && addr == hubID && hubID != "" && rank < 3:
+			best.proto, best.addr, rank = proto, addr, 3
+		case proto == xrl.ProtoSTCP && rank < 2:
+			best.proto, best.addr, rank = proto, addr, 2
+		case proto == xrl.ProtoSUDP && rank < 1:
+			best.proto, best.addr, rank = proto, addr, 1
+		}
+	}
+	return best, rank > 0
+}
+
+// finderEndpoint returns how to reach the Finder.
+func (r *Router) finderEndpoint() (resolved, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finderEp != "" {
+		proto, addr, _ := strings.Cut(r.finderEp, "|")
+		return resolved{proto: proto, addr: addr, instance: FinderTargetName}, true
+	}
+	if r.hub != nil {
+		if _, ok := r.hub.routerForTarget(FinderTargetName); ok {
+			return resolved{proto: xrl.ProtoIntra, addr: r.hub.id, instance: FinderTargetName}, true
+		}
+	}
+	return resolved{}, false
+}
+
+// dispatchLocal runs a handler on a local target synchronously and
+// delivers the callback as a fresh event.
+func (r *Router) dispatchLocal(t *Target, cmd string, args xrl.Args, cb Callback) {
+	h, ok := t.handler(cmd)
+	if !ok {
+		r.loop.Dispatch(func() {
+			cb(nil, &xrl.Error{Code: xrl.CodeNoSuchMethod, Note: t.Name + " has no method " + cmd})
+		})
+		return
+	}
+	out, err := h(args)
+	r.loop.Dispatch(func() { cb(out, xrl.AsError(err)) })
+}
+
+// transportSend routes a resolved request through the matching sender.
+func (r *Router) transportSend(res resolved, targetName, cmd string, args xrl.Args, cb Callback) {
+	s, err := r.senderFor(res.proto, res.addr)
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	req := &xrl.Request{
+		Seq:     r.nextSeq(),
+		Target:  targetName,
+		Command: cmd,
+		Key:     res.key,
+		Args:    args,
+	}
+	// Reply timeout, driven by the loop clock so simulated time works.
+	done := false
+	var timer *eventloop.Timer
+	deliver := func(args xrl.Args, e *xrl.Error) {
+		if done {
+			return // late reply after timeout, or duplicate
+		}
+		done = true
+		if timer != nil {
+			timer.Cancel()
+		}
+		cb(args, e)
+	}
+	if r.timeout > 0 {
+		timer = r.loop.OneShot(r.timeout, func() {
+			deliver(nil, &xrl.Error{Code: xrl.CodeReplyTimeout,
+				Note: res.proto + " reply timeout for " + cmd})
+		})
+	}
+	s.send(req, func(rep *xrl.Reply, sendErr *xrl.Error) {
+		// Runs on r.loop (senders guarantee this).
+		if sendErr != nil {
+			deliver(nil, sendErr)
+			return
+		}
+		if rep.Code != xrl.CodeOkay {
+			deliver(rep.Args, &xrl.Error{Code: rep.Code, Note: rep.Note})
+			return
+		}
+		deliver(rep.Args, nil)
+	})
+}
+
+// senderFor returns (creating if needed) the sender for proto|addr.
+func (r *Router) senderFor(proto, addr string) (sender, *xrl.Error) {
+	key := proto + "|" + addr
+	r.mu.Lock()
+	if s, ok := r.senders[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	hub := r.hub
+	r.mu.Unlock()
+
+	var (
+		s   sender
+		err *xrl.Error
+	)
+	switch proto {
+	case xrl.ProtoIntra:
+		if hub == nil || hub.id != addr {
+			return nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: "not attached to hub " + addr}
+		}
+		s = &intraSender{router: r, hub: hub}
+	case xrl.ProtoSTCP:
+		s, err = newTCPSender(r, addr)
+	case xrl.ProtoSUDP:
+		s, err = newUDPSender(r, addr)
+	default:
+		return nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: "unknown protocol family " + proto}
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	// Another sendInLoop callback cannot have raced us (single loop), but
+	// be defensive anyway.
+	if exist, ok := r.senders[key]; ok {
+		r.mu.Unlock()
+		s.close()
+		return exist, nil
+	}
+	r.senders[key] = s
+	r.mu.Unlock()
+	return s, nil
+}
+
+// dropSender removes a dead sender so the next request reconnects.
+func (r *Router) dropSender(s sender) {
+	r.mu.Lock()
+	for k, v := range r.senders {
+		if v == s {
+			delete(r.senders, k)
+			break
+		}
+	}
+	r.mu.Unlock()
+}
+
+// handleRequest dispatches an incoming transport request on the loop and
+// passes the reply to respond. Must be called on the router's loop.
+func (r *Router) handleRequest(req *xrl.Request, respond func(*xrl.Reply)) {
+	rep := &xrl.Reply{Seq: req.Seq}
+
+	// Internal finder_client interface: cache invalidation and lifetime
+	// events pushed by the Finder (§6.2).
+	if strings.HasPrefix(req.Command, "finder_client/1.0/") {
+		r.handleFinderEvent(req, rep)
+		respond(rep)
+		return
+	}
+
+	r.mu.Lock()
+	t, ok := r.targets[req.Target]
+	r.mu.Unlock()
+	if !ok {
+		rep.Code = xrl.CodeNoSuchTarget
+		rep.Note = "no target " + req.Target + " in process " + r.name
+		respond(rep)
+		return
+	}
+	h, ok := t.handler(req.Command)
+	if !ok {
+		rep.Code = xrl.CodeNoSuchMethod
+		rep.Note = req.Target + " has no method " + req.Command
+		respond(rep)
+		return
+	}
+	// Per-method key check (§7): once the Finder has issued a key for this
+	// method, transport-delivered calls must present it.
+	if want := t.keyFor(req.Command); want != "" && req.Key != want {
+		rep.Code = xrl.CodeBadKey
+		rep.Note = "method key mismatch for " + req.Command
+		respond(rep)
+		return
+	}
+	out, err := h(req.Args)
+	if xe := xrl.AsError(err); xe != nil {
+		rep.Code = xe.Code
+		rep.Note = xe.Note
+		rep.Args = out
+	} else {
+		rep.Code = xrl.CodeOkay
+		rep.Args = out
+	}
+	respond(rep)
+}
+
+func (r *Router) handleFinderEvent(req *xrl.Request, rep *xrl.Reply) {
+	rep.Code = xrl.CodeOkay
+	switch req.Command {
+	case "finder_client/1.0/ping":
+		// Liveness probe; nothing to do.
+	case "finder_client/1.0/invalidate":
+		instance, err := req.Args.TextArg("instance")
+		if err != nil {
+			rep.Code = xrl.CodeBadArgs
+			return
+		}
+		r.mu.Lock()
+		for k, v := range r.cache {
+			if v.instance == instance || strings.HasPrefix(k, instance+"\x00") {
+				delete(r.cache, k)
+			}
+		}
+		r.mu.Unlock()
+	case "finder_client/1.0/birth", "finder_client/1.0/death":
+		class, e1 := req.Args.TextArg("class")
+		instance, e2 := req.Args.TextArg("instance")
+		if e1 != nil || e2 != nil {
+			rep.Code = xrl.CodeBadArgs
+			return
+		}
+		if req.Command == "finder_client/1.0/death" {
+			r.mu.Lock()
+			for k, v := range r.cache {
+				if v.instance == instance {
+					delete(r.cache, k)
+				}
+			}
+			r.mu.Unlock()
+		}
+		if r.onFinderEvent != nil {
+			event := strings.TrimPrefix(req.Command, "finder_client/1.0/")
+			r.onFinderEvent(event, class, instance)
+		}
+	default:
+		rep.Code = xrl.CodeNoSuchMethod
+		rep.Note = "unknown finder_client method " + req.Command
+	}
+}
+
+// CacheLen reports the number of cached resolutions (for tests).
+func (r *Router) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// Close shuts down listeners and senders.
+func (r *Router) Close() {
+	r.mu.Lock()
+	senders := make([]sender, 0, len(r.senders))
+	for _, s := range r.senders {
+		senders = append(senders, s)
+	}
+	r.senders = make(map[string]sender)
+	tcpLn, udpLn, hub := r.tcpLn, r.udpLn, r.hub
+	r.tcpLn, r.udpLn = nil, nil
+	targets := make([]string, 0, len(r.targets))
+	for name := range r.targets {
+		targets = append(targets, name)
+	}
+	r.mu.Unlock()
+
+	for _, s := range senders {
+		s.close()
+	}
+	if tcpLn != nil {
+		tcpLn.close()
+	}
+	if udpLn != nil {
+		udpLn.close()
+	}
+	if hub != nil {
+		for _, name := range targets {
+			hub.removeTarget(name)
+		}
+		hub.removeRouter(r)
+	}
+}
+
+// sender is one live transport attachment (per destination endpoint).
+type sender interface {
+	// send transmits req and eventually calls cb exactly once on the
+	// router's event loop.
+	send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error))
+	close()
+}

@@ -1,0 +1,92 @@
+// Package xipc implements XORP's inter-process communication layer
+// (paper §6): XRL dispatch between components over pluggable protocol
+// families — intra-process direct calls, pipelined TCP, and stop-and-wait
+// UDP — brokered by the Finder (package finder).
+//
+// Each router process owns one Router bound to its event loop. Components
+// register Targets (named XRL receiving points) carrying interfaces of
+// methods. Sends are asynchronous: the reply callback is delivered on the
+// sender's event loop, preserving the single-threaded programming model.
+package xipc
+
+import (
+	"fmt"
+	"sync"
+
+	"xorp/internal/xrl"
+)
+
+// Handler implements one XRL method. It runs on the owning Router's event
+// loop. It returns the reply arguments; a returned error is converted with
+// xrl.AsError (so handlers may return *xrl.Error for a precise code).
+type Handler func(args xrl.Args) (xrl.Args, error)
+
+// Target is an XRL receiving point: a component instance (paper §6.2).
+// The unit of IPC addressing is the component instance, not the process.
+type Target struct {
+	// Name is the unique component instance name, e.g. "bgp".
+	Name string
+	// Class is the component class, e.g. "bgp". Several instances may
+	// share a class; resolution by class picks one.
+	Class string
+
+	mu      sync.Mutex
+	methods map[string]Handler // command "iface/version/method" -> handler
+	keys    map[string]string  // command -> Finder-issued method key
+}
+
+// NewTarget returns a Target with the given instance name and class.
+func NewTarget(name, class string) *Target {
+	return &Target{
+		Name:    name,
+		Class:   class,
+		methods: make(map[string]Handler),
+		keys:    make(map[string]string),
+	}
+}
+
+// Register adds a method handler for command "iface/version/method".
+// Registering a duplicate command panics: it is a programming error.
+func (t *Target) Register(iface, version, method string, h Handler) {
+	cmd := iface + "/" + version + "/" + method
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.methods[cmd]; dup {
+		panic(fmt.Sprintf("xipc: duplicate method %s on target %s", cmd, t.Name))
+	}
+	t.methods[cmd] = h
+}
+
+// Commands returns all registered commands.
+func (t *Target) Commands() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.methods))
+	for c := range t.methods {
+		out = append(out, c)
+	}
+	return out
+}
+
+// handler returns the handler for cmd.
+func (t *Target) handler(cmd string) (Handler, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.methods[cmd]
+	return h, ok
+}
+
+// SetMethodKey records the Finder-issued key for cmd; once set, transport
+// calls must present it (§7). Called by the finder registration client.
+func (t *Target) SetMethodKey(cmd, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keys[cmd] = key
+}
+
+// keyFor returns the required key for cmd ("" if none issued yet).
+func (t *Target) keyFor(cmd string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.keys[cmd]
+}

@@ -1,0 +1,303 @@
+package xipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"xorp/internal/xrl"
+)
+
+// The TCP ("stcp") protocol family: length-prefixed XRL frames over a
+// persistent connection. Requests are pipelined — many may be outstanding
+// at once, correlated by sequence number — which is what gives TCP its
+// near-intra-process throughput in Figure 9.
+
+// maxFrame bounds a frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrame = 16 << 20
+
+// writeFrame writes one length-prefixed frame. Callers serialize.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, reusing buf when possible.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("xipc: frame of %d bytes exceeds limit", n)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ListenTCP starts the router's TCP listener on addr (host:port, port 0
+// for ephemeral). The resulting endpoint appears in Endpoints().
+func (r *Router) ListenTCP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	l := &tcpListener{router: r, ln: ln}
+	r.mu.Lock()
+	r.tcpLn = l
+	r.mu.Unlock()
+	go l.acceptLoop()
+	return nil
+}
+
+type tcpListener struct {
+	router *Router
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func (l *tcpListener) addr() string { return l.ln.Addr().String() }
+
+func (l *tcpListener) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.conns == nil {
+			l.conns = make(map[net.Conn]struct{})
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		go l.serveConn(conn)
+	}
+}
+
+// serveConn reads pipelined requests and writes replies as handlers
+// complete. Replies may interleave; the sequence number correlates.
+func (l *tcpListener) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+	var wmu sync.Mutex // serializes reply writes from loop callbacks
+	var buf []byte
+	for {
+		frame, err := readFrame(conn, buf)
+		if err != nil {
+			return
+		}
+		buf = frame // reuse grown buffer next time
+		req, _, err := xrl.DecodeFrame(frame)
+		if err != nil || req == nil {
+			return // protocol violation: drop the connection
+		}
+		// The decoded request aliases buf, which the next read reuses.
+		// Requests are handled asynchronously, so detach it.
+		req = detachRequest(req)
+		r := l.router
+		r.loop.Dispatch(func() {
+			r.handleRequest(req, func(rep *xrl.Reply) {
+				out, err := xrl.AppendReply(nil, rep)
+				if err != nil {
+					out, _ = xrl.AppendReply(nil, &xrl.Reply{
+						Seq:  rep.Seq,
+						Code: xrl.CodeInternal,
+						Note: "reply encoding failed: " + err.Error(),
+					})
+				}
+				wmu.Lock()
+				werr := writeFrame(conn, out)
+				wmu.Unlock()
+				if werr != nil {
+					conn.Close()
+				}
+			})
+		})
+	}
+}
+
+func (l *tcpListener) close() {
+	l.ln.Close()
+	l.mu.Lock()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+}
+
+// detachRequest deep-copies the request out of a reused read buffer.
+func detachRequest(req *xrl.Request) *xrl.Request {
+	out := &xrl.Request{
+		Seq:     req.Seq,
+		Target:  string(append([]byte(nil), req.Target...)),
+		Command: string(append([]byte(nil), req.Command...)),
+		Key:     string(append([]byte(nil), req.Key...)),
+		Args:    detachArgs(req.Args),
+	}
+	return out
+}
+
+func detachArgs(args xrl.Args) xrl.Args {
+	if args == nil {
+		return nil
+	}
+	out := make(xrl.Args, len(args))
+	for i, a := range args {
+		a.Name = string(append([]byte(nil), a.Name...))
+		if a.Type == xrl.TypeText {
+			a.TextVal = string(append([]byte(nil), a.TextVal...))
+		}
+		if a.BinVal != nil {
+			a.BinVal = append([]byte(nil), a.BinVal...)
+		}
+		if a.ListVal != nil {
+			a.ListVal = detachArgs(a.ListVal)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// tcpSender is the client side of one TCP attachment, with full request
+// pipelining.
+type tcpSender struct {
+	router *Router
+	conn   net.Conn
+
+	mu      sync.Mutex
+	pending map[uint32]func(*xrl.Reply, *xrl.Error)
+	dead    bool
+	encBuf  []byte
+}
+
+func newTCPSender(r *Router, addr string) (*tcpSender, *xrl.Error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: "dial " + addr + ": " + err.Error()}
+	}
+	s := &tcpSender{
+		router:  r,
+		conn:    conn,
+		pending: make(map[uint32]func(*xrl.Reply, *xrl.Error)),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+func (s *tcpSender) send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error)) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		s.router.loop.Dispatch(func() {
+			cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: "connection closed"})
+		})
+		return
+	}
+	s.pending[req.Seq] = cb
+	buf, encErr := xrl.AppendRequest(s.encBuf[:0], req)
+	s.encBuf = buf[:0]
+	var werr error
+	if encErr == nil {
+		werr = writeFrame(s.conn, buf)
+	}
+	s.mu.Unlock()
+
+	if encErr != nil || werr != nil {
+		s.mu.Lock()
+		delete(s.pending, req.Seq)
+		s.mu.Unlock()
+		note := "encode failed"
+		if encErr != nil {
+			note = encErr.Error()
+		} else if werr != nil {
+			note = werr.Error()
+		}
+		s.router.loop.Dispatch(func() {
+			cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: note})
+		})
+		if werr != nil {
+			s.fail()
+		}
+	}
+}
+
+func (s *tcpSender) readLoop() {
+	var buf []byte
+	for {
+		frame, err := readFrame(s.conn, buf)
+		if err != nil {
+			s.fail()
+			return
+		}
+		buf = frame
+		_, rep, err := xrl.DecodeFrame(frame)
+		if err != nil || rep == nil {
+			s.fail()
+			return
+		}
+		rep = detachReply(rep)
+		s.mu.Lock()
+		cb, ok := s.pending[rep.Seq]
+		delete(s.pending, rep.Seq)
+		s.mu.Unlock()
+		if ok {
+			s.router.loop.Dispatch(func() { cb(rep, nil) })
+		}
+	}
+}
+
+func detachReply(rep *xrl.Reply) *xrl.Reply {
+	return &xrl.Reply{
+		Seq:  rep.Seq,
+		Code: rep.Code,
+		Note: string(append([]byte(nil), rep.Note...)),
+		Args: detachArgs(rep.Args),
+	}
+}
+
+// fail errors out all pending requests and unregisters the sender.
+func (s *tcpSender) fail() {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	pend := s.pending
+	s.pending = make(map[uint32]func(*xrl.Reply, *xrl.Error))
+	s.mu.Unlock()
+
+	s.conn.Close()
+	s.router.dropSender(s)
+	for _, cb := range pend {
+		cb := cb
+		s.router.loop.Dispatch(func() {
+			cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: "connection lost"})
+		})
+	}
+}
+
+func (s *tcpSender) close() {
+	s.conn.Close()
+}

@@ -1,0 +1,240 @@
+package xipc
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"xorp/internal/xrl"
+)
+
+// The UDP ("sudp") protocol family: one datagram per frame, deliberately
+// stop-and-wait. The paper keeps its first (non-pipelining) XRL transport
+// in the evaluation to show the effect of request pipelining (Figure 9:
+// UDP is markedly slower than TCP even on the loopback); we reproduce
+// that behaviour, including its lack of retransmission.
+
+// maxDatagram is the largest reply/request datagram handled.
+const maxDatagram = 64 << 10
+
+// ListenUDP starts the router's UDP listener on addr.
+func (r *Router) ListenUDP(addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	pc, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return err
+	}
+	l := &udpListener{router: r, pc: pc}
+	r.mu.Lock()
+	r.udpLn = l
+	r.mu.Unlock()
+	go l.readLoop()
+	return nil
+}
+
+type udpListener struct {
+	router *Router
+	pc     *net.UDPConn
+}
+
+func (l *udpListener) addr() string { return l.pc.LocalAddr().String() }
+
+func (l *udpListener) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := l.pc.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		req, _, derr := xrl.DecodeFrame(buf[:n])
+		if derr != nil || req == nil {
+			continue // drop malformed datagrams
+		}
+		req = detachRequest(req)
+		r := l.router
+		r.loop.Dispatch(func() {
+			r.handleRequest(req, func(rep *xrl.Reply) {
+				out, err := xrl.AppendReply(nil, rep)
+				if err != nil {
+					return
+				}
+				l.pc.WriteToUDP(out, from)
+			})
+		})
+	}
+}
+
+func (l *udpListener) close() { l.pc.Close() }
+
+// udpSender sends requests stop-and-wait: a single request is in flight;
+// the rest queue behind it.
+type udpSender struct {
+	router *Router
+	conn   *net.UDPConn
+
+	mu       sync.Mutex
+	inflight *udpPending
+	queue    []*udpPending
+	dead     bool
+}
+
+type udpPending struct {
+	req   *xrl.Request
+	cb    func(*xrl.Reply, *xrl.Error)
+	timer *time.Timer
+}
+
+// udpLossTimeout bounds how long a lost datagram may stall the
+// stop-and-wait queue. There is no retransmission (as in the paper's
+// prototype); the request simply fails.
+const udpLossTimeout = 10 * time.Second
+
+func newUDPSender(r *Router, addr string) (*udpSender, *xrl.Error) {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: err.Error()}
+	}
+	conn, err := net.DialUDP("udp", nil, uaddr)
+	if err != nil {
+		return nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: err.Error()}
+	}
+	s := &udpSender{router: r, conn: conn}
+	go s.readLoop()
+	return s, nil
+}
+
+func (s *udpSender) send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error)) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		s.router.loop.Dispatch(func() {
+			cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: "udp sender closed"})
+		})
+		return
+	}
+	p := &udpPending{req: req, cb: cb}
+	if s.inflight != nil {
+		s.queue = append(s.queue, p)
+		s.mu.Unlock()
+		return
+	}
+	s.inflight = p
+	s.mu.Unlock()
+	s.transmit(p)
+}
+
+func (s *udpSender) transmit(p *udpPending) {
+	buf, err := xrl.AppendRequest(nil, p.req)
+	if err == nil {
+		_, err = s.conn.Write(buf)
+	}
+	if err == nil {
+		p.timer = time.AfterFunc(udpLossTimeout, func() { s.giveUp(p) })
+	}
+	if err != nil {
+		note := err.Error()
+		s.mu.Lock()
+		s.inflight = nil
+		next := s.popLocked()
+		s.mu.Unlock()
+		s.router.loop.Dispatch(func() {
+			p.cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: note})
+		})
+		if next != nil {
+			s.startNext(next)
+		}
+	}
+}
+
+func (s *udpSender) popLocked() *udpPending {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	next := s.queue[0]
+	s.queue[0] = nil
+	s.queue = s.queue[1:]
+	s.inflight = next
+	return next
+}
+
+func (s *udpSender) startNext(p *udpPending) { s.transmit(p) }
+
+func (s *udpSender) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			s.failAll("udp read: " + err.Error())
+			return
+		}
+		_, rep, derr := xrl.DecodeFrame(buf[:n])
+		if derr != nil || rep == nil {
+			continue
+		}
+		rep = detachReply(rep)
+		s.mu.Lock()
+		p := s.inflight
+		if p == nil || p.req.Seq != rep.Seq {
+			s.mu.Unlock()
+			continue // stray or duplicate reply
+		}
+		s.inflight = nil
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		next := s.popLocked()
+		s.mu.Unlock()
+		s.router.loop.Dispatch(func() { p.cb(rep, nil) })
+		if next != nil {
+			s.startNext(next)
+		}
+	}
+}
+
+// giveUp abandons a presumed-lost datagram so queued requests can proceed.
+func (s *udpSender) giveUp(p *udpPending) {
+	s.mu.Lock()
+	if s.inflight != p {
+		s.mu.Unlock()
+		return
+	}
+	s.inflight = nil
+	next := s.popLocked()
+	s.mu.Unlock()
+	s.router.loop.Dispatch(func() {
+		p.cb(nil, &xrl.Error{Code: xrl.CodeReplyTimeout, Note: "udp datagram presumed lost"})
+	})
+	if next != nil {
+		s.startNext(next)
+	}
+}
+
+func (s *udpSender) failAll(note string) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	var all []*udpPending
+	if s.inflight != nil {
+		all = append(all, s.inflight)
+		s.inflight = nil
+	}
+	all = append(all, s.queue...)
+	s.queue = nil
+	s.mu.Unlock()
+
+	s.router.dropSender(s)
+	for _, p := range all {
+		p := p
+		s.router.loop.Dispatch(func() {
+			p.cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: note})
+		})
+	}
+}
+
+func (s *udpSender) close() { s.conn.Close() }

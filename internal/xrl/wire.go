@@ -1,0 +1,352 @@
+package xrl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/netip"
+)
+
+// Binary wire codec for XRL requests and replies. The encoding is
+// length-delimited and append-based: encoders append to a caller-supplied
+// buffer and decoders parse from a byte slice without copying, so hot
+// paths (the Figure-9 benchmark) can reuse buffers.
+//
+// Frame layout (after any transport-level length prefix):
+//
+//	u8  frame type (1 request, 2 reply)
+//	u32 sequence number (correlates replies to requests)
+//	request:  str16 target | str16 command | str16 key | args
+//	reply:    u32 error code | str16 error note | args
+//	args:     u16 count | atom...
+//	atom:     u8 type | str8 name | value (type-dependent)
+
+// Frame types.
+const (
+	FrameRequest = 1
+	FrameReply   = 2
+)
+
+// Request is the wire form of an XRL invocation.
+type Request struct {
+	Seq     uint32
+	Target  string // component instance the call is addressed to
+	Command string // "interface/version/method"
+	Key     string
+	Args    Args
+}
+
+// Reply is the wire form of an XRL result.
+type Reply struct {
+	Seq  uint32
+	Code ErrorCode
+	Note string
+	Args Args
+}
+
+// AppendRequest appends the encoded request to dst.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	dst = append(dst, FrameRequest)
+	dst = binary.BigEndian.AppendUint32(dst, r.Seq)
+	var err error
+	if dst, err = appendStr16(dst, r.Target); err != nil {
+		return dst, err
+	}
+	if dst, err = appendStr16(dst, r.Command); err != nil {
+		return dst, err
+	}
+	if dst, err = appendStr16(dst, r.Key); err != nil {
+		return dst, err
+	}
+	return appendArgs(dst, r.Args)
+}
+
+// AppendReply appends the encoded reply to dst.
+func AppendReply(dst []byte, r *Reply) ([]byte, error) {
+	dst = append(dst, FrameReply)
+	dst = binary.BigEndian.AppendUint32(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Code))
+	var err error
+	if dst, err = appendStr16(dst, r.Note); err != nil {
+		return dst, err
+	}
+	return appendArgs(dst, r.Args)
+}
+
+// DecodeFrame decodes one frame. Exactly one of req/rep is non-nil on
+// success. The decoded strings and byte slices alias buf.
+func DecodeFrame(buf []byte) (req *Request, rep *Reply, err error) {
+	d := decoder{buf: buf}
+	ft := d.u8()
+	seq := d.u32()
+	switch ft {
+	case FrameRequest:
+		r := &Request{Seq: seq}
+		r.Target = d.str16()
+		r.Command = d.str16()
+		r.Key = d.str16()
+		r.Args = d.args()
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if len(d.buf) != d.off {
+			return nil, nil, fmt.Errorf("xrl: %d trailing bytes in request frame", len(d.buf)-d.off)
+		}
+		return r, nil, nil
+	case FrameReply:
+		r := &Reply{Seq: seq}
+		r.Code = ErrorCode(d.u32())
+		r.Note = d.str16()
+		r.Args = d.args()
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if len(d.buf) != d.off {
+			return nil, nil, fmt.Errorf("xrl: %d trailing bytes in reply frame", len(d.buf)-d.off)
+		}
+		return nil, r, nil
+	default:
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		return nil, nil, fmt.Errorf("xrl: unknown frame type %d", ft)
+	}
+}
+
+func appendStr8(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint8 {
+		return dst, fmt.Errorf("xrl: string too long for str8 (%d bytes)", len(s))
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendStr16(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return dst, fmt.Errorf("xrl: string too long for str16 (%d bytes)", len(s))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendArgs(dst []byte, args Args) ([]byte, error) {
+	if len(args) > math.MaxUint16 {
+		return dst, fmt.Errorf("xrl: too many arguments (%d)", len(args))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(args)))
+	var err error
+	for i := range args {
+		if dst, err = appendAtom(dst, &args[i]); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func appendAtom(dst []byte, a *Atom) ([]byte, error) {
+	dst = append(dst, byte(a.Type))
+	var err error
+	if dst, err = appendStr8(dst, a.Name); err != nil {
+		return dst, err
+	}
+	switch a.Type {
+	case TypeBool:
+		if a.BoolVal {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case TypeI32, TypeU32:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(a.IntVal))
+	case TypeI64, TypeU64:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(a.IntVal))
+	case TypeFP64:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(a.F64Val))
+	case TypeText:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(a.TextVal)))
+		dst = append(dst, a.TextVal...)
+	case TypeBinary:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(a.BinVal)))
+		dst = append(dst, a.BinVal...)
+	case TypeIPv4:
+		if !a.AddrVal.Is4() {
+			return dst, fmt.Errorf("xrl: atom %q: %v is not IPv4", a.Name, a.AddrVal)
+		}
+		b := a.AddrVal.As4()
+		dst = append(dst, b[:]...)
+	case TypeIPv6:
+		if a.AddrVal.Is4() || !a.AddrVal.IsValid() {
+			return dst, fmt.Errorf("xrl: atom %q: %v is not IPv6", a.Name, a.AddrVal)
+		}
+		b := a.AddrVal.As16()
+		dst = append(dst, b[:]...)
+	case TypeIPv4Net:
+		if !a.NetVal.Addr().Is4() {
+			return dst, fmt.Errorf("xrl: atom %q: %v is not an IPv4 prefix", a.Name, a.NetVal)
+		}
+		b := a.NetVal.Addr().As4()
+		dst = append(dst, b[:]...)
+		dst = append(dst, byte(a.NetVal.Bits()))
+	case TypeIPv6Net:
+		if a.NetVal.Addr().Is4() || !a.NetVal.IsValid() {
+			return dst, fmt.Errorf("xrl: atom %q: %v is not an IPv6 prefix", a.Name, a.NetVal)
+		}
+		b := a.NetVal.Addr().As16()
+		dst = append(dst, b[:]...)
+		dst = append(dst, byte(a.NetVal.Bits()))
+	case TypeList:
+		var err error
+		if dst, err = appendArgs(dst, Args(a.ListVal)); err != nil {
+			return dst, err
+		}
+	default:
+		return dst, fmt.Errorf("xrl: cannot encode atom type %v", a.Type)
+	}
+	return dst, nil
+}
+
+// decoder is a cursor over an encoded frame with sticky error handling.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("xrl: decode: "+format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("truncated frame (need %d bytes at %d of %d)", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) str8() string {
+	n := int(d.u8())
+	return string(d.take(n))
+}
+
+func (d *decoder) str16() string {
+	n := int(d.u16())
+	return string(d.take(n))
+}
+
+func (d *decoder) args() Args {
+	n := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	// Sanity bound: each atom needs at least 2 bytes.
+	if n*2 > len(d.buf)-d.off {
+		d.fail("argument count %d exceeds frame size", n)
+		return nil
+	}
+	args := make(Args, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		args = append(args, d.atom())
+	}
+	return args
+}
+
+func (d *decoder) atom() Atom {
+	a := Atom{Type: AtomType(d.u8())}
+	a.Name = d.str8()
+	switch a.Type {
+	case TypeBool:
+		a.BoolVal = d.u8() != 0
+	case TypeI32:
+		a.IntVal = int64(int32(d.u32()))
+	case TypeU32:
+		a.IntVal = int64(d.u32())
+	case TypeI64, TypeU64:
+		a.IntVal = int64(d.u64())
+	case TypeFP64:
+		a.F64Val = math.Float64frombits(d.u64())
+	case TypeText:
+		n := int(d.u32())
+		a.TextVal = string(d.take(n))
+	case TypeBinary:
+		n := int(d.u32())
+		b := d.take(n)
+		if b != nil {
+			a.BinVal = b
+		}
+	case TypeIPv4:
+		b := d.take(4)
+		if b != nil {
+			a.AddrVal = netip.AddrFrom4([4]byte(b))
+		}
+	case TypeIPv6:
+		b := d.take(16)
+		if b != nil {
+			a.AddrVal = netip.AddrFrom16([16]byte(b))
+		}
+	case TypeIPv4Net:
+		b := d.take(4)
+		bits := d.u8()
+		if b != nil {
+			if bits > 32 {
+				d.fail("ipv4net bits %d", bits)
+			} else {
+				a.NetVal = netip.PrefixFrom(netip.AddrFrom4([4]byte(b)), int(bits))
+			}
+		}
+	case TypeIPv6Net:
+		b := d.take(16)
+		bits := d.u8()
+		if b != nil {
+			if bits > 128 {
+				d.fail("ipv6net bits %d", bits)
+			} else {
+				a.NetVal = netip.PrefixFrom(netip.AddrFrom16([16]byte(b)), int(bits))
+			}
+		}
+	case TypeList:
+		a.ListVal = d.args()
+	default:
+		d.fail("unknown atom type %d", a.Type)
+	}
+	return a
+}
