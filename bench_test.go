@@ -16,7 +16,8 @@ import (
 	"xorp/internal/scanner"
 )
 
-// benchFig9 measures one Figure 9 point and reports XRLs/sec.
+// benchFig9 measures one Figure 9 point and reports XRLs/sec plus the
+// fast-path cost columns: heap allocations and transport syscalls per XRL.
 func benchFig9(b *testing.B, transport string, nargs int) {
 	b.Helper()
 	total := 10000
@@ -32,6 +33,8 @@ func benchFig9(b *testing.B, transport string, nargs int) {
 		last = res
 	}
 	b.ReportMetric(last.XRLsPerSec, "xrls/sec")
+	b.ReportMetric(last.AllocsPerXRL, "allocs/xrl")
+	b.ReportMetric(last.SyscallsPerXRL, "sys/xrl")
 }
 
 func BenchmarkFig9XRL_IntraProcess_Args0(b *testing.B)  { benchFig9(b, "intra", 0) }

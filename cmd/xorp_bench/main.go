@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	quick := flag.Bool("quick", false, "scale the full-table experiments down (20k routes)")
 	points := flag.Bool("points", false, "also dump per-route data points (gnuplot style)")
+	fig9json := flag.String("fig9json", "", "write the fig9 results as JSON to this file (see BENCH_fig9.json)")
 	flag.Parse()
 
 	preload := workload.FullTableSize
@@ -51,9 +53,11 @@ func main() {
 
 	run("fig9", func() error {
 		fmt.Println("XRL performance for various communication families (Figure 9)")
-		fmt.Printf("%-6s %12s %12s %12s\n", "#args", "Intra-Process", "TCP", "UDP")
+		fmt.Println("columns: XRLs/sec | heap allocs per XRL | transport syscalls per XRL")
+		fmt.Printf("%-6s %26s %26s %26s\n", "#args", "Intra-Process", "TCP", "UDP")
+		var all []bench.Fig9Result
 		for _, nargs := range []int{0, 1, 2, 4, 8, 12, 16, 20, 25} {
-			row := [3]float64{}
+			row := [3]bench.Fig9Result{}
 			for i, tr := range []string{"intra", "tcp", "udp"} {
 				total := 10000
 				if tr == "udp" {
@@ -63,9 +67,24 @@ func main() {
 				if err != nil {
 					return err
 				}
-				row[i] = res.XRLsPerSec
+				row[i] = res
+				all = append(all, res)
 			}
-			fmt.Printf("%-6d %12.0f %12.0f %12.0f\n", nargs, row[0], row[1], row[2])
+			fmt.Printf("%-6d", nargs)
+			for _, r := range row {
+				fmt.Printf(" %12.0f %5.1f %6.2f", r.XRLsPerSec, r.AllocsPerXRL, r.SyscallsPerXRL)
+			}
+			fmt.Println()
+		}
+		if *fig9json != "" {
+			out, err := json.MarshalIndent(all, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*fig9json, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *fig9json)
 		}
 		return nil
 	})

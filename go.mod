@@ -1,0 +1,3 @@
+module xorp
+
+go 1.24

@@ -10,7 +10,6 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"xorp/internal/bgp"
@@ -30,13 +29,18 @@ import (
 // Figure 9: XRL performance for the three protocol families.
 // ---------------------------------------------------------------------
 
-// Fig9Result is one point of Figure 9.
+// Fig9Result is one point of Figure 9, extended with the cost columns the
+// fast-path work optimizes: heap allocations and transport syscalls per
+// XRL (the latter counts socket read/write ops, ~1 syscall each; intra
+// traffic performs none).
 type Fig9Result struct {
-	Transport  string
-	Args       int
-	Total      int
-	Elapsed    time.Duration
-	XRLsPerSec float64
+	Transport      string
+	Args           int
+	Total          int
+	Elapsed        time.Duration
+	XRLsPerSec     float64
+	AllocsPerXRL   float64
+	SyscallsPerXRL float64
 }
 
 // RunFig9 measures XRL throughput: a transaction of total XRLs with a
@@ -117,49 +121,62 @@ func RunFig9(transport string, nargs, total, window int) (Fig9Result, error) {
 		return res, fmt.Errorf("bench: warmup: %v", err)
 	}
 
+	// The driver state is confined to the sender's event loop (callbacks
+	// run there), so the hot path carries no mutex: the only cross-
+	// goroutine signal is the final close(done).
 	var (
-		mu        sync.Mutex
 		sent      int
 		completed int
 		errCount  int
+		firing    bool
 		done      = make(chan struct{})
 	)
 	var fire func()
+	onDone := func(_ xrl.Args, err *xrl.Error) {
+		completed++
+		if err != nil {
+			errCount++
+		}
+		if completed == total {
+			close(done)
+			return
+		}
+		fire()
+	}
 	fire = func() {
-		// Called with mu held.
+		if firing {
+			// Re-entered from a synchronously-completed send (the intra
+			// fast path); the outer window loop below is still running.
+			return
+		}
+		firing = true
 		for sent < total && sent-completed < window {
 			sent++
-			sendRouter.Send(call, func(_ xrl.Args, err *xrl.Error) {
-				mu.Lock()
-				completed++
-				if err != nil {
-					errCount++
-				}
-				finished := completed == total
-				if !finished {
-					fire()
-				}
-				mu.Unlock()
-				if finished {
-					close(done)
-				}
-			})
+			sendRouter.SendFromLoop(call, onDone)
 		}
+		firing = false
 	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	w0, r0 := xipc.IOStats()
 	start := time.Now()
-	mu.Lock()
-	fire()
-	mu.Unlock()
+	sendLoop.Dispatch(fire)
 	select {
 	case <-done:
 	case <-time.After(5 * time.Minute):
-		return res, fmt.Errorf("bench: fig9 %s stalled (%d/%d)", transport, completed, total)
+		// completed/sent live on the loop goroutine; don't race on them.
+		return res, fmt.Errorf("bench: fig9 %s stalled short of %d XRLs", transport, total)
 	}
 	res.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	w1, r1 := xipc.IOStats()
 	if errCount > 0 {
 		return res, fmt.Errorf("bench: %d/%d XRLs failed", errCount, total)
 	}
 	res.XRLsPerSec = float64(total) / res.Elapsed.Seconds()
+	res.AllocsPerXRL = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+	res.SyscallsPerXRL = float64((w1-w0)+(r1-r0)) / float64(total)
 	return res, nil
 }
 

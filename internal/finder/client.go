@@ -11,9 +11,18 @@ import (
 // Finder: it announces the instance with r's transport endpoints, then
 // registers every method, recording the Finder-issued keys on t so the
 // router enforces them on dispatch. done runs on r's loop.
+//
+// Registration also primes the xrl codec's intern table with the
+// instance, class and command strings: every frame addressed to t decodes
+// those fields allocation-free from the very first call.
 func RegisterTarget(r *xipc.Router, t *xipc.Target, sole bool, done func(error)) {
 	if done == nil {
 		done = func(error) {}
+	}
+	xrl.Intern(t.Name)
+	xrl.Intern(t.Class)
+	for _, c := range t.Commands() {
+		xrl.Intern(c)
 	}
 	eps := r.Endpoints()
 	epAtoms := make([]xrl.Atom, len(eps))

@@ -33,17 +33,55 @@ func (t *Trie[T]) Iterate() *Iterator[T] {
 }
 
 // IterateFrom returns an iterator positioned at the first valued entry at
-// or after p in lexicographic order.
+// or after p in lexicographic order. It descends from the root toward p —
+// O(prefix length), not O(entries) — so a background task resuming an
+// interrupted walk over a full BGP table (§5.1.2) seeks in constant-ish
+// time instead of rescanning the table from the start.
 func (t *Trie[T]) IterateFrom(p netip.Prefix) *Iterator[T] {
-	it := t.Iterate()
+	if !p.IsValid() {
+		return t.Iterate()
+	}
+	it := &Iterator[T]{t: t}
 	p = p.Masked()
-	for it.Valid() {
-		if it.n.hasVal && !lexLess(it.n.prefix, p) {
+	n := t.seekFrom(t.rootFor(p), p)
+	if n == nil && p.Addr().Is4() {
+		// The IPv4 subtree holds nothing at or after p; IPv6 entries all
+		// sort after IPv4 ones.
+		n = t.root6
+	}
+	for n != nil && !n.hasVal {
+		n = it.successor(n)
+	}
+	it.pin(n)
+	return it
+}
+
+// seekFrom returns the first node (valued or glue) of root's subtree
+// whose prefix is >= p in DFS pre-order, by walking p's bits. At each
+// branch point it remembers the deepest right-hand subtree passed over:
+// if the descent dead-ends before reaching a node >= p, that subtree's
+// head is the DFS successor of p's would-be position.
+func (t *Trie[T]) seekFrom(root *node[T], p netip.Prefix) *node[T] {
+	var nextRight *node[T]
+	n := root
+	for n != nil {
+		if !lexLess(n.prefix, p) {
+			// A node covering p always sorts <= p, so n's subtree lies
+			// entirely at or after p and n heads it in DFS order.
+			return n
+		}
+		if !contains(n.prefix, p) {
+			// n sorts before p and does not cover it: its whole subtree
+			// precedes p.
 			break
 		}
-		it.advance()
+		b := bitAt(p.Addr(), n.prefix.Bits())
+		if b == 0 && n.child[1] != nil {
+			nextRight = n.child[1] // first subtree after p seen so far
+		}
+		n = n.child[b]
 	}
-	return it
+	return nextRight
 }
 
 // lexLess orders prefixes by (address bits, length) in DFS order.

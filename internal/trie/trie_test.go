@@ -547,3 +547,84 @@ func BenchmarkLongestMatch(b *testing.B) {
 		tr.LongestMatch(addrs[i%len(addrs)])
 	}
 }
+
+// TestIterateFromMatchesLinearScan cross-checks the seeking IterateFrom
+// against a reference linear scan over random tables, including start
+// prefixes that are absent, covered, covering, before-all and after-all.
+func TestIterateFromMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tr := New[int]()
+		var entries []netip.Prefix
+		n := 1 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			var a [4]byte
+			rng.Read(a[:])
+			p, err := netip.AddrFrom4(a).Prefix(rng.Intn(33))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replaced, _ := tr.Insert(p, i); !replaced {
+				entries = append(entries, p)
+			}
+		}
+		// A few IPv6 entries so the family hop is exercised.
+		for i := 0; i < 3; i++ {
+			var a [16]byte
+			rng.Read(a[:])
+			p, err := netip.AddrFrom16(a).Prefix(rng.Intn(129))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replaced, _ := tr.Insert(p, i); !replaced {
+				entries = append(entries, p)
+			}
+		}
+		probe := func(start netip.Prefix) {
+			t.Helper()
+			// Reference: smallest entry >= start in lex order.
+			var want netip.Prefix
+			found := false
+			for _, e := range entries {
+				if e.Addr().Is4() != start.Addr().Is4() {
+					// Cross-family: v4 sorts before v6 wholesale.
+					if start.Addr().Is4() && !e.Addr().Is4() {
+						// eligible
+					} else {
+						continue
+					}
+				} else if lexLess(e, start) {
+					continue
+				}
+				if !found || lexLess(e, want) {
+					want, found = e, true
+				}
+			}
+			it := tr.IterateFrom(start)
+			defer it.Close()
+			if !found {
+				if it.Valid() {
+					t.Fatalf("IterateFrom(%v) = %v, want exhausted", start, it.Prefix())
+				}
+				return
+			}
+			if !it.Valid() || it.Prefix() != want {
+				t.Fatalf("IterateFrom(%v) = %v (valid=%v), want %v", start, it.Prefix(), it.Valid(), want)
+			}
+		}
+		// Probe with existing entries and with random prefixes.
+		for _, e := range entries {
+			probe(e)
+		}
+		for i := 0; i < 40; i++ {
+			var a [4]byte
+			rng.Read(a[:])
+			p, _ := netip.AddrFrom4(a).Prefix(rng.Intn(33))
+			probe(p)
+		}
+		probe(mustP("0.0.0.0/0"))
+		probe(mustP("255.255.255.255/32"))
+		probe(mustP("::/0"))
+		probe(mustP("ffff::/16"))
+	}
+}

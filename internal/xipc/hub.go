@@ -4,8 +4,6 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
-
-	"xorp/internal/xrl"
 )
 
 // Hub is the intra-process protocol family (§6.3): a registry connecting
@@ -69,28 +67,7 @@ func (h *Hub) routerForTarget(name string) (*Router, bool) {
 	return r, ok
 }
 
-// intraSender delivers requests to another Router on the same Hub by
-// enqueueing directly onto its event loop.
-type intraSender struct {
-	router *Router // the sending router
-	hub    *Hub
-}
-
-func (s *intraSender) send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error)) {
-	dest, ok := s.hub.routerForTarget(req.Target)
-	if !ok {
-		s.router.loop.Dispatch(func() {
-			cb(nil, &xrl.Error{Code: xrl.CodeNoSuchTarget,
-				Note: "no target " + req.Target + " on hub"})
-		})
-		return
-	}
-	src := s.router
-	dest.loop.Dispatch(func() {
-		dest.handleRequest(req, func(rep *xrl.Reply) {
-			src.loop.Dispatch(func() { cb(rep, nil) })
-		})
-	})
-}
-
-func (s *intraSender) close() {}
+// Intra-process requests are not delivered through a sender: the Router's
+// intraSend hands the caller's xrl.Args directly to the destination
+// target's handler (router.go), so the hub itself only keeps the
+// target-name registry above.

@@ -30,10 +30,18 @@ type Target struct {
 	// share a class; resolution by class picks one.
 	Class string
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	methods map[string]Handler // command "iface/version/method" -> handler
-	keys    map[string]string  // command -> Finder-issued method key
+	// byIVM indexes the same handlers by (iface, version, method), letting
+	// the local-dispatch fast path skip building the command string.
+	byIVM map[ivmKey]Handler
+	keys  map[string]string // command -> Finder-issued method key
 }
+
+// ivmKey is a comparable (interface, version, method) triple; looking a
+// composite key up allocates nothing, unlike concatenating a command
+// string.
+type ivmKey struct{ iface, version, method string }
 
 // NewTarget returns a Target with the given instance name and class.
 func NewTarget(name, class string) *Target {
@@ -41,6 +49,7 @@ func NewTarget(name, class string) *Target {
 		Name:    name,
 		Class:   class,
 		methods: make(map[string]Handler),
+		byIVM:   make(map[ivmKey]Handler),
 		keys:    make(map[string]string),
 	}
 }
@@ -55,12 +64,13 @@ func (t *Target) Register(iface, version, method string, h Handler) {
 		panic(fmt.Sprintf("xipc: duplicate method %s on target %s", cmd, t.Name))
 	}
 	t.methods[cmd] = h
+	t.byIVM[ivmKey{iface, version, method}] = h
 }
 
 // Commands returns all registered commands.
 func (t *Target) Commands() []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]string, 0, len(t.methods))
 	for c := range t.methods {
 		out = append(out, c)
@@ -70,9 +80,18 @@ func (t *Target) Commands() []string {
 
 // handler returns the handler for cmd.
 func (t *Target) handler(cmd string) (Handler, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	h, ok := t.methods[cmd]
+	return h, ok
+}
+
+// handlerIVM returns the handler for (iface, version, method) without
+// materializing the command string.
+func (t *Target) handlerIVM(iface, version, method string) (Handler, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h, ok := t.byIVM[ivmKey{iface, version, method}]
 	return h, ok
 }
 
@@ -86,7 +105,7 @@ func (t *Target) SetMethodKey(cmd, key string) {
 
 // keyFor returns the required key for cmd ("" if none issued yet).
 func (t *Target) keyFor(cmd string) string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.keys[cmd]
 }

@@ -1,6 +1,7 @@
 package xipc
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -13,24 +14,21 @@ import (
 // The TCP ("stcp") protocol family: length-prefixed XRL frames over a
 // persistent connection. Requests are pipelined — many may be outstanding
 // at once, correlated by sequence number — which is what gives TCP its
-// near-intra-process throughput in Figure 9.
+// near-intra-process throughput in Figure 9. Reads are buffered and writes
+// are coalesced (writer.go), so a full pipeline window costs ~1 syscall
+// per direction instead of one (or two) per frame.
 
 // maxFrame bounds a frame to keep a corrupted length prefix from
 // allocating unbounded memory.
 const maxFrame = 16 << 20
 
-// writeFrame writes one length-prefixed frame. Callers serialize.
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
+// readBufSize is the bufio read buffer: large enough to swallow a whole
+// coalesced batch in one read syscall.
+const readBufSize = 64 << 10
 
-// readFrame reads one length-prefixed frame, reusing buf when possible.
+// readFrame reads one length-prefixed frame, reusing buf when possible and
+// growing it geometrically so a ramp of frame sizes does not reallocate
+// per frame.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -41,7 +39,17 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("xipc: frame of %d bytes exceeds limit", n)
 	}
 	if int(n) > cap(buf) {
-		buf = make([]byte, n)
+		newCap := 2 * cap(buf)
+		if newCap < int(n) {
+			newCap = int(n)
+		}
+		if newCap < 512 {
+			newCap = 512
+		}
+		if newCap > maxFrame {
+			newCap = maxFrame
+		}
+		buf = make([]byte, newCap)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -93,44 +101,45 @@ func (l *tcpListener) acceptLoop() {
 
 // serveConn reads pipelined requests and writes replies as handlers
 // complete. Replies may interleave; the sequence number correlates.
+// Replies produced within one event-loop turn coalesce into one write.
 func (l *tcpListener) serveConn(conn net.Conn) {
+	fw := newFrameWriter(conn, func(error) { conn.Close() })
 	defer func() {
+		fw.close()
 		conn.Close()
 		l.mu.Lock()
 		delete(l.conns, conn)
 		l.mu.Unlock()
 	}()
-	var wmu sync.Mutex // serializes reply writes from loop callbacks
+	br := bufio.NewReaderSize(countingReader{conn}, readBufSize)
 	var buf []byte
 	for {
-		frame, err := readFrame(conn, buf)
+		frame, err := readFrame(br, buf)
 		if err != nil {
 			return
 		}
 		buf = frame // reuse grown buffer next time
-		req, _, err := xrl.DecodeFrame(frame)
-		if err != nil || req == nil {
+		// ParseRequest interns/copies everything out of the reused read
+		// buffer, so the request is safe to hand off asynchronously.
+		req := new(xrl.Request)
+		if err := xrl.ParseRequest(frame, req); err != nil {
 			return // protocol violation: drop the connection
 		}
-		// The decoded request aliases buf, which the next read reuses.
-		// Requests are handled asynchronously, so detach it.
-		req = detachRequest(req)
 		r := l.router
 		r.loop.Dispatch(func() {
 			r.handleRequest(req, func(rep *xrl.Reply) {
-				out, err := xrl.AppendReply(nil, rep)
-				if err != nil {
-					out, _ = xrl.AppendReply(nil, &xrl.Reply{
-						Seq:  rep.Seq,
-						Code: xrl.CodeInternal,
-						Note: "reply encoding failed: " + err.Error(),
+				err := fw.appendFrame(func(dst []byte) ([]byte, error) {
+					return xrl.AppendReply(dst, rep)
+				})
+				if err != nil && fw.alive() {
+					// Encoding failed; report it in-band.
+					fw.appendFrame(func(dst []byte) ([]byte, error) {
+						return xrl.AppendReply(dst, &xrl.Reply{
+							Seq:  rep.Seq,
+							Code: xrl.CodeInternal,
+							Note: "reply encoding failed: " + err.Error(),
+						})
 					})
-				}
-				wmu.Lock()
-				werr := writeFrame(conn, out)
-				wmu.Unlock()
-				if werr != nil {
-					conn.Close()
 				}
 			})
 		})
@@ -146,49 +155,16 @@ func (l *tcpListener) close() {
 	l.mu.Unlock()
 }
 
-// detachRequest deep-copies the request out of a reused read buffer.
-func detachRequest(req *xrl.Request) *xrl.Request {
-	out := &xrl.Request{
-		Seq:     req.Seq,
-		Target:  string(append([]byte(nil), req.Target...)),
-		Command: string(append([]byte(nil), req.Command...)),
-		Key:     string(append([]byte(nil), req.Key...)),
-		Args:    detachArgs(req.Args),
-	}
-	return out
-}
-
-func detachArgs(args xrl.Args) xrl.Args {
-	if args == nil {
-		return nil
-	}
-	out := make(xrl.Args, len(args))
-	for i, a := range args {
-		a.Name = string(append([]byte(nil), a.Name...))
-		if a.Type == xrl.TypeText {
-			a.TextVal = string(append([]byte(nil), a.TextVal...))
-		}
-		if a.BinVal != nil {
-			a.BinVal = append([]byte(nil), a.BinVal...)
-		}
-		if a.ListVal != nil {
-			a.ListVal = detachArgs(a.ListVal)
-		}
-		out[i] = a
-	}
-	return out
-}
-
 // tcpSender is the client side of one TCP attachment, with full request
 // pipelining.
 type tcpSender struct {
 	router *Router
 	conn   net.Conn
+	fw     *frameWriter
 
 	mu      sync.Mutex
 	pending map[uint32]func(*xrl.Reply, *xrl.Error)
 	dead    bool
-	encBuf  []byte
 }
 
 func newTCPSender(r *Router, addr string) (*tcpSender, *xrl.Error) {
@@ -201,6 +177,7 @@ func newTCPSender(r *Router, addr string) (*tcpSender, *xrl.Error) {
 		conn:    conn,
 		pending: make(map[uint32]func(*xrl.Reply, *xrl.Error)),
 	}
+	s.fw = newFrameWriter(conn, func(error) { s.fail() })
 	go s.readLoop()
 	return s, nil
 }
@@ -215,48 +192,39 @@ func (s *tcpSender) send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error)) {
 		return
 	}
 	s.pending[req.Seq] = cb
-	buf, encErr := xrl.AppendRequest(s.encBuf[:0], req)
-	s.encBuf = buf[:0]
-	var werr error
-	if encErr == nil {
-		werr = writeFrame(s.conn, buf)
-	}
 	s.mu.Unlock()
 
-	if encErr != nil || werr != nil {
+	err := s.fw.appendFrame(func(dst []byte) ([]byte, error) {
+		return xrl.AppendRequest(dst, req)
+	})
+	if err != nil {
 		s.mu.Lock()
 		delete(s.pending, req.Seq)
 		s.mu.Unlock()
-		note := "encode failed"
-		if encErr != nil {
-			note = encErr.Error()
-		} else if werr != nil {
-			note = werr.Error()
-		}
+		note := err.Error()
 		s.router.loop.Dispatch(func() {
 			cb(nil, &xrl.Error{Code: xrl.CodeSendFailed, Note: note})
 		})
-		if werr != nil {
-			s.fail()
-		}
 	}
 }
 
 func (s *tcpSender) readLoop() {
+	br := bufio.NewReaderSize(countingReader{s.conn}, readBufSize)
 	var buf []byte
 	for {
-		frame, err := readFrame(s.conn, buf)
+		frame, err := readFrame(br, buf)
 		if err != nil {
 			s.fail()
 			return
 		}
 		buf = frame
-		_, rep, err := xrl.DecodeFrame(frame)
-		if err != nil || rep == nil {
+		// ParseReply detaches from the reused read buffer (interned and
+		// copied strings), so the reply can cross to the loop safely.
+		rep := new(xrl.Reply)
+		if err := xrl.ParseReply(frame, rep); err != nil {
 			s.fail()
 			return
 		}
-		rep = detachReply(rep)
 		s.mu.Lock()
 		cb, ok := s.pending[rep.Seq]
 		delete(s.pending, rep.Seq)
@@ -264,15 +232,6 @@ func (s *tcpSender) readLoop() {
 		if ok {
 			s.router.loop.Dispatch(func() { cb(rep, nil) })
 		}
-	}
-}
-
-func detachReply(rep *xrl.Reply) *xrl.Reply {
-	return &xrl.Reply{
-		Seq:  rep.Seq,
-		Code: rep.Code,
-		Note: string(append([]byte(nil), rep.Note...)),
-		Args: detachArgs(rep.Args),
 	}
 }
 
@@ -288,6 +247,7 @@ func (s *tcpSender) fail() {
 	s.pending = make(map[uint32]func(*xrl.Reply, *xrl.Error))
 	s.mu.Unlock()
 
+	s.fw.close()
 	s.conn.Close()
 	s.router.dropSender(s)
 	for _, cb := range pend {
@@ -299,5 +259,6 @@ func (s *tcpSender) fail() {
 }
 
 func (s *tcpSender) close() {
+	s.fw.close()
 	s.conn.Close()
 }

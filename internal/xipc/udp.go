@@ -46,22 +46,27 @@ func (l *udpListener) readLoop() {
 	buf := make([]byte, maxDatagram)
 	for {
 		n, from, err := l.pc.ReadFromUDP(buf)
+		ioReads.Add(1)
 		if err != nil {
 			return
 		}
-		req, _, derr := xrl.DecodeFrame(buf[:n])
-		if derr != nil || req == nil {
+		// ParseRequest detaches from the reused datagram buffer.
+		req := new(xrl.Request)
+		if xrl.ParseRequest(buf[:n], req) != nil {
 			continue // drop malformed datagrams
 		}
-		req = detachRequest(req)
 		r := l.router
 		r.loop.Dispatch(func() {
 			r.handleRequest(req, func(rep *xrl.Reply) {
-				out, err := xrl.AppendReply(nil, rep)
+				bp := xrl.GetBuf()
+				defer xrl.PutBuf(bp)
+				out, err := xrl.AppendReply(*bp, rep)
 				if err != nil {
 					return
 				}
+				*bp = out
 				l.pc.WriteToUDP(out, from)
+				ioWrites.Add(1)
 			})
 		})
 	}
@@ -127,12 +132,22 @@ func (s *udpSender) send(req *xrl.Request, cb func(*xrl.Reply, *xrl.Error)) {
 }
 
 func (s *udpSender) transmit(p *udpPending) {
-	buf, err := xrl.AppendRequest(nil, p.req)
+	bp := xrl.GetBuf()
+	buf, err := xrl.AppendRequest(*bp, p.req)
 	if err == nil {
+		*bp = buf
 		_, err = s.conn.Write(buf)
+		ioWrites.Add(1)
 	}
+	xrl.PutBuf(bp)
 	if err == nil {
-		p.timer = time.AfterFunc(udpLossTimeout, func() { s.giveUp(p) })
+		// Arm the loss timer under the lock: the reply may already have
+		// arrived on readLoop, which reads p.timer while holding mu.
+		s.mu.Lock()
+		if s.inflight == p {
+			p.timer = time.AfterFunc(udpLossTimeout, func() { s.giveUp(p) })
+		}
+		s.mu.Unlock()
 	}
 	if err != nil {
 		note := err.Error()
@@ -166,15 +181,16 @@ func (s *udpSender) readLoop() {
 	buf := make([]byte, maxDatagram)
 	for {
 		n, err := s.conn.Read(buf)
+		ioReads.Add(1)
 		if err != nil {
 			s.failAll("udp read: " + err.Error())
 			return
 		}
-		_, rep, derr := xrl.DecodeFrame(buf[:n])
-		if derr != nil || rep == nil {
+		// ParseReply detaches from the reused datagram buffer.
+		rep := new(xrl.Reply)
+		if xrl.ParseReply(buf[:n], rep) != nil {
 			continue
 		}
-		rep = detachReply(rep)
 		s.mu.Lock()
 		p := s.inflight
 		if p == nil || p.req.Seq != rep.Seq {

@@ -1,0 +1,83 @@
+package xrl
+
+import "sync"
+
+// String interning for the wire decoder (the Figure-9 fast path). XRL
+// traffic repeats a small closed set of strings forever — target names,
+// command strings ("bench/1.0/sink"), method keys, and atom names ("a0",
+// "prefix", ...). Interning them means the decoder allocates each distinct
+// string once per process instead of once per frame, which together with
+// Args reuse makes a request decode allocation-free in steady state.
+//
+// The table is bounded: strings longer than maxInternLen are simply
+// copied, and when churn (e.g. re-registrations minting fresh random
+// method keys) accumulates maxInternEntries distinct entries the table is
+// flushed and rebuilt from live traffic, so a peer can neither grow it
+// without bound nor permanently poison it.
+
+const (
+	maxInternLen     = 128
+	maxInternEntries = 8192
+)
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 256)
+)
+
+// internBytes returns a canonical string equal to b. For previously seen
+// small strings this performs no allocation (the map lookup keyed by
+// string(b) does not copy).
+func internBytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	return internSlow(string(b))
+}
+
+// Intern records s in the decoder's string table and returns its canonical
+// copy. Components that know their closed string sets up front (the finder
+// registration client, for example) call this so the very first decoded
+// frame already hits the table.
+func Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if len(s) > maxInternLen {
+		return s
+	}
+	internMu.RLock()
+	c, ok := internTab[s]
+	internMu.RUnlock()
+	if ok {
+		return c
+	}
+	return internSlow(s)
+}
+
+func internSlow(s string) string {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if c, ok := internTab[s]; ok {
+		return c
+	}
+	if len(internTab) >= maxInternEntries {
+		// Flush rather than saturate. Churn (components re-registering
+		// mint fresh random method keys) would otherwise fill the table
+		// with dead strings, pinning them forever and permanently
+		// disabling interning for the live working set — which re-enters
+		// within a frame or two of a flush.
+		internTab = make(map[string]string, 256)
+	}
+	internTab[s] = s
+	return s
+}

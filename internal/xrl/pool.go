@@ -1,0 +1,33 @@
+package xrl
+
+import "sync"
+
+// Pooled encode scratch buffers. Transports encode every outgoing frame;
+// borrowing the scratch from a pool instead of allocating per frame keeps
+// the encode side of the Figure-9 workload allocation-free.
+
+// maxPooledBuf caps the capacity of buffers returned to the pool, so one
+// huge frame does not pin memory forever.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// GetBuf borrows an empty scratch buffer from the encode pool. Pass the
+// same pointer to PutBuf when the encoded bytes are no longer referenced.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if cap(*b) <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
