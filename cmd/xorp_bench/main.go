@@ -11,6 +11,7 @@
 //	xorp_bench -experiment fig12        # latency, full table, diff peering
 //	xorp_bench -experiment fig13        # event-driven vs scanner
 //	xorp_bench -experiment memory       # §5.1 memory footprint
+//	xorp_bench -experiment spf          # OSPF SPF full vs incremental
 //	xorp_bench -quick                   # scaled-down table sizes
 package main
 
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"xorp/internal/bench"
+	"xorp/internal/ospf"
 	"xorp/internal/workload"
 )
 
@@ -121,6 +123,41 @@ func main() {
 				fmt.Printf("# %s: arrival(s) delay(s)\n", s.Router)
 				fmt.Print(bench.Fig13Points(s))
 			}
+		}
+		return nil
+	})
+
+	run("spf", func() error {
+		fmt.Println("OSPF SPF recompute cost on grid topologies (see BENCH_fig9.json \"spf\")")
+		fmt.Println("full = Dijkstra re-run (link change); incremental = prefix-table only (route churn)")
+		fmt.Printf("%-8s %14s %14s %9s\n", "routers", "full", "incremental", "speedup")
+		const iters = 100
+		for _, n := range []int{100, 1000} {
+			db, root := ospf.GridLSDB(n)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				s := ospf.NewSPF(root)
+				if got := len(s.Recompute(db, true)); got != n {
+					return fmt.Errorf("spf: %d routes at n=%d", got, n)
+				}
+			}
+			full := time.Since(start) / iters
+
+			s := ospf.NewSPF(root)
+			s.Recompute(db, true) // warm the shortest-path tree
+			start = time.Now()
+			for i := 0; i < iters; i++ {
+				if !db.MutatePrefix(root, uint16(2+i%7)) {
+					return fmt.Errorf("spf: mutation was not prefix-only")
+				}
+				if got := len(s.Recompute(db, false)); got != n {
+					return fmt.Errorf("spf: %d routes at n=%d (incremental)", got, n)
+				}
+			}
+			incr := time.Since(start) / iters
+			fmt.Printf("%-8d %12.1fµs %12.1fµs %8.1fx\n", n,
+				float64(full.Nanoseconds())/1e3, float64(incr.Nanoseconds())/1e3,
+				float64(full)/float64(incr))
 		}
 		return nil
 	})

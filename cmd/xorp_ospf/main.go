@@ -1,0 +1,184 @@
+// Command xorp_ospf runs the OSPF process against a running FEA and
+// RIB. OSPF's network access is relayed through the FEA's fea_udp XRLs
+// (paper §7: sandboxed processes never touch the network directly),
+// including AllSPFRouters group membership via join_group, so this
+// binary is only useful alongside an FEA attached to a packet network;
+// in the standalone multi-process deployment the FEA has no simulated
+// fabric and OSPF idles. It exists for completeness and for driving
+// with originate XRLs; the OSPF system itself is exercised in-process
+// (see examples/convergence and the ospf package tests).
+//
+// Usage:
+//
+//	xorp_ospf -finder 127.0.0.1:19999 -local 192.168.1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/finder"
+	"xorp/internal/ospf"
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+func main() {
+	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
+	local := flag.String("local", "", "local address")
+	routerID := flag.String("router-id", "", "router ID (defaults to -local)")
+	flag.Parse()
+	if *local == "" {
+		fatal(fmt.Errorf("-local is required"))
+	}
+	localAddr, err := netip.ParseAddr(*local)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := ospf.Config{LocalAddr: localAddr, IfName: "eth0"}
+	if *routerID != "" {
+		if cfg.RouterID, err = netip.ParseAddr(*routerID); err != nil {
+			fatal(err)
+		}
+	}
+
+	loop := eventloop.New(nil)
+	router := xipc.NewRouter("ospf_process", loop)
+	if err := router.ListenTCP("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	router.SetFinderTCP(*finderAddr)
+
+	tr := &xrlTransport{router: router}
+	proc := ospf.NewProcess(loop, cfg, tr, &xrlRIB{router: router})
+
+	target := xipc.NewTarget("ospf", "ospf")
+	target.Register("ospf", "0.1", "originate", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		cost, _ := args.U32Arg("cost")
+		if cost == 0 {
+			cost = 1
+		}
+		proc.OriginatePrefix(net, uint16(min(cost, 0xffff)))
+		return nil, nil
+	})
+	target.Register("ospf", "0.1", "withdraw", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		proc.WithdrawPrefix(net)
+		return nil, nil
+	})
+	// The FEA pushes received datagrams here.
+	target.Register("fea_udp_client", "0.1", "recv", func(args xrl.Args) (xrl.Args, error) {
+		src, err := args.AddrArg("src")
+		if err != nil {
+			return nil, err
+		}
+		sport, err := args.U32Arg("sport")
+		if err != nil {
+			return nil, err
+		}
+		payload, err := args.BinaryArg("payload")
+		if err != nil {
+			return nil, err
+		}
+		tr.deliver(netip.AddrPortFrom(src, uint16(sport)), payload)
+		return nil, nil
+	})
+	router.AddTarget(target)
+	go loop.Run()
+	if err := finder.RegisterTargetSync(router, target, true); err != nil {
+		fatal(err)
+	}
+	loop.Dispatch(func() {
+		if err := proc.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_ospf: start: %v\n", err)
+		}
+	})
+	fmt.Printf("xorp_ospf: registered with finder at %s\n", *finderAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	loop.Stop()
+}
+
+// xrlTransport relays OSPF packets through the FEA's fea_udp interface,
+// joining the AllSPFRouters group via join_group.
+type xrlTransport struct {
+	router *xipc.Router
+	recv   func(src netip.AddrPort, payload []byte)
+}
+
+func (t *xrlTransport) Bind(recv func(src netip.AddrPort, payload []byte)) error {
+	t.recv = recv
+	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "join_group",
+		xrl.Addr("group", ospf.AllSPFRouters)), nil)
+	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "bind",
+		xrl.U32("port", ospf.Port),
+		xrl.Text("client", "ospf")), nil)
+	return nil
+}
+
+// deliver hands an FEA-relayed datagram to the process (on the loop).
+func (t *xrlTransport) deliver(src netip.AddrPort, payload []byte) {
+	if t.recv != nil {
+		t.recv(src, payload)
+	}
+}
+
+func (t *xrlTransport) Send(dst netip.AddrPort, payload []byte) error {
+	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "send",
+		xrl.U32("sport", ospf.Port),
+		xrl.Addr("dst", dst.Addr()),
+		xrl.U32("dport", uint32(dst.Port())),
+		xrl.Binary("payload", payload)), nil)
+	return nil
+}
+
+func (t *xrlTransport) Multicast(payload []byte) error {
+	return t.Send(netip.AddrPortFrom(ospf.AllSPFRouters, ospf.Port), payload)
+}
+
+// xrlRIB feeds OSPF routes to the RIB process.
+type xrlRIB struct {
+	router *xipc.Router
+}
+
+func (r *xrlRIB) AddRoute(e route.Entry) {
+	args := xrl.Args{
+		xrl.Text("protocol", "ospf"),
+		xrl.Net("network", e.Net),
+		xrl.U32("metric", e.Metric),
+		xrl.Text("ifname", e.IfName),
+	}
+	if e.NextHop.IsValid() {
+		args = append(args, xrl.Addr("nexthop", e.NextHop))
+	}
+	r.router.Send(xrl.XRL{
+		Protocol: xrl.ProtoFinder, Target: "rib",
+		Interface: "rib", Version: "1.0", Method: "add_route4", Args: args,
+	}, nil)
+}
+
+func (r *xrlRIB) DeleteRoute(net netip.Prefix) {
+	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_route4",
+		xrl.Text("protocol", "ospf"),
+		xrl.Net("network", net)), nil)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xorp_ospf: %v\n", err)
+	os.Exit(1)
+}

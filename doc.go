@@ -5,9 +5,11 @@
 // The library lives under internal/; the top-level deliverables are:
 //
 //   - internal/rtrmgr — assemble a complete router (Finder, FEA, RIB,
-//     BGP, RIP wired over XRLs) from configuration text;
+//     BGP, RIP, OSPF wired over XRLs) from configuration text;
 //   - internal/core, internal/bgp, internal/rib — the staged routing
 //     table design (§5);
+//   - internal/ospf — the link-state IGP (adjacencies, LSA flooding,
+//     incremental SPF) built on the §8.3 extension seams;
 //   - internal/xrl, internal/xipc, internal/finder — the XRL IPC system
 //     (§6);
 //   - internal/bench — the §8 evaluation, regenerating every figure and

@@ -3,7 +3,8 @@
 // FEA installs routes into the (simulated) kernel FIB, exposes interface
 // information, and — as the security framework's network-access relay
 // (§7) — sends and receives routing protocol packets on behalf of
-// sandboxed processes like RIP, so they never need raw network access.
+// sandboxed processes like RIP and OSPF (including multicast group
+// membership), so they never need raw network access.
 package fea
 
 import (
@@ -122,7 +123,27 @@ func (p *Process) UDPBind(port uint16, client string, recv func(src netip.AddrPo
 	return nil
 }
 
-// UDPSend relays one datagram from srcPort to dst.
+// UDPJoinGroup subscribes the router to a multicast group on behalf of
+// a sandboxed protocol (OSPF's AllSPFRouters hellos); datagrams for the
+// group arrive on whatever port the client bound with UDPBind.
+func (p *Process) UDPJoinGroup(group netip.Addr) error {
+	if p.host == nil {
+		return fmt.Errorf("fea: no network attachment")
+	}
+	return p.host.JoinGroup(group)
+}
+
+// UDPLeaveGroup unsubscribes from a multicast group.
+func (p *Process) UDPLeaveGroup(group netip.Addr) error {
+	if p.host == nil {
+		return fmt.Errorf("fea: no network attachment")
+	}
+	p.host.LeaveGroup(group)
+	return nil
+}
+
+// UDPSend relays one datagram from srcPort to dst (multicast
+// destinations fan out to the group's members).
 func (p *Process) UDPSend(srcPort uint16, dst netip.AddrPort, payload []byte) error {
 	if p.host == nil {
 		return fmt.Errorf("fea: no network attachment")
@@ -201,6 +222,20 @@ func (p *Process) RegisterXRLs(t *xipc.Target) {
 			return nil, err
 		}
 		return nil, p.UDPBind(uint16(port), client, nil)
+	})
+	t.Register("fea_udp", "0.1", "join_group", func(args xrl.Args) (xrl.Args, error) {
+		group, err := args.AddrArg("group")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.UDPJoinGroup(group)
+	})
+	t.Register("fea_udp", "0.1", "leave_group", func(args xrl.Args) (xrl.Args, error) {
+		group, err := args.AddrArg("group")
+		if err != nil {
+			return nil, err
+		}
+		return nil, p.UDPLeaveGroup(group)
 	})
 	t.Register("fea_udp", "0.1", "send", func(args xrl.Args) (xrl.Args, error) {
 		sport, err := args.U32Arg("sport")

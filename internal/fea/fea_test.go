@@ -110,6 +110,9 @@ func TestUDPRelayWithoutNetworkFails(t *testing.T) {
 	if err := p.UDPBind(520, "rip", nil); err == nil {
 		t.Fatal("bind without network accepted")
 	}
+	if err := p.UDPJoinGroup(mustA("224.0.0.5")); err == nil {
+		t.Fatal("join without network accepted")
+	}
 	if err := p.UDPSend(520, netip.AddrPortFrom(mustA("10.0.0.2"), 520), nil); err == nil {
 		t.Fatal("send without network accepted")
 	}
@@ -138,5 +141,44 @@ func TestUDPRelayRoundTrip(t *testing.T) {
 	loop.RunPending()
 	if string(got) != "rip-pkt" {
 		t.Fatalf("relay got %q", got)
+	}
+}
+
+func TestUDPMulticastRelay(t *testing.T) {
+	// The OSPF path: join a group through the FEA, receive a datagram
+	// sent to the group address.
+	netw := kernel.NewNetwork()
+	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+	hostA, _ := netw.Attach(mustA("10.0.0.1"))
+	hostB, _ := netw.Attach(mustA("10.0.0.2"))
+	feaA := New(loop, kernel.NewFIB(), hostA, nil)
+	feaB := New(loop, kernel.NewFIB(), hostB, nil)
+
+	group := mustA("224.0.0.5")
+	if err := feaB.UDPJoinGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := feaB.UDPBind(89, "ospf", func(src netip.AddrPort, payload []byte) {
+		got = payload
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := feaA.UDPSend(89, netip.AddrPortFrom(group, 89), []byte("hello-pkt")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunPending()
+	if string(got) != "hello-pkt" {
+		t.Fatalf("multicast relay got %q", got)
+	}
+	// After leaving, group traffic stops.
+	if err := feaB.UDPLeaveGroup(group); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	feaA.UDPSend(89, netip.AddrPortFrom(group, 89), []byte("hello-pkt"))
+	loop.RunPending()
+	if got != nil {
+		t.Fatal("received multicast after leaving the group")
 	}
 }

@@ -77,6 +77,72 @@ func TestNetworkBroadcastExcludesSender(t *testing.T) {
 	}
 }
 
+func TestNetworkMulticastGroups(t *testing.T) {
+	n := NewNetwork()
+	group := mustA("224.0.0.5")
+	hosts := make([]*Host, 4)
+	counts := make([]int, 4)
+	var mu sync.Mutex
+	for i := range hosts {
+		addr := netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+		h, err := n.Attach(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[i] = h
+		i := i
+		h.Bind(89, func(netip.AddrPort, []byte) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+	}
+	// Hosts 0-2 join; host 3 stays out.
+	for i := 0; i < 3; i++ {
+		if err := hosts[i].JoinGroup(group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hosts[0].JoinGroup(mustA("10.0.0.9")); err == nil {
+		t.Fatal("unicast address accepted as a group")
+	}
+	hosts[0].SendTo(89, netip.AddrPortFrom(group, 89), []byte("hello"))
+	mu.Lock()
+	if counts[0] != 0 {
+		t.Fatal("sender received its own multicast")
+	}
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("members got %v, want one each", counts[:3])
+	}
+	if counts[3] != 0 {
+		t.Fatal("non-member received multicast")
+	}
+	mu.Unlock()
+
+	// The drop predicate sees the member's concrete address, so links
+	// can be shaped for multicast exactly like unicast.
+	n.SetDropFunc(func(src, dst netip.AddrPort) bool {
+		return dst.Addr() == mustA("10.0.0.2")
+	})
+	hosts[0].SendTo(89, netip.AddrPortFrom(group, 89), []byte("hello"))
+	n.SetDropFunc(nil)
+	mu.Lock()
+	if counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("after shaped multicast got %v, want host1=1 host2=2", counts[:3])
+	}
+	mu.Unlock()
+
+	// Leaving and detaching both end delivery.
+	hosts[1].LeaveGroup(group)
+	n.Detach(mustA("10.0.0.3"))
+	hosts[0].SendTo(89, netip.AddrPortFrom(group, 89), []byte("hello"))
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("delivery after leave/detach: %v", counts[:3])
+	}
+}
+
 func TestNetworkDuplicateAttach(t *testing.T) {
 	n := NewNetwork()
 	if _, err := n.Attach(mustA("10.0.0.1")); err != nil {

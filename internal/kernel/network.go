@@ -7,12 +7,18 @@ import (
 )
 
 // Network is a simulated datagram fabric connecting hosts by address —
-// the substitute for the paper's lab LAN. Routing protocol packets (RIP)
-// travel over it via the FEA's UDP relay. Delivery is in-order per
+// the substitute for the paper's lab LAN. Routing protocol packets (RIP,
+// OSPF) travel over it via the FEA's UDP relay. Delivery is in-order per
 // (src, dst) pair; optional loss injection supports failure testing.
+// Hosts may join multicast groups (OSPF's AllSPFRouters hellos); a
+// datagram to a multicast address is delivered to every member, with the
+// drop predicate applied per member so link-shaped topologies affect
+// multicast and unicast alike.
 type Network struct {
 	mu    sync.Mutex
 	hosts map[netip.Addr]*Host
+	// groups maps a multicast group address to its members.
+	groups map[netip.Addr]map[netip.Addr]*Host
 	// dropFn, if set, decides whether to drop a datagram (failure
 	// injection).
 	dropFn func(src, dst netip.AddrPort) bool
@@ -29,7 +35,10 @@ type Host struct {
 
 // NewNetwork returns an empty fabric.
 func NewNetwork() *Network {
-	return &Network{hosts: make(map[netip.Addr]*Host)}
+	return &Network{
+		hosts:  make(map[netip.Addr]*Host),
+		groups: make(map[netip.Addr]map[netip.Addr]*Host),
+	}
 }
 
 // SetDropFunc installs a loss-injection predicate (nil = lossless).
@@ -51,10 +60,13 @@ func (n *Network) Attach(addr netip.Addr) (*Host, error) {
 	return h, nil
 }
 
-// Detach removes a host.
+// Detach removes a host, including its group memberships.
 func (n *Network) Detach(addr netip.Addr) {
 	n.mu.Lock()
 	delete(n.hosts, addr)
+	for _, members := range n.groups {
+		delete(members, addr)
+	}
 	n.mu.Unlock()
 }
 
@@ -80,9 +92,51 @@ func (h *Host) Unbind(port uint16) {
 	h.mu.Unlock()
 }
 
+// JoinGroup subscribes the host to a multicast group.
+func (h *Host) JoinGroup(group netip.Addr) error {
+	if !group.IsMulticast() {
+		return fmt.Errorf("kernel: %v is not a multicast group", group)
+	}
+	n := h.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	members := n.groups[group]
+	if members == nil {
+		members = make(map[netip.Addr]*Host)
+		n.groups[group] = members
+	}
+	members[h.addr] = h
+	return nil
+}
+
+// LeaveGroup unsubscribes the host from a multicast group.
+func (h *Host) LeaveGroup(group netip.Addr) {
+	n := h.net
+	n.mu.Lock()
+	delete(n.groups[group], h.addr)
+	n.mu.Unlock()
+}
+
 // SendTo delivers a datagram from this host's srcPort to dst. Unknown
-// destinations and unbound ports silently drop, like real UDP.
+// destinations and unbound ports silently drop, like real UDP. A
+// multicast destination delivers to every group member except the
+// sender, each subject to the drop predicate with the member's concrete
+// address (so link shaping applies).
 func (h *Host) SendTo(srcPort uint16, dst netip.AddrPort, payload []byte) {
+	if dst.Addr().IsMulticast() {
+		h.net.mu.Lock()
+		targets := make([]*Host, 0, len(h.net.groups[dst.Addr()]))
+		for addr, t := range h.net.groups[dst.Addr()] {
+			if addr != h.addr {
+				targets = append(targets, t)
+			}
+		}
+		h.net.mu.Unlock()
+		for _, t := range targets {
+			h.SendTo(srcPort, netip.AddrPortFrom(t.addr, dst.Port()), payload)
+		}
+		return
+	}
 	src := netip.AddrPortFrom(h.addr, srcPort)
 	h.net.mu.Lock()
 	drop := h.net.dropFn != nil && h.net.dropFn(src, dst)

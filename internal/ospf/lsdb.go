@@ -1,0 +1,114 @@
+package ospf
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// InstallResult classifies an LSA offered to the database against the
+// stored instance (RFC 2328 §13's "determine which is more recent",
+// reduced to sequence numbers).
+type InstallResult int
+
+const (
+	// InstallNewer means the offered LSA replaced (or created) the
+	// stored instance.
+	InstallNewer InstallResult = iota
+	// InstallDuplicate means the offered LSA is the stored instance.
+	InstallDuplicate
+	// InstallOlder means the database holds a newer instance.
+	InstallOlder
+)
+
+type lsaRecord struct {
+	lsa LSA
+	// installedAt is the local time the instance was installed; the
+	// LSA's effective age is lsa.Age plus the elapsed time since.
+	installedAt time.Time
+}
+
+// LSDB is the link-state database: one router LSA per origin. It is a
+// pure data structure (no timers, no locking) owned by a Process loop,
+// and usable standalone for SPF benchmarks.
+type LSDB struct {
+	lsas map[netip.Addr]*lsaRecord
+}
+
+// NewLSDB returns an empty database.
+func NewLSDB() *LSDB {
+	return &LSDB{lsas: make(map[netip.Addr]*lsaRecord)}
+}
+
+// Len returns the number of stored LSAs.
+func (db *LSDB) Len() int { return len(db.lsas) }
+
+// Get returns the stored LSA for origin.
+func (db *LSDB) Get(origin netip.Addr) (LSA, bool) {
+	rec, ok := db.lsas[origin]
+	if !ok {
+		return LSA{}, false
+	}
+	return rec.lsa, true
+}
+
+// Install offers an LSA to the database at local time now. On
+// InstallNewer the stored instance is replaced and topoChanged reports
+// whether the LSA's link set differs from the previous instance (the
+// signal incremental SPF uses to skip Dijkstra for prefix-only
+// changes). The LSA is cloned; callers may reuse their copy.
+func (db *LSDB) Install(lsa LSA, now time.Time) (res InstallResult, topoChanged bool) {
+	prev, ok := db.lsas[lsa.Origin]
+	switch {
+	case !ok:
+		db.lsas[lsa.Origin] = &lsaRecord{lsa: lsa.Clone(), installedAt: now}
+		return InstallNewer, true
+	case lsa.Seq > prev.lsa.Seq:
+		topoChanged = !lsa.LinksEqual(prev.lsa)
+		db.lsas[lsa.Origin] = &lsaRecord{lsa: lsa.Clone(), installedAt: now}
+		return InstallNewer, topoChanged
+	case lsa.Seq == prev.lsa.Seq:
+		return InstallDuplicate, false
+	}
+	return InstallOlder, false
+}
+
+// Remove deletes origin's LSA (MaxAge expiry). Removal always counts as
+// a topology change.
+func (db *LSDB) Remove(origin netip.Addr) bool {
+	if _, ok := db.lsas[origin]; !ok {
+		return false
+	}
+	delete(db.lsas, origin)
+	return true
+}
+
+// AgeAt returns origin's LSA with its Age advanced to local time now —
+// the instance to put on the wire when flooding or retransmitting.
+func (db *LSDB) AgeAt(origin netip.Addr, now time.Time) (LSA, bool) {
+	rec, ok := db.lsas[origin]
+	if !ok {
+		return LSA{}, false
+	}
+	lsa := rec.lsa.Clone()
+	aged := int64(lsa.Age) + int64(now.Sub(rec.installedAt)/time.Second)
+	if aged > 0xffff {
+		aged = 0xffff
+	}
+	lsa.Age = uint16(aged)
+	return lsa, true
+}
+
+// Walk visits every LSA in deterministic (origin) order.
+func (db *LSDB) Walk(fn func(LSA) bool) {
+	origins := make([]netip.Addr, 0, len(db.lsas))
+	for o := range db.lsas {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i].Less(origins[j]) })
+	for _, o := range origins {
+		if !fn(db.lsas[o].lsa) {
+			return
+		}
+	}
+}

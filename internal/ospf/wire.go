@@ -1,0 +1,315 @@
+// Package ospf implements an OSPFv2-style link-state routing process as
+// a XORP extension protocol (paper §8.3, "Adding a New Routing
+// Protocol"): a Hello/adjacency state machine per interface, a
+// link-state database of sequence-numbered, aged router LSAs flooded
+// reliably (ack + retransmit) over the FEA's simulated network, and an
+// incremental Dijkstra SPF that pushes best paths into the RIB through
+// the same RIBClient shape RIP uses. Like RIP, OSPF never touches the
+// network directly: hellos go to the AllSPFRouters multicast group via
+// the FEA relay (§7), and routes reach the forwarding plane only through
+// the RIB's merge(igp,ospf) stage.
+package ospf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Version is the OSPF protocol version carried in every header.
+const Version = 2
+
+// Port is the simulated-fabric port OSPF binds (real OSPF is IP
+// protocol 89; the simulation reuses the number as a UDP-style port).
+const Port = 89
+
+// AllSPFRouters is the multicast group every OSPF router joins
+// (RFC 2328 §A.1): hellos and flooded updates are addressed to it.
+var AllSPFRouters = netip.AddrFrom4([4]byte{224, 0, 0, 5})
+
+// Packet types (RFC 2328 §A.3.1 numbering; Database Description and
+// Link State Request are subsumed by flooding the full LSDB on
+// adjacency formation in this implementation).
+const (
+	TypeHello    = 1
+	TypeLSUpdate = 4
+	TypeLSAck    = 5
+)
+
+// MaxLSAsPerUpdate bounds one Link State Update packet.
+const MaxLSAsPerUpdate = 25
+
+// Link is one point-to-point link in a router LSA: this router can
+// reach Neighbor at Cost. SPF uses a link only when the neighbor's own
+// LSA lists the reverse link (RFC 2328 §16.1's bidirectional check).
+type Link struct {
+	Neighbor netip.Addr // neighbor's router ID
+	Cost     uint16
+}
+
+// StubPrefix is one directly attached or redistributed network in a
+// router LSA.
+type StubPrefix struct {
+	Net  netip.Prefix
+	Cost uint16
+}
+
+// LSA is a router link-state advertisement: everything one router
+// contributes to the link-state database. Origin doubles as the LS ID
+// (one router LSA per router). Higher Seq is newer; Age is seconds
+// since origination and advances as the LSA is reflooded.
+type LSA struct {
+	Origin   netip.Addr
+	Seq      uint32
+	Age      uint16
+	Links    []Link
+	Prefixes []StubPrefix
+}
+
+// Key identifies an LSA instance for acknowledgment.
+type Key struct {
+	Origin netip.Addr
+	Seq    uint32
+}
+
+// Hello is the neighbor discovery/keepalive payload. Neighbors lists
+// the router IDs heard recently; seeing our own ID there makes the
+// adjacency bidirectional.
+type Hello struct {
+	HelloInterval uint16 // seconds
+	DeadInterval  uint16 // seconds
+	Neighbors     []netip.Addr
+}
+
+// Packet is one OSPF packet: a common header plus a type-dependent
+// body.
+type Packet struct {
+	Type     uint8
+	RouterID netip.Addr
+	Hello    *Hello // TypeHello
+	LSAs     []LSA  // TypeLSUpdate
+	Acks     []Key  // TypeLSAck
+}
+
+func append4(dst []byte, a netip.Addr) ([]byte, error) {
+	if !a.Is4() {
+		return dst, fmt.Errorf("ospf: non-IPv4 address %v", a)
+	}
+	b := a.As4()
+	return append(dst, b[:]...), nil
+}
+
+// Append encodes the packet.
+func (p *Packet) Append(dst []byte) ([]byte, error) {
+	dst = append(dst, Version, p.Type)
+	dst, err := append4(dst, p.RouterID)
+	if err != nil {
+		return dst, err
+	}
+	switch p.Type {
+	case TypeHello:
+		h := p.Hello
+		if h == nil {
+			return dst, fmt.Errorf("ospf: hello packet without hello body")
+		}
+		dst = binary.BigEndian.AppendUint16(dst, h.HelloInterval)
+		dst = binary.BigEndian.AppendUint16(dst, h.DeadInterval)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.Neighbors)))
+		for _, n := range h.Neighbors {
+			if dst, err = append4(dst, n); err != nil {
+				return dst, err
+			}
+		}
+	case TypeLSUpdate:
+		if len(p.LSAs) > MaxLSAsPerUpdate {
+			return dst, fmt.Errorf("ospf: %d LSAs exceeds %d", len(p.LSAs), MaxLSAsPerUpdate)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.LSAs)))
+		for _, lsa := range p.LSAs {
+			if dst, err = lsa.append(dst); err != nil {
+				return dst, err
+			}
+		}
+	case TypeLSAck:
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Acks)))
+		for _, k := range p.Acks {
+			if dst, err = append4(dst, k.Origin); err != nil {
+				return dst, err
+			}
+			dst = binary.BigEndian.AppendUint32(dst, k.Seq)
+		}
+	default:
+		return dst, fmt.Errorf("ospf: unknown packet type %d", p.Type)
+	}
+	return dst, nil
+}
+
+func (l *LSA) append(dst []byte) ([]byte, error) {
+	dst, err := append4(dst, l.Origin)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint32(dst, l.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, l.Age)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(l.Links)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(l.Prefixes)))
+	for _, ln := range l.Links {
+		if dst, err = append4(dst, ln.Neighbor); err != nil {
+			return dst, err
+		}
+		dst = binary.BigEndian.AppendUint16(dst, ln.Cost)
+	}
+	for _, sp := range l.Prefixes {
+		if !sp.Net.Addr().Is4() {
+			return dst, fmt.Errorf("ospf: non-IPv4 prefix %v", sp.Net)
+		}
+		if dst, err = append4(dst, sp.Net.Addr()); err != nil {
+			return dst, err
+		}
+		dst = append(dst, byte(sp.Net.Bits()))
+		dst = binary.BigEndian.AppendUint16(dst, sp.Cost)
+	}
+	return dst, nil
+}
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.buf) < 1 {
+		r.fail(1)
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.buf) < 2 {
+		r.fail(2)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.buf) < 4 {
+		r.fail(4)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *reader) addr() netip.Addr {
+	if r.err != nil || len(r.buf) < 4 {
+		r.fail(4)
+		return netip.Addr{}
+	}
+	a := netip.AddrFrom4([4]byte(r.buf[:4]))
+	r.buf = r.buf[4:]
+	return a
+}
+
+func (r *reader) fail(n int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ospf: truncated packet (need %d bytes, have %d)", n, len(r.buf))
+	}
+}
+
+// Decode parses an OSPF packet.
+func Decode(buf []byte) (*Packet, error) {
+	r := &reader{buf: buf}
+	if v := r.u8(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("ospf: version %d unsupported", v)
+	}
+	p := &Packet{Type: r.u8(), RouterID: r.addr()}
+	switch p.Type {
+	case TypeHello:
+		h := &Hello{HelloInterval: r.u16(), DeadInterval: r.u16()}
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			h.Neighbors = append(h.Neighbors, r.addr())
+		}
+		p.Hello = h
+	case TypeLSUpdate:
+		n := int(r.u16())
+		if r.err == nil && n > MaxLSAsPerUpdate {
+			return nil, fmt.Errorf("ospf: too many LSAs (%d)", n)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			lsa, err := decodeLSA(r)
+			if err != nil {
+				return nil, err
+			}
+			p.LSAs = append(p.LSAs, lsa)
+		}
+	case TypeLSAck:
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			p.Acks = append(p.Acks, Key{Origin: r.addr(), Seq: r.u32()})
+		}
+	default:
+		if r.err == nil {
+			return nil, fmt.Errorf("ospf: unknown packet type %d", p.Type)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("ospf: %d trailing bytes", len(r.buf))
+	}
+	return p, nil
+}
+
+func decodeLSA(r *reader) (LSA, error) {
+	lsa := LSA{Origin: r.addr(), Seq: r.u32(), Age: r.u16()}
+	nLinks, nPrefixes := int(r.u16()), int(r.u16())
+	for i := 0; i < nLinks && r.err == nil; i++ {
+		lsa.Links = append(lsa.Links, Link{Neighbor: r.addr(), Cost: r.u16()})
+	}
+	for i := 0; i < nPrefixes && r.err == nil; i++ {
+		addr := r.addr()
+		bits := int(r.u8())
+		cost := r.u16()
+		if r.err != nil {
+			break
+		}
+		pfx, err := addr.Prefix(bits)
+		if err != nil {
+			return lsa, fmt.Errorf("ospf: bad prefix %v/%d", addr, bits)
+		}
+		lsa.Prefixes = append(lsa.Prefixes, StubPrefix{Net: pfx, Cost: cost})
+	}
+	return lsa, r.err
+}
+
+// Clone deep-copies the LSA (flooded copies must not alias database
+// state).
+func (l LSA) Clone() LSA {
+	out := l
+	out.Links = append([]Link(nil), l.Links...)
+	out.Prefixes = append([]StubPrefix(nil), l.Prefixes...)
+	return out
+}
+
+// LinksEqual reports whether two LSAs describe the same topology edges
+// (order-sensitive; originators emit links in stable order).
+func (l LSA) LinksEqual(o LSA) bool {
+	if len(l.Links) != len(o.Links) {
+		return false
+	}
+	for i, ln := range l.Links {
+		if o.Links[i] != ln {
+			return false
+		}
+	}
+	return true
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"xorp/internal/bgp"
+	"xorp/internal/ospf"
 	"xorp/internal/rib"
 	"xorp/internal/route"
 )
@@ -155,6 +156,23 @@ func (re *ribEntry) Set(attr string, v Value) error {
 		return fmt.Errorf("policy: cannot set RIB attribute %q", attr)
 	}
 	return nil
+}
+
+// OSPFExportFilter compiles a policy into an OSPF export filter, vetting
+// SPF results on their way into the RIB. Like the BGP filter bank (and
+// unlike redistribution), the forwarding path is default-pass: rejected
+// routes drop, accepted/passed routes continue, possibly with a
+// rewritten metric or tag list.
+func OSPFExportFilter(p *Policy) ospf.Filter {
+	return func(e route.Entry) *route.Entry {
+		ad := &ribEntry{e: e}
+		act, err := p.Execute(ad)
+		if err != nil || act == ActionReject {
+			return nil
+		}
+		out := ad.e
+		return &out
+	}
 }
 
 // RIBRedistFilter compiles a policy into a RIB redistribution filter. A

@@ -212,6 +212,32 @@ term statics {
 	}
 }
 
+func TestOSPFExportFilterIntegration(t *testing.T) {
+	p, err := Compile("ospf-export", `
+term block-private {
+    from net <= 192.168.0.0/16
+    then reject
+}
+term tag-rest {
+    then set tag add 42
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := OSPFExportFilter(p)
+	if f(route.Entry{Net: mustP("192.168.7.0/24"), Metric: 3}) != nil {
+		t.Fatal("blocked prefix exported")
+	}
+	out := f(route.Entry{Net: mustP("172.16.0.0/16"), Metric: 3})
+	if out == nil || len(out.PolicyTags) != 1 || out.PolicyTags[0] != 42 {
+		t.Fatalf("export filter output %+v", out)
+	}
+	if out.Metric != 3 {
+		t.Fatalf("metric mutated: %+v", out)
+	}
+}
+
 func TestBGPAdapterAttributes(t *testing.T) {
 	src := &bgp.PeerHandle{Name: "p", Addr: mustA("10.9.9.9"), AS: 65009, IBGP: true}
 	r := &bgp.Route{

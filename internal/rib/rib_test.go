@@ -96,6 +96,52 @@ func TestAdminDistanceArbitration(t *testing.T) {
 	}
 }
 
+func TestMergeIGPOSPFArbitration(t *testing.T) {
+	// The merge(igp,ospf) stage — plumbed since the seed but fed for the
+	// first time by the ospf process — must arbitrate a RIP route vs. an
+	// OSPF route for the same prefix by admin distance (110 < 120), and
+	// re-promote the loser on withdrawal, in both orders.
+	p, fib, _ := newRib(t)
+	net := mustP("10.2.0.0/16")
+	ripE := route.Entry{Net: net, NextHop: mustA("10.0.0.2"), IfName: "eth0", Metric: 2}
+	ospfE := route.Entry{Net: net, NextHop: mustA("10.0.0.3"), IfName: "eth0", Metric: 7}
+
+	// RIP first, OSPF second: OSPF must take over.
+	p.AddRoute(route.ProtoRIP, ripE)
+	if e := fib.tbl[net]; e.Protocol != route.ProtoRIP {
+		t.Fatalf("initial winner %v, want rip", e)
+	}
+	p.AddRoute(route.ProtoOSPF, ospfE)
+	e := fib.tbl[net]
+	if e.Protocol != route.ProtoOSPF || e.AdminDistance != 110 || e.NextHop != mustA("10.0.0.3") {
+		t.Fatalf("winner with both present %v, want ospf ad 110", e)
+	}
+	// A higher OSPF metric must not matter: admin distance decides.
+	if e.Metric != 7 {
+		t.Fatalf("ospf metric lost: %v", e)
+	}
+
+	// OSPF withdrawal re-promotes the RIP route.
+	p.DeleteRoute(route.ProtoOSPF, net)
+	e = fib.tbl[net]
+	if e.Protocol != route.ProtoRIP || e.AdminDistance != 120 || e.NextHop != mustA("10.0.0.2") {
+		t.Fatalf("winner after ospf withdrawal %v, want rip", e)
+	}
+
+	// Reverse order: OSPF installed first keeps winning when RIP
+	// appears, and RIP's withdrawal while losing is silent.
+	p.AddRoute(route.ProtoOSPF, ospfE)
+	adds := fib.adds
+	p.DeleteRoute(route.ProtoRIP, net)
+	if e := fib.tbl[net]; e.Protocol != route.ProtoOSPF || fib.adds != adds {
+		t.Fatalf("losing rip withdrawal disturbed FIB: %v (adds %d -> %d)", e, adds, fib.adds)
+	}
+	p.DeleteRoute(route.ProtoOSPF, net)
+	if _, ok := fib.tbl[net]; ok {
+		t.Fatal("route still in FIB after both withdrawn")
+	}
+}
+
 func TestLoserChurnIsSilent(t *testing.T) {
 	p, fib, _ := newRib(t)
 	net := mustP("10.1.0.0/16")

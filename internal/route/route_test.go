@@ -36,6 +36,49 @@ func TestProtocolNamesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestProtocolTable(t *testing.T) {
+	// Table-driven round-trip of name and admin distance for every
+	// Protocol constant (ProtoOSPF's entries are now live: the ospf
+	// process feeds the RIB's ospf origin table).
+	cases := []struct {
+		p        Protocol
+		name     string
+		ad       uint8
+		parseErr bool
+	}{
+		{ProtoUnknown, "protocol(0)", 255, true},
+		{ProtoConnected, "connected", 0, false},
+		{ProtoStatic, "static", 1, false},
+		{ProtoEBGP, "ebgp", 20, false},
+		{ProtoOSPF, "ospf", 110, false},
+		{ProtoISIS, "is-is", 115, false},
+		{ProtoRIP, "rip", 120, false},
+		{ProtoIBGP, "ibgp", 200, false},
+		{ProtoExperimental, "experimental", 230, false},
+		{Protocol(99), "protocol(99)", 255, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.p.String(); got != c.name {
+				t.Errorf("String() = %q, want %q", got, c.name)
+			}
+			if got := AdminDistance(c.p); got != c.ad {
+				t.Errorf("AdminDistance() = %d, want %d", got, c.ad)
+			}
+			got, err := ParseProtocol(c.p.String())
+			if c.parseErr {
+				if err == nil {
+					t.Errorf("ParseProtocol(%q) accepted a non-name", c.p.String())
+				}
+				return
+			}
+			if err != nil || got != c.p {
+				t.Errorf("ParseProtocol(String()) = %v, %v; want %v", got, err, c.p)
+			}
+		})
+	}
+}
+
 func TestEntryEqual(t *testing.T) {
 	base := Entry{
 		Net:           netip.MustParsePrefix("10.0.0.0/8"),

@@ -1,7 +1,7 @@
 // Package rtrmgr implements the XORP Router Manager (paper §3): it holds
 // the router configuration, starts and wires the other processes (Finder,
-// FEA, RIB, BGP, RIP), and hides the router's internal structure behind a
-// unified configuration interface.
+// FEA, RIB, BGP, RIP, OSPF), and hides the router's internal structure
+// behind a unified configuration interface.
 package rtrmgr
 
 import (

@@ -11,6 +11,7 @@ import (
 	"xorp/internal/fea"
 	"xorp/internal/finder"
 	"xorp/internal/kernel"
+	"xorp/internal/ospf"
 	"xorp/internal/policy"
 	"xorp/internal/rib"
 	"xorp/internal/rip"
@@ -49,6 +50,7 @@ type Router struct {
 	RIB    *rib.Process
 	BGP    *bgp.Process
 	RIP    *rip.Process
+	OSPF   *ospf.Process
 
 	// Routers (one per process) and their loops.
 	FEARouter *xipc.Router
@@ -58,6 +60,7 @@ type Router struct {
 	MetricSource *bgp.MetricSource
 	loops        []*eventloop.Loop
 	ripLoop      *eventloop.Loop
+	ospfLoop     *eventloop.Loop
 	opts         Options
 	running      bool
 }
@@ -135,6 +138,7 @@ func (r *Router) registerTarget(xr *xipc.Router, t *xipc.Target) error {
 //	    bgp { local-as 65001; id 10.0.0.1;
 //	          peer p1 { local-addr ...; peer-addr ...; as 65002; dial host:port; } }
 //	    rip { }
+//	    ospf { hello-interval 10; dead-interval 40; export pol-name; }
 //	}
 //	policy import-bgp { term a { from ...; then ...; } }
 func NewRouter(cfgText string, opts Options) (*Router, error) {
@@ -251,6 +255,13 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 		}
 	}
 
+	// OSPF process.
+	if protos != nil && protos.Child("ospf") != nil {
+		if err := r.setupOSPF(protos.Child("ospf")); err != nil {
+			return nil, err
+		}
+	}
+
 	return r, nil
 }
 
@@ -335,25 +346,9 @@ func (r *Router) setupBGP(cfg *Node) error {
 	// Redistribution into BGP, optionally policy-filtered:
 	//   bgp { redistribute static policy-name; }
 	for _, rd := range cfg.ChildrenNamed("redistribute") {
-		proto := rd.Arg(0)
-		var filter rib.RedistFilter
-		if polName := rd.Arg(1); polName != "" {
-			pol, err := r.compilePolicy(polName)
-			if err != nil {
-				return err
-			}
-			filter = policy.RIBRedistFilter(pol)
-		} else {
-			want, err := route.ParseProtocol(proto)
-			if err != nil {
-				return err
-			}
-			filter = func(e route.Entry) *route.Entry {
-				if e.Protocol != want {
-					return nil
-				}
-				return &e
-			}
+		proto, filter, err := r.redistFilter(rd)
+		if err != nil {
+			return err
 		}
 		var rerr error
 		r.syncDo(r.RIB.Loop(), func() {
@@ -364,6 +359,30 @@ func (r *Router) setupBGP(cfg *Node) error {
 		}
 	}
 	return nil
+}
+
+// redistFilter builds the RIB redistribution filter for one
+// `redistribute <proto> [policy]` statement: the named policy when
+// given, a protocol match otherwise.
+func (r *Router) redistFilter(rd *Node) (string, rib.RedistFilter, error) {
+	proto := rd.Arg(0)
+	if polName := rd.Arg(1); polName != "" {
+		pol, err := r.compilePolicy(polName)
+		if err != nil {
+			return proto, nil, err
+		}
+		return proto, policy.RIBRedistFilter(pol), nil
+	}
+	want, err := route.ParseProtocol(proto)
+	if err != nil {
+		return proto, nil, err
+	}
+	return proto, func(e route.Entry) *route.Entry {
+		if e.Protocol != want {
+			return nil
+		}
+		return &e
+	}, nil
 }
 
 // compilePolicy finds `policy <name> { ... }` in the config and compiles
@@ -403,6 +422,119 @@ func (r *Router) setupRIP(cfg *Node) error {
 	}
 	r.RIP = rip.NewProcess(ripLoop, rcfg, tr, ripRIBAdapter{r.RIB})
 	return nil
+}
+
+// setupOSPF assembles the OSPF process:
+//
+//	protocols {
+//	    ospf { router-id 10.0.0.1; hello-interval 10; dead-interval 40;
+//	           cost 1; export pol-name; redistribute static [pol-name]; }
+//	}
+//
+// Connected interface prefixes are originated as stub networks at
+// Start; `export` applies a policy to SPF routes entering the RIB;
+// `redistribute` splices a RIB redist stage feeding OSPF externals.
+func (r *Router) setupOSPF(cfg *Node) error {
+	if r.opts.Network == nil || !r.opts.LocalAddr.IsValid() {
+		return fmt.Errorf("rtrmgr: ospf requires Options.Network and LocalAddr")
+	}
+	ospfLoop := r.loopFor()
+	r.ospfLoop = ospfLoop
+	tr := &ospf.FEATransport{
+		BindFn: func(group netip.Addr, port uint16, recv func(src netip.AddrPort, payload []byte)) error {
+			if err := r.FEA.UDPJoinGroup(group); err != nil {
+				return err
+			}
+			// Receive on the FEA, hop to the OSPF loop.
+			return r.FEA.UDPBind(port, "ospf", func(src netip.AddrPort, payload []byte) {
+				ospfLoop.Dispatch(func() { recv(src, payload) })
+			})
+		},
+		SendFn: r.FEA.UDPSend,
+	}
+	ocfg := ospf.Config{LocalAddr: r.opts.LocalAddr, IfName: "eth0"}
+	if v := cfg.Leaf("router-id"); v != "" {
+		id, err := netip.ParseAddr(v)
+		if err != nil {
+			return err
+		}
+		ocfg.RouterID = id
+	}
+	for key, dst := range map[string]*time.Duration{
+		"hello-interval": &ocfg.HelloInterval,
+		"dead-interval":  &ocfg.DeadInterval,
+	} {
+		if v := cfg.Leaf(key); v != "" {
+			sec, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			*dst = time.Duration(sec) * time.Second
+		}
+	}
+	if v := cfg.Leaf("cost"); v != "" {
+		c, err := strconv.ParseUint(v, 10, 16)
+		if err != nil {
+			return err
+		}
+		ocfg.Cost = uint16(c)
+	}
+	r.OSPF = ospf.NewProcess(ospfLoop, ocfg, tr, ospfRIBAdapter{r.RIB})
+
+	if polName := cfg.Leaf("export"); polName != "" {
+		pol, err := r.compilePolicy(polName)
+		if err != nil {
+			return err
+		}
+		filter := policy.OSPFExportFilter(pol)
+		r.syncDo(ospfLoop, func() { r.OSPF.SetExportFilter(filter) })
+	}
+
+	// Redistribution into OSPF, optionally policy-filtered:
+	//   ospf { redistribute static policy-name; }
+	for _, rd := range cfg.ChildrenNamed("redistribute") {
+		proto, filter, err := r.redistFilter(rd)
+		if err != nil {
+			return err
+		}
+		out := ospfRedistAdapter{loop: ospfLoop, p: r.OSPF}
+		var rerr error
+		r.syncDo(r.RIB.Loop(), func() {
+			_, rerr = r.RIB.AddRedist("to-ospf-"+proto, filter, out)
+		})
+		if rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// ospfRIBAdapter feeds OSPF routes into the RIB's ospf origin table
+// directly (like ripRIBAdapter; the XRL path is exercised by BGP and
+// the FEA, and by cmd/xorp_ospf in multi-process deployments).
+type ospfRIBAdapter struct{ rib *rib.Process }
+
+func (a ospfRIBAdapter) AddRoute(e route.Entry) {
+	a.rib.Loop().Dispatch(func() { a.rib.AddRoute(route.ProtoOSPF, e) })
+}
+
+func (a ospfRIBAdapter) DeleteRoute(net netip.Prefix) {
+	a.rib.Loop().Dispatch(func() { a.rib.DeleteRoute(route.ProtoOSPF, net) })
+}
+
+// ospfRedistAdapter hops rib.Redistributor callbacks (which arrive on
+// the RIB loop) onto the OSPF loop.
+type ospfRedistAdapter struct {
+	loop *eventloop.Loop
+	p    *ospf.Process
+}
+
+func (a ospfRedistAdapter) RedistAdd(e route.Entry) {
+	a.loop.Dispatch(func() { a.p.RedistAdd(e) })
+}
+
+func (a ospfRedistAdapter) RedistDelete(e route.Entry) {
+	a.loop.Dispatch(func() { a.p.RedistDelete(e) })
 }
 
 // ripRIBAdapter feeds RIP routes into the RIB's rip origin table
@@ -445,6 +577,22 @@ func (r *Router) Start() error {
 			return err
 		}
 	}
+	if r.OSPF != nil {
+		ifaces := r.FIB.Interfaces()
+		var err error
+		r.syncDo(r.ospfLoop, func() {
+			if err = r.OSPF.Start(); err != nil {
+				return
+			}
+			// Connected networks become stub prefixes.
+			for _, ifc := range ifaces {
+				r.OSPF.OriginatePrefix(ifc.Addr.Masked(), 1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -453,8 +601,21 @@ func (r *Router) Stop() {
 	if r.BGP != nil && !r.simulated() {
 		r.BGP.Loop().DispatchAndWait(r.BGP.Close)
 	}
+	// Protocol timers are loop-owned state: cancel them on their own
+	// loops (real-clock loops are still running here).
 	if r.RIP != nil {
-		r.RIP.Stop()
+		if r.simulated() {
+			r.RIP.Stop()
+		} else {
+			r.ripLoop.DispatchAndWait(r.RIP.Stop)
+		}
+	}
+	if r.OSPF != nil {
+		if r.simulated() {
+			r.OSPF.Stop()
+		} else {
+			r.ospfLoop.DispatchAndWait(r.OSPF.Stop)
+		}
 	}
 	for _, l := range r.loops {
 		l.Stop()

@@ -327,6 +327,64 @@ protocols { rip { } }
 	})
 }
 
+func TestOSPFInAssembly(t *testing.T) {
+	// Two full routers speaking OSPF over the simulated fabric:
+	// connected prefixes and redistributed statics flow OSPF → RIB →
+	// FEA → kernel FIB, with an export policy tagging routes on the
+	// receiving side.
+	netw := kernel.NewNetwork()
+	a, err := NewRouter(`
+interfaces {
+    eth0 { address 192.168.1.1/24; }
+    eth1 { address 10.50.0.1/24; }
+}
+static { route 172.31.0.0/16 next-hop 192.168.1.200; }
+protocols { ospf { hello-interval 1; redistribute static; } }
+`, Options{Network: netw, LocalAddr: mustA("192.168.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := NewRouter(`
+interfaces { eth0 { address 192.168.1.2/24; } }
+protocols { ospf { hello-interval 1; export tag-ospf; } }
+policy tag-ospf { term all { then set tag add 42 } }
+`, Options{Network: netw, LocalAddr: mustA("192.168.1.2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The redistributed static must traverse a's RIB → OSPF flooding →
+	// b's SPF → b's RIB → b's FEA → b's kernel FIB.
+	waitCond(t, "OSPF route in b's FIB", func() bool {
+		e, ok := b.FIB.Lookup(mustA("172.31.1.1"))
+		return ok && e.Net == mustP("172.31.0.0/16") && e.NextHop == mustA("192.168.1.1")
+	})
+	// b's RIB carries it as an OSPF route (admin distance 110) with the
+	// export policy's tag applied.
+	e, ok := b.RIB.LookupBest(mustA("172.31.1.1"))
+	if !ok || e.Protocol != route.ProtoOSPF || e.AdminDistance != 110 {
+		t.Fatalf("b's RIB entry %+v %v", e, ok)
+	}
+	if len(e.PolicyTags) != 1 || e.PolicyTags[0] != 42 {
+		t.Fatalf("export policy tag missing: %+v", e)
+	}
+	// a's connected networks are originated as stub prefixes: b must
+	// learn a's eth1 prefix — which b has no interface on — via OSPF.
+	waitCond(t, "a's connected eth1 prefix at b", func() bool {
+		e, ok := b.RIB.LookupBest(mustA("10.50.0.77"))
+		return ok && e.Protocol == route.ProtoOSPF &&
+			e.Net == mustP("10.50.0.0/24") && e.NextHop == mustA("192.168.1.1")
+	})
+}
+
 func TestDampingInAssembly(t *testing.T) {
 	// bgp { damping } plumbs a DampingStage into every peering's input
 	// branch (§8.3): a flapping route must stop reaching the FIB while a
