@@ -12,6 +12,7 @@
 //	xorp_bench -experiment fig13        # event-driven vs scanner
 //	xorp_bench -experiment memory       # §5.1 memory footprint
 //	xorp_bench -experiment spf          # OSPF SPF full vs incremental
+//	xorp_bench -experiment tableload    # full-table RIB load, single vs batch
 //	xorp_bench -quick                   # scaled-down table sizes
 package main
 
@@ -159,6 +160,22 @@ func main() {
 				float64(full.Nanoseconds())/1e3, float64(incr.Nanoseconds())/1e3,
 				float64(full)/float64(incr))
 		}
+		return nil
+	})
+
+	run("tableload", func() error {
+		n := preload
+		fmt.Printf("Full-table RIB load, seed single-route path vs batch fast path (%d routes)\n", n)
+		single, err := bench.RunTableLoad(n, false)
+		if err != nil {
+			return err
+		}
+		batch, err := bench.RunTableLoad(n, true)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTableLoad(single, batch))
+		fmt.Println(`(recorded baselines: BENCH_fig9.json "tableload")`)
 		return nil
 	})
 

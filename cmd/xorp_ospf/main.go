@@ -24,6 +24,7 @@ import (
 	"xorp/internal/eventloop"
 	"xorp/internal/finder"
 	"xorp/internal/ospf"
+	"xorp/internal/rib"
 	"xorp/internal/route"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
@@ -176,6 +177,29 @@ func (r *xrlRIB) DeleteRoute(net netip.Prefix) {
 	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_route4",
 		xrl.Text("protocol", "ospf"),
 		xrl.Net("network", net)), nil)
+}
+
+// AddRoutes ships a whole SPF result as one add_routes4 list XRL
+// (ospf.BatchRIBClient), riding the RIB's batch fast path.
+func (r *xrlRIB) AddRoutes(es []route.Entry) {
+	items := make([]xrl.Atom, len(es))
+	for i := range es {
+		items[i] = rib.EncodeRouteAtom(es[i])
+	}
+	r.router.Send(xrl.New("rib", "rib", "1.0", "add_routes4",
+		xrl.Text("protocol", "ospf"),
+		xrl.List("routes", items...)), nil)
+}
+
+// DeleteRoutes ships a batch withdrawal as one delete_routes4 XRL.
+func (r *xrlRIB) DeleteRoutes(nets []netip.Prefix) {
+	items := make([]xrl.Atom, len(nets))
+	for i := range nets {
+		items[i] = xrl.Text("", nets[i].String())
+	}
+	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_routes4",
+		xrl.Text("protocol", "ospf"),
+		xrl.List("networks", items...)), nil)
 }
 
 func fatal(err error) {

@@ -22,6 +22,7 @@ import (
 
 	"xorp/internal/eventloop"
 	"xorp/internal/finder"
+	"xorp/internal/rib"
 	"xorp/internal/rip"
 	"xorp/internal/route"
 	"xorp/internal/xipc"
@@ -145,6 +146,18 @@ func (r *xrlRIB) DeleteRoute(net netip.Prefix) {
 	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_route4",
 		xrl.Text("protocol", "rip"),
 		xrl.Net("network", net)), nil)
+}
+
+// AddRoutes ships one received update's routes as a single add_routes4
+// list XRL (rip.BatchRIBClient), riding the RIB's batch fast path.
+func (r *xrlRIB) AddRoutes(es []route.Entry) {
+	items := make([]xrl.Atom, len(es))
+	for i := range es {
+		items[i] = rib.EncodeRouteAtom(es[i])
+	}
+	r.router.Send(xrl.New("rib", "rib", "1.0", "add_routes4",
+		xrl.Text("protocol", "rip"),
+		xrl.List("routes", items...)), nil)
 }
 
 func fatal(err error) {

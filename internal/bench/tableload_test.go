@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// BenchmarkTableLoad measures the full-table RIB load experiment at a
+// bench-friendly size (20k routes), one sub-benchmark per path; the
+// committed full-size baselines live in BENCH_fig9.json "tableload".
+func BenchmarkTableLoad(b *testing.B) {
+	const n = 20000
+	for _, mode := range []struct {
+		name  string
+		batch bool
+	}{{"single", false}, {"batch", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunTableLoad(n, mode.batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.RoutesPerSec, "routes/sec")
+			}
+		})
+	}
+}

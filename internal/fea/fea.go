@@ -14,6 +14,7 @@ import (
 	"xorp/internal/eventloop"
 	"xorp/internal/kernel"
 	"xorp/internal/profiler"
+	"xorp/internal/rib"
 	"xorp/internal/route"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
@@ -61,11 +62,15 @@ func (p *Process) Profiler() *profiler.Profiler { return p.prof }
 func (p *Process) FIB() *kernel.FIB { return p.fib }
 
 // AddEntry installs a forwarding entry ("the FEA will unconditionally
-// install the route in the kernel", §8.2).
+// install the route in the kernel", §8.2). The profile points are
+// checked before formatting so disabled points cost no per-route
+// allocation.
 func (p *Process) AddEntry(e route.Entry) error {
-	p.profArrive.Logf("add %v", e.Net)
+	if p.profArrive.Enabled() {
+		p.profArrive.Logf("add %v", e.Net)
+	}
 	err := p.fib.Install(kernel.FIBEntry{Net: e.Net, NextHop: e.NextHop, IfName: e.IfName})
-	if err == nil {
+	if err == nil && p.profKernel.Enabled() {
 		p.profKernel.Logf("add %v", e.Net)
 	}
 	return err
@@ -73,16 +78,41 @@ func (p *Process) AddEntry(e route.Entry) error {
 
 // DeleteEntry removes a forwarding entry.
 func (p *Process) DeleteEntry(net netip.Prefix) error {
-	p.profArrive.Logf("delete %v", net)
+	if p.profArrive.Enabled() {
+		p.profArrive.Logf("delete %v", net)
+	}
 	if !p.fib.Remove(net) {
 		return fmt.Errorf("fea: no FIB entry %v", net)
 	}
-	p.profKernel.Logf("delete %v", net)
+	if p.profKernel.Enabled() {
+		p.profKernel.Logf("delete %v", net)
+	}
 	return nil
 }
 
-// RIBClient adapts the FEA as the RIB's FIBClient (rib.FIBClient) for
-// in-process assemblies.
+// ApplyBatch installs a coalesced forwarding update set in one pass —
+// the receiving end of the RIB's FIB push coalescing. Individual entry
+// failures don't abort the rest of the transaction; the first error is
+// returned.
+func (p *Process) ApplyBatch(b *rib.FIBBatch) error {
+	var firstErr error
+	b.Ops(func(op rib.FIBOp) {
+		var err error
+		switch op.Kind {
+		case rib.FIBOpAdd, rib.FIBOpReplace:
+			err = p.AddEntry(op.New)
+		case rib.FIBOpDelete:
+			err = p.DeleteEntry(op.Old.Net)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+// RIBClient adapts the FEA as the RIB's FIBClient (rib.FIBClient and
+// rib.FIBBatchClient) for in-process assemblies.
 type RIBClient struct{ P *Process }
 
 // FIBAdd implements rib.FIBClient.
@@ -93,6 +123,9 @@ func (c RIBClient) FIBReplace(_, new route.Entry) { c.P.AddEntry(new) }
 
 // FIBDelete implements rib.FIBClient.
 func (c RIBClient) FIBDelete(e route.Entry) { c.P.DeleteEntry(e.Net) }
+
+// FIBApplyBatch implements rib.FIBBatchClient.
+func (c RIBClient) FIBApplyBatch(b *rib.FIBBatch) { c.P.ApplyBatch(b) }
 
 // UDPBind binds a relay port on behalf of client; received datagrams are
 // pushed to the client target's fea_udp_client/0.1/recv method (or to
@@ -185,6 +218,51 @@ func (p *Process) RegisterXRLs(t *xipc.Target) {
 			return nil, err
 		}
 		return nil, p.DeleteEntry(net)
+	})
+	t.Register("fti", "0.2", "add_entries4", func(args xrl.Args) (xrl.Args, error) {
+		items, err := args.ListArg("entries")
+		if err != nil {
+			return nil, err
+		}
+		// Decode everything before touching the FIB: a malformed atom
+		// must reject the whole batch, not leave it half-applied while
+		// reporting rejection.
+		es := make([]route.Entry, 0, len(items))
+		for _, it := range items {
+			e, err := rib.DecodeRouteAtom(it)
+			if err != nil {
+				return nil, xrl.Errorf(xrl.CodeBadArgs, "%v", err)
+			}
+			es = append(es, e)
+		}
+		var firstErr error
+		for _, e := range es {
+			if err := p.AddEntry(e); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return nil, firstErr
+	})
+	t.Register("fti", "0.2", "delete_entries4", func(args xrl.Args) (xrl.Args, error) {
+		items, err := args.ListArg("networks")
+		if err != nil {
+			return nil, err
+		}
+		nets := make([]netip.Prefix, 0, len(items))
+		for _, it := range items {
+			net, err := netip.ParsePrefix(it.TextVal)
+			if err != nil {
+				return nil, xrl.Errorf(xrl.CodeBadArgs, "fea: bad network %q", it.TextVal)
+			}
+			nets = append(nets, net)
+		}
+		var firstErr error
+		for _, net := range nets {
+			if err := p.DeleteEntry(net); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return nil, firstErr
 	})
 	t.Register("fti", "0.2", "lookup_entry4", func(args xrl.Args) (xrl.Args, error) {
 		addr, err := args.AddrArg("addr")

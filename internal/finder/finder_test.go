@@ -462,3 +462,74 @@ func TestParsedResolvedXRLStringForm(t *testing.T) {
 		t.Fatalf("sum = %d", sum)
 	}
 }
+
+// TestColdMethodKeepsSendOrder pins the per-target FIFO guarantee across
+// resolution: the first use of a method pays a Finder round-trip, and a
+// later send of an already-resolved method to the same target must not
+// overtake it (route updates would reorder — a stale route could clobber
+// its own replacement).
+func TestColdMethodKeepsSendOrder(t *testing.T) {
+	_, hub, nodes := setupHub(t, "alpha")
+	a := nodes["alpha"]
+
+	// Hand-build the receiver so the recording methods are registered
+	// before the Finder learns the target's method list.
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func(xrl.Args) (xrl.Args, error) {
+		return func(xrl.Args) (xrl.Args, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil, nil
+		}
+	}
+	bloop := eventloop.New(nil)
+	brouter := xipc.NewRouter("beta", bloop)
+	btarget := xipc.NewTarget("beta", "beta")
+	btarget.Register("test", "1.0", "cold", record("cold"))
+	btarget.Register("test", "1.0", "warm", record("warm"))
+	brouter.AddTarget(btarget)
+	brouter.AttachHub(hub)
+	go bloop.Run()
+	t.Cleanup(func() { brouter.Close(); bloop.Stop() })
+	if err := RegisterTargetSync(brouter, btarget, true); err != nil {
+		t.Fatalf("register beta: %v", err)
+	}
+
+	// Warm up "warm" so its resolution is cached...
+	if _, err := a.router.Call(xrl.New("beta", "test", "1.0", "warm")); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	mu.Lock()
+	order = nil
+	mu.Unlock()
+
+	// ...then send cold-before-warm in one loop turn, twenty times over.
+	const rounds = 20
+	done := make(chan struct{}, rounds*2)
+	cb := func(xrl.Args, *xrl.Error) { done <- struct{}{} }
+	a.loop.DispatchAndWait(func() {
+		for i := 0; i < rounds; i++ {
+			a.router.SendFromLoop(xrl.New("beta", "test", "1.0", "cold"), cb)
+			a.router.SendFromLoop(xrl.New("beta", "test", "1.0", "warm"), cb)
+		}
+	})
+	for i := 0; i < rounds*2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for replies")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != rounds*2 {
+		t.Fatalf("received %d calls, want %d", len(order), rounds*2)
+	}
+	for i := 0; i < rounds*2; i += 2 {
+		if order[i] != "cold" || order[i+1] != "warm" {
+			t.Fatalf("order broken at %d: %v", i, order[:i+2])
+		}
+	}
+}

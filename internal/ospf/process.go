@@ -31,6 +31,15 @@ type RIBClient interface {
 	DeleteRoute(net netip.Prefix)
 }
 
+// BatchRIBClient is optionally implemented by RIBClients that can absorb
+// a whole SPF result in one call (the RIB's route-churn fast path). The
+// slices are only valid for the duration of the call.
+type BatchRIBClient interface {
+	RIBClient
+	AddRoutes(es []route.Entry)
+	DeleteRoutes(nets []netip.Prefix)
+}
+
 // Filter vets (and may rewrite) a route before it reaches the RIB; nil
 // entries are suppressed. The policy framework compiles its export
 // policies into this shape (policy.OSPFExportFilter).
@@ -613,22 +622,41 @@ func (p *Process) runSPF() {
 		want[net] = e
 	}
 
+	// Collect the delta and ship it in (at most) two batch calls when the
+	// client supports them — an SPF recompute emits its whole result at
+	// once, the textbook churn run.
+	var adds []route.Entry
 	for net, e := range want {
 		if old, ok := p.installed[net]; ok && old.Equal(e) {
 			continue
 		}
 		p.installed[net] = e
-		if p.rib != nil {
-			p.rib.AddRoute(e)
-		}
+		adds = append(adds, e)
 	}
+	var dels []netip.Prefix
 	for net := range p.installed {
 		if _, ok := want[net]; !ok {
 			delete(p.installed, net)
-			if p.rib != nil {
-				p.rib.DeleteRoute(net)
-			}
+			dels = append(dels, net)
 		}
+	}
+	if p.rib == nil {
+		return
+	}
+	if bc, ok := p.rib.(BatchRIBClient); ok {
+		if len(adds) > 0 {
+			bc.AddRoutes(adds)
+		}
+		if len(dels) > 0 {
+			bc.DeleteRoutes(dels)
+		}
+		return
+	}
+	for _, e := range adds {
+		p.rib.AddRoute(e)
+	}
+	for _, net := range dels {
+		p.rib.DeleteRoute(net)
 	}
 }
 

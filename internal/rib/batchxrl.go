@@ -1,0 +1,115 @@
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// The add_routes4 / delete_routes4 XRLs carry a whole run of routes in
+// one message, so a protocol dumping a table (or the BGP feed during a
+// full-table load) pays the IPC fixed cost once per run instead of once
+// per route. Each route rides in a list as a text atom; this file owns
+// that encoding, shared by the RIB-side handlers and every XRL client
+// (rtrmgr adapters, cmd/xorp_rip, cmd/xorp_ospf).
+
+// EncodeRouteAtom renders e as an add_routes4 list item:
+// "net nexthop metric ifname", with "-" marking an absent nexthop or
+// interface name.
+func EncodeRouteAtom(e route.Entry) xrl.Atom {
+	nh := "-"
+	if e.NextHop.IsValid() {
+		nh = e.NextHop.String()
+	}
+	ifn := e.IfName
+	if ifn == "" {
+		ifn = "-"
+	}
+	var sb strings.Builder
+	sb.Grow(len(ifn) + len(nh) + 32)
+	sb.WriteString(e.Net.String())
+	sb.WriteByte(' ')
+	sb.WriteString(nh)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(uint64(e.Metric), 10))
+	sb.WriteByte(' ')
+	sb.WriteString(ifn)
+	return xrl.Text("", sb.String())
+}
+
+// DecodeRouteAtom parses an add_routes4 list item back into an Entry.
+func DecodeRouteAtom(a xrl.Atom) (route.Entry, error) {
+	var e route.Entry
+	fields := strings.Fields(a.TextVal)
+	if len(fields) != 4 {
+		return e, fmt.Errorf("rib: malformed route atom %q", a.TextVal)
+	}
+	net, err := netip.ParsePrefix(fields[0])
+	if err != nil {
+		return e, fmt.Errorf("rib: route atom net: %v", err)
+	}
+	e.Net = net
+	if fields[1] != "-" {
+		nh, err := netip.ParseAddr(fields[1])
+		if err != nil {
+			return e, fmt.Errorf("rib: route atom nexthop: %v", err)
+		}
+		e.NextHop = nh
+	}
+	metric, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return e, fmt.Errorf("rib: route atom metric: %v", err)
+	}
+	e.Metric = uint32(metric)
+	if fields[3] != "-" {
+		e.IfName = fields[3]
+	}
+	return e, nil
+}
+
+// registerBatchXRLs wires the batch route methods onto t.
+func (p *Process) registerBatchXRLs(t *xipc.Target, parseProto func(xrl.Args) (route.Protocol, error)) {
+	t.Register("rib", "1.0", "add_routes4", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProto(args)
+		if err != nil {
+			return nil, err
+		}
+		items, err := args.ListArg("routes")
+		if err != nil {
+			return nil, err
+		}
+		es := make([]route.Entry, 0, len(items))
+		for _, it := range items {
+			e, err := DecodeRouteAtom(it)
+			if err != nil {
+				return nil, xrl.Errorf(xrl.CodeBadArgs, "%v", err)
+			}
+			es = append(es, e)
+		}
+		return nil, p.AddRoutes(proto, es)
+	})
+	t.Register("rib", "1.0", "delete_routes4", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProto(args)
+		if err != nil {
+			return nil, err
+		}
+		items, err := args.ListArg("networks")
+		if err != nil {
+			return nil, err
+		}
+		nets := make([]netip.Prefix, 0, len(items))
+		for _, it := range items {
+			net, err := netip.ParsePrefix(it.TextVal)
+			if err != nil {
+				return nil, xrl.Errorf(xrl.CodeBadArgs, "rib: bad network %q", it.TextVal)
+			}
+			nets = append(nets, net)
+		}
+		return nil, p.DeleteRoutes(proto, nets)
+	})
+}

@@ -2,6 +2,7 @@ package rib
 
 import (
 	"net/netip"
+	"slices"
 
 	"xorp/internal/route"
 	"xorp/internal/trie"
@@ -23,7 +24,7 @@ type ExtIntStage struct {
 	// resolved tracks external routes: original, the resolved form
 	// announced downstream (ok=false when unresolvable), and which
 	// internal prefix resolved it.
-	resolvedExt map[netip.Prefix]*extState
+	resolvedExt map[netip.Prefix]extState
 	// announced is the stage's downstream view (both sides merged).
 	announced *trie.Trie[route.Entry]
 }
@@ -41,7 +42,7 @@ func NewExtIntStage(name string, ext, int_ Stage) *ExtIntStage {
 		base:        base{name: name},
 		ext:         ext,
 		int:         int_,
-		resolvedExt: make(map[netip.Prefix]*extState),
+		resolvedExt: make(map[netip.Prefix]extState),
 		announced:   trie.New[route.Entry](),
 	}
 	ext.setDownstream(&extInput{e: e})
@@ -58,6 +59,8 @@ type extInput struct {
 func (x *extInput) Add(e route.Entry)                         { x.e.extChanged(e.Net, &e) }
 func (x *extInput) Replace(_, n route.Entry)                  { x.e.extChanged(n.Net, &n) }
 func (x *extInput) Delete(e route.Entry)                      { x.e.extChanged(e.Net, nil) }
+func (x *extInput) AddBatch(es []route.Entry)                 { x.e.extAddBatch(es) }
+func (x *extInput) DeleteBatch(es []route.Entry)              { x.e.extDeleteBatch(es) }
 func (x *extInput) Lookup(netip.Prefix) (route.Entry, bool)   { panic("rib: extInput lookup") }
 func (x *extInput) LookupBest(netip.Addr) (route.Entry, bool) { panic("rib: extInput lookup") }
 
@@ -70,6 +73,8 @@ type intInput struct {
 func (x *intInput) Add(e route.Entry)                         { x.e.intChanged(e.Net) }
 func (x *intInput) Replace(_, n route.Entry)                  { x.e.intChanged(n.Net) }
 func (x *intInput) Delete(e route.Entry)                      { x.e.intChanged(e.Net) }
+func (x *intInput) AddBatch(es []route.Entry)                 { x.e.intChangedBatch(es) }
+func (x *intInput) DeleteBatch(es []route.Entry)              { x.e.intChangedBatch(es) }
 func (x *intInput) Lookup(netip.Prefix) (route.Entry, bool)   { panic("rib: intInput lookup") }
 func (x *intInput) LookupBest(netip.Addr) (route.Entry, bool) { panic("rib: intInput lookup") }
 
@@ -99,26 +104,114 @@ func (s *ExtIntStage) extChanged(net netip.Prefix, e *route.Entry) {
 	if e == nil {
 		delete(s.resolvedExt, net)
 	} else {
-		st := &extState{orig: *e}
+		st := extState{orig: *e}
 		st.resolved, st.via, st.ok = s.resolve(*e)
 		s.resolvedExt[net] = st
 	}
 	s.reconcile(net)
 }
 
+// nhResult caches one nexthop's resolution for the duration of a batch:
+// the batch arrives from the external side only, so the internal tables —
+// the sole input to resolve — cannot change mid-batch.
+type nhResult struct {
+	ifName string
+	gw     netip.Addr // valid when the nexthop is reached via a gateway
+	via    netip.Prefix
+	ok     bool
+}
+
+// extAddBatch processes a run of external Adds, amortizing nexthop
+// resolution across the batch (full-table feeds reuse a handful of
+// nexthops) and re-coalescing the downstream emissions into runs. The
+// emitted stream is identical to per-route extChanged calls.
+func (s *ExtIntStage) extAddBatch(es []route.Entry) {
+	em := runEmitter{next: s.next}
+	var cache map[netip.Addr]nhResult
+	for i := range es {
+		e := es[i]
+		st := extState{orig: e}
+		if e.IfName != "" || !e.NextHop.IsValid() {
+			// Already concrete (or a discard route): usable as-is.
+			st.resolved, st.ok = e, true
+		} else {
+			r, hit := cache[e.NextHop]
+			if !hit {
+				if via, ok := s.int.LookupBest(e.NextHop); ok {
+					r = nhResult{ifName: via.IfName, via: via.Net, ok: true}
+					if via.NextHop.IsValid() {
+						r.gw = via.NextHop
+					}
+				}
+				if cache == nil {
+					cache = make(map[netip.Addr]nhResult, 8)
+				}
+				cache[e.NextHop] = r
+			}
+			st.resolved, st.via, st.ok = e, r.via, r.ok
+			if r.ok {
+				st.resolved.IfName = r.ifName
+				if r.gw.IsValid() {
+					st.resolved.NextHop = r.gw
+				}
+			}
+		}
+		s.resolvedExt[e.Net] = st
+		s.reconcileTo(e.Net, &em)
+	}
+	em.Flush()
+}
+
+// extDeleteBatch processes a run of external withdrawals.
+func (s *ExtIntStage) extDeleteBatch(es []route.Entry) {
+	em := runEmitter{next: s.next}
+	for i := range es {
+		delete(s.resolvedExt, es[i].Net)
+		s.reconcileTo(es[i].Net, &em)
+	}
+	em.Flush()
+}
+
 // intChanged re-resolves external routes affected by an internal change
 // and reconciles the changed prefix itself.
 func (s *ExtIntStage) intChanged(net netip.Prefix) {
-	s.reconcile(net)
+	s.intChangedTo(net, stageSink{s.next})
+}
+
+// intChangedBatch applies a run of internal changes, preserving the
+// per-route re-resolution order while coalescing downstream emissions.
+func (s *ExtIntStage) intChangedBatch(es []route.Entry) {
+	em := runEmitter{next: s.next}
+	for i := range es {
+		s.intChangedTo(es[i].Net, &em)
+	}
+	em.Flush()
+}
+
+func (s *ExtIntStage) intChangedTo(net netip.Prefix, out opSink) {
+	s.reconcileTo(net, out)
+	var affected []netip.Prefix
 	for extNet, st := range s.resolvedExt {
-		affected := (st.ok && st.via.IsValid() && st.via.Overlaps(net)) ||
+		hit := (st.ok && st.via.IsValid() && st.via.Overlaps(net)) ||
 			(!st.ok && net.Contains(st.orig.NextHop)) ||
 			(st.ok && net.Contains(st.orig.NextHop) && net.Bits() >= st.via.Bits())
-		if !affected {
-			continue
+		if hit {
+			affected = append(affected, extNet)
 		}
+	}
+	// Re-announce in prefix order: map iteration order would make the
+	// downstream stream nondeterministic across otherwise identical runs.
+	slices.SortFunc(affected, func(a, b netip.Prefix) int {
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c
+		}
+		return a.Bits() - b.Bits()
+	})
+	for _, extNet := range affected {
+		st := s.resolvedExt[extNet]
 		st.resolved, st.via, st.ok = s.resolve(st.orig)
-		s.reconcile(extNet)
+		s.resolvedExt[extNet] = st
+		s.reconcileTo(extNet, out)
 	}
 }
 
@@ -143,24 +236,25 @@ func (s *ExtIntStage) desired(net netip.Prefix) (route.Entry, bool) {
 
 // reconcile diffs desired vs announced for net and emits the change.
 func (s *ExtIntStage) reconcile(net netip.Prefix) {
+	s.reconcileTo(net, stageSink{s.next})
+}
+
+// reconcileTo is reconcile with the emission target abstracted so batch
+// paths can coalesce the output.
+func (s *ExtIntStage) reconcileTo(net netip.Prefix, out opSink) {
 	want, wantOK := s.desired(net)
-	have, haveOK := s.announced.Get(net)
-	switch {
-	case wantOK && !haveOK:
-		s.announced.Insert(net, want)
-		if s.next != nil {
-			s.next.Add(want)
+	if wantOK {
+		have, haveOK := s.announced.Upsert(net, want)
+		switch {
+		case !haveOK:
+			out.Add(want)
+		case !want.Equal(have):
+			out.Replace(have, want)
 		}
-	case !wantOK && haveOK:
-		s.announced.Delete(net)
-		if s.next != nil {
-			s.next.Delete(have)
-		}
-	case wantOK && haveOK && !want.Equal(have):
-		s.announced.Insert(net, want)
-		if s.next != nil {
-			s.next.Replace(have, want)
-		}
+		return
+	}
+	if have, haveOK := s.announced.Delete(net); haveOK {
+		out.Delete(have)
 	}
 }
 
@@ -186,3 +280,9 @@ func (s *ExtIntStage) LookupBest(addr netip.Addr) (route.Entry, bool) {
 
 // AnnouncedLen reports the downstream view's size.
 func (s *ExtIntStage) AnnouncedLen() int { return s.announced.Len() }
+
+// ExternalRouteCount reports how many external routes the stage tracks.
+// Internal-side origins may batch only while this is zero: the rescan
+// that re-resolves dependent external routes reads the internal tables,
+// and batching lets those tables run ahead of the announcement stream.
+func (s *ExtIntStage) ExternalRouteCount() int { return len(s.resolvedExt) }

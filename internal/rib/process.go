@@ -78,6 +78,15 @@ func NewProcess(loop *eventloop.Loop, fib FIBClient, router *xipc.Router) *Proce
 	fibSink := &fibSinkStage{base: base{name: "fib"}, proc: p}
 	p.chain = []Stage{p.extint, p.register, fibSink}
 	Plumb(p.chain...)
+
+	// Internal-side origins may only batch while no external route could
+	// observe their table mid-flush (see OriginTable.batchGate).
+	internalGate := func() bool { return p.extint.ExternalRouteCount() == 0 }
+	for _, proto := range []route.Protocol{
+		route.ProtoConnected, route.ProtoStatic, route.ProtoRIP, route.ProtoOSPF,
+	} {
+		p.origins[proto].SetBatchGate(internalGate)
+	}
 	return p
 }
 
@@ -103,14 +112,36 @@ func (p *Process) LookupBest(addr netip.Addr) (route.Entry, bool) {
 func (p *Process) Len() int { return p.extint.AnnouncedLen() }
 
 // AddRoute feeds a protocol route into its origin table (the add_route4
-// XRL path; also used directly by in-process protocol clients).
+// XRL path; also used directly by in-process protocol clients). The
+// profile point is checked before formatting so a disabled point costs no
+// per-route allocation (variadic boxing).
 func (p *Process) AddRoute(proto route.Protocol, e route.Entry) error {
 	o, ok := p.origins[proto]
 	if !ok {
 		return fmt.Errorf("rib: no origin table for %v", proto)
 	}
-	p.profArrive.Logf("add %v", e.Net)
+	if p.profArrive.Enabled() {
+		p.profArrive.Logf("add %v", e.Net)
+	}
 	o.AddRoute(e)
+	return nil
+}
+
+// AddRoutes feeds a batch of same-protocol routes through the fast path:
+// one bulk origin load that flushes the whole stage network in coalesced
+// runs (the add_routes4 XRL path). Semantically identical to calling
+// AddRoute per entry in order.
+func (p *Process) AddRoutes(proto route.Protocol, es []route.Entry) error {
+	o, ok := p.origins[proto]
+	if !ok {
+		return fmt.Errorf("rib: no origin table for %v", proto)
+	}
+	if p.profArrive.Enabled() {
+		for i := range es {
+			p.profArrive.Logf("add %v", es[i].Net)
+		}
+	}
+	o.LoadBatch(es)
 	return nil
 }
 
@@ -120,10 +151,29 @@ func (p *Process) DeleteRoute(proto route.Protocol, net netip.Prefix) error {
 	if !ok {
 		return fmt.Errorf("rib: no origin table for %v", proto)
 	}
-	p.profArrive.Logf("delete %v", net)
+	if p.profArrive.Enabled() {
+		p.profArrive.Logf("delete %v", net)
+	}
 	if !o.DeleteRoute(net) {
 		return fmt.Errorf("rib: %v has no route %v", proto, net)
 	}
+	return nil
+}
+
+// DeleteRoutes removes a batch of protocol routes through the fast path,
+// skipping prefixes the protocol never announced (batch churn tolerates
+// raced withdrawals that the single-route path reports as errors).
+func (p *Process) DeleteRoutes(proto route.Protocol, nets []netip.Prefix) error {
+	o, ok := p.origins[proto]
+	if !ok {
+		return fmt.Errorf("rib: no origin table for %v", proto)
+	}
+	if p.profArrive.Enabled() {
+		for _, net := range nets {
+			p.profArrive.Logf("delete %v", net)
+		}
+	}
+	o.DeleteBatch(nets)
 	return nil
 }
 
@@ -179,36 +229,97 @@ func (p *Process) notifyInvalid(client string, covering netip.Prefix) {
 }
 
 // fibSinkStage hands final routes to the FIB client with the §8.2
-// profile points.
+// profile points. Disabled points are checked before formatting so the
+// hot path never pays variadic boxing; batch runs ship to batch-capable
+// clients as one coalesced FIBBatch.
 type fibSinkStage struct {
 	base
-	proc *Process
+	proc  *Process
+	batch *FIBBatch // reused across batch shipments
 }
 
 func (s *fibSinkStage) Add(e route.Entry) {
 	p := s.proc
-	p.profQueue.Logf("add %v", e.Net)
+	if p.profQueue.Enabled() {
+		p.profQueue.Logf("add %v", e.Net)
+	}
 	if p.fib != nil {
-		p.profSent.Logf("add %v", e.Net)
+		if p.profSent.Enabled() {
+			p.profSent.Logf("add %v", e.Net)
+		}
 		p.fib.FIBAdd(e)
 	}
 }
 
 func (s *fibSinkStage) Replace(old, new route.Entry) {
 	p := s.proc
-	p.profQueue.Logf("replace %v", new.Net)
+	if p.profQueue.Enabled() {
+		p.profQueue.Logf("replace %v", new.Net)
+	}
 	if p.fib != nil {
-		p.profSent.Logf("replace %v", new.Net)
+		if p.profSent.Enabled() {
+			p.profSent.Logf("replace %v", new.Net)
+		}
 		p.fib.FIBReplace(old, new)
 	}
 }
 
 func (s *fibSinkStage) Delete(e route.Entry) {
 	p := s.proc
-	p.profQueue.Logf("delete %v", e.Net)
+	if p.profQueue.Enabled() {
+		p.profQueue.Logf("delete %v", e.Net)
+	}
 	if p.fib != nil {
-		p.profSent.Logf("delete %v", e.Net)
+		if p.profSent.Enabled() {
+			p.profSent.Logf("delete %v", e.Net)
+		}
 		p.fib.FIBDelete(e)
+	}
+}
+
+// AddBatch ships a run of Adds in one coalesced FIB transaction when the
+// client supports it.
+func (s *fibSinkStage) AddBatch(es []route.Entry) {
+	s.shipBatch(es, "add", func(b *FIBBatch, e route.Entry) { b.Add(e) },
+		func(c FIBClient, e route.Entry) { c.FIBAdd(e) })
+}
+
+// DeleteBatch ships a run of Deletes in one coalesced FIB transaction.
+func (s *fibSinkStage) DeleteBatch(es []route.Entry) {
+	s.shipBatch(es, "delete", func(b *FIBBatch, e route.Entry) { b.Delete(e) },
+		func(c FIBClient, e route.Entry) { c.FIBDelete(e) })
+}
+
+func (s *fibSinkStage) shipBatch(es []route.Entry, verb string,
+	record func(*FIBBatch, route.Entry), single func(FIBClient, route.Entry)) {
+	p := s.proc
+	if p.profQueue.Enabled() {
+		for i := range es {
+			p.profQueue.Logf("%s %v", verb, es[i].Net)
+		}
+	}
+	if p.fib == nil {
+		return
+	}
+	if p.profSent.Enabled() {
+		for i := range es {
+			p.profSent.Logf("%s %v", verb, es[i].Net)
+		}
+	}
+	if bc, ok := p.fib.(FIBBatchClient); ok {
+		if s.batch == nil {
+			s.batch = NewFIBBatch()
+		} else {
+			s.batch.Reset()
+		}
+		for i := range es {
+			record(s.batch, es[i])
+		}
+		bc.FIBApplyBatch(s.batch)
+		return
+	}
+	for i := range es {
+		single(p.fib, es[i])
 	}
 }
 
@@ -251,6 +362,7 @@ func (p *Process) RegisterXRLs(t *xipc.Target) {
 	}
 	t.Register("rib", "1.0", "add_route4", addRoute)
 	t.Register("rib", "1.0", "replace_route4", addRoute)
+	p.registerBatchXRLs(t, parseProto)
 	t.Register("rib", "1.0", "delete_route4", func(args xrl.Args) (xrl.Args, error) {
 		proto, err := parseProto(args)
 		if err != nil {

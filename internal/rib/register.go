@@ -142,6 +142,25 @@ func (rs *RegisterStage) Delete(e route.Entry) {
 	}
 }
 
+// AddBatch implements addBatcher: shadow and invalidate per entry, then
+// pass the whole run downstream in one call.
+func (rs *RegisterStage) AddBatch(es []route.Entry) {
+	for i := range es {
+		rs.shadow.Upsert(es[i].Net, es[i])
+		rs.routeChanged(es[i].Net)
+	}
+	sendAddBatch(rs.next, es)
+}
+
+// DeleteBatch implements deleteBatcher.
+func (rs *RegisterStage) DeleteBatch(es []route.Entry) {
+	for i := range es {
+		rs.shadow.Delete(es[i].Net)
+		rs.routeChanged(es[i].Net)
+	}
+	sendDeleteBatch(rs.next, es)
+}
+
 // Lookup implements Stage.
 func (rs *RegisterStage) Lookup(net netip.Prefix) (route.Entry, bool) {
 	return rs.shadow.Get(net)
@@ -236,6 +255,22 @@ func (rd *RedistStage) Delete(e route.Entry) {
 	if rd.next != nil {
 		rd.next.Delete(e)
 	}
+}
+
+// AddBatch implements addBatcher: mirror per entry, pass the run through.
+func (rd *RedistStage) AddBatch(es []route.Entry) {
+	for i := range es {
+		rd.apply(es[i])
+	}
+	sendAddBatch(rd.next, es)
+}
+
+// DeleteBatch implements deleteBatcher.
+func (rd *RedistStage) DeleteBatch(es []route.Entry) {
+	for i := range es {
+		rd.drop(es[i])
+	}
+	sendDeleteBatch(rd.next, es)
 }
 
 // Lookup implements Stage: redist is pure pass-through for lookups; the

@@ -50,6 +50,40 @@ func BenchmarkRIBAddDelete(b *testing.B) {
 	}
 }
 
+// BenchmarkRIBLoad1k measures table-load throughput per 1000 routes:
+// the seed per-route path vs the batch fast path (AddRoutes → LoadBatch
+// → coalesced stage runs).
+func BenchmarkRIBLoad1k(b *testing.B) {
+	entries := make([]route.Entry, 1000)
+	for i := range entries {
+		entries[i] = route.Entry{
+			Net: netip.PrefixFrom(netip.AddrFrom4([4]byte{
+				byte(1 + i%200), byte(i >> 8), byte(i), 0}), 24),
+			NextHop: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+			IfName:  "eth0",
+		}
+	}
+	bench := func(b *testing.B, load func(p *Process)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
+			load(NewProcess(loop, nil, nil))
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		bench(b, func(p *Process) {
+			for _, e := range entries {
+				p.AddRoute(route.ProtoEBGP, e)
+			}
+		})
+	})
+	b.Run("batch", func(b *testing.B) {
+		bench(b, func(p *Process) {
+			p.AddRoutes(route.ProtoEBGP, entries)
+		})
+	})
+}
+
 // BenchmarkExtIntResolution measures recursive nexthop resolution: an
 // IBGP route resolving through an IGP route.
 func BenchmarkExtIntResolution(b *testing.B) {

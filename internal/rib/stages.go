@@ -51,6 +51,133 @@ func Plumb(stages ...Stage) {
 	}
 }
 
+// addBatcher is an optional Stage capability: absorb a run of consecutive
+// Adds in one call, amortizing per-route stage plumbing. Semantics must be
+// identical to calling Add per entry in order. The slice is only valid for
+// the duration of the call (callers reuse run buffers).
+type addBatcher interface {
+	AddBatch(es []route.Entry)
+}
+
+// deleteBatcher is the Delete counterpart of addBatcher.
+type deleteBatcher interface {
+	DeleteBatch(es []route.Entry)
+}
+
+// sendAddBatch delivers a run of Adds to s, batched when s supports it.
+func sendAddBatch(s Stage, es []route.Entry) {
+	if len(es) == 0 || s == nil {
+		return
+	}
+	if b, ok := s.(addBatcher); ok {
+		b.AddBatch(es)
+		return
+	}
+	for _, e := range es {
+		s.Add(e)
+	}
+}
+
+// sendDeleteBatch delivers a run of Deletes to s, batched when s supports it.
+func sendDeleteBatch(s Stage, es []route.Entry) {
+	if len(es) == 0 || s == nil {
+		return
+	}
+	if b, ok := s.(deleteBatcher); ok {
+		b.DeleteBatch(es)
+		return
+	}
+	for _, e := range es {
+		s.Delete(e)
+	}
+}
+
+// stageEmpty reports whether a stage is known to announce nothing; false
+// when unknown. Merge inputs use it to skip per-route other-side lookups
+// wholesale during table loads.
+func stageEmpty(s Stage) bool {
+	if e, ok := s.(interface{ Empty() bool }); ok {
+		return e.Empty()
+	}
+	return false
+}
+
+// opSink receives a stage's emissions. Every Stage is an opSink; the
+// batch paths substitute a runEmitter to coalesce consecutive same-kind
+// emissions into downstream batches.
+type opSink interface {
+	Add(e route.Entry)
+	Replace(old, new route.Entry)
+	Delete(e route.Entry)
+}
+
+// stageSink adapts a possibly-nil downstream Stage as an opSink.
+type stageSink struct{ s Stage }
+
+func (ss stageSink) Add(e route.Entry) {
+	if ss.s != nil {
+		ss.s.Add(e)
+	}
+}
+
+func (ss stageSink) Replace(old, new route.Entry) {
+	if ss.s != nil {
+		ss.s.Replace(old, new)
+	}
+}
+
+func (ss stageSink) Delete(e route.Entry) {
+	if ss.s != nil {
+		ss.s.Delete(e)
+	}
+}
+
+// runEmitter coalesces a stream of emissions into runs: consecutive Adds
+// (or Deletes) accumulate and ship downstream as one batch; a Replace or a
+// kind switch flushes first, so the downstream stream is byte-identical to
+// the unbatched one. Callers must Flush when done.
+type runEmitter struct {
+	next Stage
+	run  []route.Entry
+	kind byte // 'a' or 'd'
+}
+
+func (em *runEmitter) Add(e route.Entry) {
+	if em.kind != 'a' {
+		em.Flush()
+		em.kind = 'a'
+	}
+	em.run = append(em.run, e)
+}
+
+func (em *runEmitter) Delete(e route.Entry) {
+	if em.kind != 'd' {
+		em.Flush()
+		em.kind = 'd'
+	}
+	em.run = append(em.run, e)
+}
+
+func (em *runEmitter) Replace(old, new route.Entry) {
+	em.Flush()
+	if em.next != nil {
+		em.next.Replace(old, new)
+	}
+}
+
+// Flush ships the pending run downstream.
+func (em *runEmitter) Flush() {
+	if len(em.run) == 0 {
+		return
+	}
+	if em.kind == 'a' {
+		sendAddBatch(em.next, em.run)
+	} else {
+		sendDeleteBatch(em.next, em.run)
+	}
+	em.run = em.run[:0]
+}
+
 // betterEntry decides between two entries for the same prefix: lower
 // administrative distance, then lower metric, then stable (a wins ties).
 func betterEntry(a, b route.Entry) route.Entry {
@@ -71,6 +198,18 @@ type OriginTable struct {
 	proto route.Protocol
 	ad    uint8
 	tbl   *trie.Trie[route.Entry]
+
+	// batchGate, when set, vets batch operations: batching upserts the
+	// table ahead of the downstream flush, so a downstream stage that
+	// reads this table mid-flush (the extint stage re-resolving dependent
+	// external routes through the internal side) could observe entries
+	// whose announcements it hasn't processed yet. Internal-side origins
+	// carry a gate that forbids batching exactly when such dependent
+	// reads exist (external routes are present); with the gate closed,
+	// batch calls degrade to the per-route path, whose trie writes and
+	// emissions advance in lockstep. External origins need no gate:
+	// nothing re-reads their table mid-flush.
+	batchGate func() bool
 }
 
 // NewOriginTable returns an origin table for proto with its default
@@ -88,17 +227,23 @@ func NewOriginTable(loop *eventloop.Loop, proto route.Protocol) *OriginTable {
 // SetAdminDistance overrides the table's administrative distance.
 func (o *OriginTable) SetAdminDistance(ad uint8) { o.ad = ad }
 
+// SetBatchGate installs the batch-safety predicate (see batchGate).
+func (o *OriginTable) SetBatchGate(gate func() bool) { o.batchGate = gate }
+
+// batchOK reports whether batch operations are currently safe.
+func (o *OriginTable) batchOK() bool { return o.batchGate == nil || o.batchGate() }
+
 // Len returns the number of stored routes.
 func (o *OriginTable) Len() int { return o.tbl.Len() }
 
 // AddRoute stores a route from the protocol, stamping protocol and
-// administrative distance, and emits Add or Replace.
+// administrative distance, and emits Add or Replace. The store and the
+// previous-value fetch are one trie traversal (Upsert).
 func (o *OriginTable) AddRoute(e route.Entry) {
 	e.Net = e.Net.Masked()
 	e.Protocol = o.proto
 	e.AdminDistance = o.ad
-	old, existed := o.tbl.Get(e.Net)
-	o.tbl.Insert(e.Net, e)
+	old, existed := o.tbl.Upsert(e.Net, e)
 	if o.next == nil {
 		return
 	}
@@ -112,6 +257,37 @@ func (o *OriginTable) AddRoute(e route.Entry) {
 	}
 }
 
+// LoadBatch bulk-stores a batch of routes, flushing downstream in
+// coalesced runs. The emitted Add/Replace stream is identical to calling
+// AddRoute per entry in order; only the plumbing is amortized.
+func (o *OriginTable) LoadBatch(es []route.Entry) {
+	if !o.batchOK() {
+		for _, e := range es {
+			o.AddRoute(e)
+		}
+		return
+	}
+	em := runEmitter{next: o.next}
+	for _, e := range es {
+		e.Net = e.Net.Masked()
+		e.Protocol = o.proto
+		e.AdminDistance = o.ad
+		old, existed := o.tbl.Upsert(e.Net, e)
+		if o.next == nil {
+			continue
+		}
+		if existed {
+			if old.Equal(e) {
+				continue
+			}
+			em.Replace(old, e)
+		} else {
+			em.Add(e)
+		}
+	}
+	em.Flush()
+}
+
 // DeleteRoute removes a route and emits Delete.
 func (o *OriginTable) DeleteRoute(net netip.Prefix) bool {
 	old, existed := o.tbl.Delete(net.Masked())
@@ -121,15 +297,47 @@ func (o *OriginTable) DeleteRoute(net netip.Prefix) bool {
 	return existed
 }
 
+// DeleteBatch removes a batch of routes, flushing the Deletes downstream
+// as one coalesced run. Missing prefixes are skipped. Returns the number
+// of routes actually removed.
+func (o *OriginTable) DeleteBatch(nets []netip.Prefix) int {
+	removed := 0
+	if !o.batchOK() {
+		for _, net := range nets {
+			if o.DeleteRoute(net) {
+				removed++
+			}
+		}
+		return removed
+	}
+	em := runEmitter{next: o.next}
+	for _, net := range nets {
+		old, existed := o.tbl.Delete(net.Masked())
+		if !existed {
+			continue
+		}
+		removed++
+		em.Delete(old)
+	}
+	em.Flush()
+	return removed
+}
+
 // DeleteAll removes every route as a background task (protocol shutdown),
-// using the safe iterator so concurrent changes are harmless.
+// using the safe iterator so concurrent changes are harmless. Each task
+// step ships its deletions downstream as one coalesced run instead of
+// per-route stage plumbing.
 func (o *OriginTable) DeleteAll() *eventloop.Task {
 	it := o.tbl.Iterate()
 	return o.loop.AddTask("delete-all("+o.name+")", func() bool {
+		batched := o.batchOK()
+		em := runEmitter{next: o.next}
+		done := false
 		for i := 0; i < 64; i++ {
 			if !it.Valid() {
 				it.Close()
-				return true
+				done = true
+				break
 			}
 			net, e, ok := it.Entry()
 			it.Next()
@@ -137,13 +345,19 @@ func (o *OriginTable) DeleteAll() *eventloop.Task {
 				continue
 			}
 			o.tbl.Delete(net)
-			if o.next != nil {
+			if batched {
+				em.Delete(e)
+			} else if o.next != nil {
 				o.next.Delete(e)
 			}
 		}
-		return false
+		em.Flush()
+		return done
 	})
 }
+
+// Empty reports whether the table announces nothing.
+func (o *OriginTable) Empty() bool { return o.tbl.Len() == 0 }
 
 // Walk visits the stored routes.
 func (o *OriginTable) Walk(fn func(route.Entry) bool) {
@@ -231,6 +445,50 @@ func (mi *mergeInput) Delete(e route.Entry) {
 	}
 }
 
+// AddBatch amortizes a run of Adds: when the other parent announces
+// nothing (the common case while one protocol loads a full table), the
+// whole run passes through without per-route other-side lookups;
+// otherwise each entry is arbitrated as usual with the emissions
+// re-coalesced into runs.
+func (mi *mergeInput) AddBatch(es []route.Entry) {
+	if stageEmpty(mi.other) {
+		sendAddBatch(mi.m.next, es)
+		return
+	}
+	em := runEmitter{next: mi.m.next}
+	for _, e := range es {
+		other, ok := mi.other.Lookup(e.Net)
+		if !ok {
+			em.Add(e)
+			continue
+		}
+		if winner := betterEntry(other, e); winner.Equal(e) && !other.Equal(e) {
+			em.Replace(other, e)
+		}
+	}
+	em.Flush()
+}
+
+// DeleteBatch is the Delete counterpart of AddBatch.
+func (mi *mergeInput) DeleteBatch(es []route.Entry) {
+	if stageEmpty(mi.other) {
+		sendDeleteBatch(mi.m.next, es)
+		return
+	}
+	em := runEmitter{next: mi.m.next}
+	for _, e := range es {
+		other, ok := mi.other.Lookup(e.Net)
+		if !ok {
+			em.Delete(e)
+			continue
+		}
+		if winner := betterEntry(other, e); winner.Equal(e) && !e.Equal(other) {
+			em.Replace(e, other)
+		}
+	}
+	em.Flush()
+}
+
 func (mi *mergeInput) Lookup(netip.Prefix) (route.Entry, bool)   { panic("rib: mergeInput lookup") }
 func (mi *mergeInput) LookupBest(netip.Addr) (route.Entry, bool) { panic("rib: mergeInput lookup") }
 
@@ -266,6 +524,9 @@ func (m *MergeStage) Replace(_, _ route.Entry) { panic("rib: MergeStage has adap
 
 // Delete panics: use the parents.
 func (m *MergeStage) Delete(route.Entry) { panic("rib: MergeStage has adapter inputs") }
+
+// Empty reports whether both parents announce nothing.
+func (m *MergeStage) Empty() bool { return stageEmpty(m.a) && stageEmpty(m.b) }
 
 // Lookup implements Stage: the better of the two parents.
 func (m *MergeStage) Lookup(net netip.Prefix) (route.Entry, bool) {

@@ -27,6 +27,14 @@ type RIBClient interface {
 	DeleteRoute(net netip.Prefix)
 }
 
+// BatchRIBClient is optionally implemented by RIBClients that can absorb
+// one received update's routes in a single call (the RIB's route-churn
+// fast path). The slice is only valid for the duration of the call.
+type BatchRIBClient interface {
+	RIBClient
+	AddRoutes(es []route.Entry)
+}
+
 // Config tunes the protocol timers. Defaults follow RFC 2453 §3.8.
 type Config struct {
 	LocalAddr      netip.Addr
@@ -76,6 +84,10 @@ type Process struct {
 	routes    *trie.Trie[*ripRoute]
 	updateTmr *eventloop.Timer
 	trigTmr   *eventloop.Timer
+	// batching collects the RIB adds of one received update so they ship
+	// as a single batch (one loop hop, one origin load) at end-of-packet.
+	batching bool
+	pendAdds []route.Entry
 	// stats
 	updatesSent, updatesRecv, triggered int
 }
@@ -130,7 +142,7 @@ func (p *Process) InjectLocal(net netip.Prefix, metric uint32, tag uint16) {
 	r := &ripRoute{net: net, metric: metric, tag: tag, local: true, changed: true}
 	p.routes.Insert(net, r)
 	if p.rib != nil {
-		p.rib.AddRoute(route.Entry{Net: net, Metric: metric, IfName: p.cfg.IfName})
+		p.ribAdd(route.Entry{Net: net, Metric: metric, IfName: p.cfg.IfName})
 	}
 	p.scheduleTriggered()
 }
@@ -164,9 +176,50 @@ func (p *Process) receive(src netip.AddrPort, payload []byte) {
 			return // our own broadcast echoed back
 		}
 		p.updatesRecv++
+		p.batching = true
 		for _, rte := range pkt.RTEs {
 			p.processRTE(src.Addr(), rte)
 		}
+		p.batching = false
+		p.flushRIBAdds()
+	}
+}
+
+// ribAdd pushes one route to the RIB, buffering it while a received
+// update is being applied so the whole packet ships as one batch.
+func (p *Process) ribAdd(e route.Entry) {
+	if p.rib == nil {
+		return
+	}
+	if p.batching {
+		p.pendAdds = append(p.pendAdds, e)
+		return
+	}
+	p.rib.AddRoute(e)
+}
+
+// ribDelete pushes one withdrawal, flushing buffered adds first so the
+// RIB sees the packet's operations in order.
+func (p *Process) ribDelete(net netip.Prefix) {
+	if p.rib == nil {
+		return
+	}
+	p.flushRIBAdds()
+	p.rib.DeleteRoute(net)
+}
+
+func (p *Process) flushRIBAdds() {
+	if len(p.pendAdds) == 0 {
+		return
+	}
+	adds := p.pendAdds
+	p.pendAdds = p.pendAdds[:0]
+	if bc, ok := p.rib.(BatchRIBClient); ok {
+		bc.AddRoutes(adds)
+		return
+	}
+	for _, e := range adds {
+		p.rib.AddRoute(e)
 	}
 }
 
@@ -193,9 +246,7 @@ func (p *Process) processRTE(from netip.Addr, rte RTE) {
 		}
 		p.routes.Insert(rte.Net, r)
 		p.armExpiry(r)
-		if p.rib != nil {
-			p.rib.AddRoute(route.Entry{Net: rte.Net, NextHop: nh, Metric: metric, IfName: p.cfg.IfName})
-		}
+		p.ribAdd(route.Entry{Net: rte.Net, NextHop: nh, Metric: metric, IfName: p.cfg.IfName})
 		p.scheduleTriggered()
 	case existing.local:
 		return // never accept updates for our own routes
@@ -215,9 +266,7 @@ func (p *Process) processRTE(from netip.Addr, rte RTE) {
 		p.armExpiry(existing)
 		if changed {
 			existing.changed = true
-			if p.rib != nil {
-				p.rib.AddRoute(route.Entry{Net: rte.Net, NextHop: nh, Metric: metric, IfName: p.cfg.IfName})
-			}
+			p.ribAdd(route.Entry{Net: rte.Net, NextHop: nh, Metric: metric, IfName: p.cfg.IfName})
 			p.scheduleTriggered()
 		}
 	default:
@@ -229,9 +278,7 @@ func (p *Process) processRTE(from netip.Addr, rte RTE) {
 			existing.tag = rte.Tag
 			existing.changed = true
 			p.armExpiry(existing)
-			if p.rib != nil {
-				p.rib.AddRoute(route.Entry{Net: rte.Net, NextHop: nh, Metric: metric, IfName: p.cfg.IfName})
-			}
+			p.ribAdd(route.Entry{Net: rte.Net, NextHop: nh, Metric: metric, IfName: p.cfg.IfName})
 			p.scheduleTriggered()
 		}
 	}
@@ -258,9 +305,7 @@ func (p *Process) expireRoute(r *ripRoute) {
 	if r.expiry != nil {
 		r.expiry.Cancel()
 	}
-	if p.rib != nil {
-		p.rib.DeleteRoute(r.net)
-	}
+	p.ribDelete(r.net)
 	p.scheduleTriggered()
 	r.gc = p.loop.OneShot(p.cfg.GCTime, func() {
 		if cur, ok := p.routes.Get(r.net); ok && cur == r && r.deleted {

@@ -522,6 +522,19 @@ func (a ospfRIBAdapter) DeleteRoute(net netip.Prefix) {
 	a.rib.Loop().Dispatch(func() { a.rib.DeleteRoute(route.ProtoOSPF, net) })
 }
 
+// AddRoutes implements ospf.BatchRIBClient: one loop hop and one batch
+// origin load for a whole SPF result.
+func (a ospfRIBAdapter) AddRoutes(es []route.Entry) {
+	es = append([]route.Entry(nil), es...) // crossing loops: don't share the caller's slice
+	a.rib.Loop().Dispatch(func() { a.rib.AddRoutes(route.ProtoOSPF, es) })
+}
+
+// DeleteRoutes implements ospf.BatchRIBClient.
+func (a ospfRIBAdapter) DeleteRoutes(nets []netip.Prefix) {
+	nets = append([]netip.Prefix(nil), nets...)
+	a.rib.Loop().Dispatch(func() { a.rib.DeleteRoutes(route.ProtoOSPF, nets) })
+}
+
 // ospfRedistAdapter hops rib.Redistributor callbacks (which arrive on
 // the RIB loop) onto the OSPF loop.
 type ospfRedistAdapter struct {
@@ -548,6 +561,13 @@ func (a ripRIBAdapter) AddRoute(e route.Entry) {
 
 func (a ripRIBAdapter) DeleteRoute(net netip.Prefix) {
 	a.rib.Loop().Dispatch(func() { a.rib.DeleteRoute(route.ProtoRIP, net) })
+}
+
+// AddRoutes implements rip.BatchRIBClient: one loop hop and one batch
+// origin load for a whole received update.
+func (a ripRIBAdapter) AddRoutes(es []route.Entry) {
+	es = append([]route.Entry(nil), es...) // crossing loops: don't share the caller's slice
+	a.rib.Loop().Dispatch(func() { a.rib.AddRoutes(route.ProtoRIP, es) })
 }
 
 // Start enables protocol sessions (loops already run in real-clock mode;

@@ -17,16 +17,43 @@ import (
 // path crosses the real IPC machinery.
 
 // xrlRIBClient implements bgp.RIBClient by sending rib/1.0 XRLs.
+// Consecutive AddRoute calls issued within one event-loop drain (a full
+// table load, a burst of decision-process output) coalesce into
+// add_routes4 list XRLs, so the preload of the Figures 10–12 experiments
+// rides the RIB's batch fast path; replaces, deletes and the end of the
+// drain flush the pending run, preserving the per-route XRL order.
 type xrlRIBClient struct {
 	router    *xipc.Router
 	ribTarget string
+
+	pend        []pendingRIBAdd
+	flushQueued bool
 }
+
+// pendingRIBAdd is one buffered AddRoute, pre-encoded so no *bgp.Route is
+// retained past the call.
+type pendingRIBAdd struct {
+	proto string
+	atom  xrl.Atom
+	done  func(error)
+}
+
+// ribAddBatchCap bounds the buffered run (and thus the list XRL size).
+const ribAddBatchCap = 256
 
 func protoName(r *bgp.Route) string {
 	if r.Src != nil && r.Src.IBGP {
 		return "ibgp"
 	}
 	return "ebgp"
+}
+
+func ribEntryOf(r *bgp.Route) route.Entry {
+	e := route.Entry{Net: r.Net, Metric: r.IGPMetric}
+	if r.Attrs.NextHop.IsValid() {
+		e.NextHop = r.Attrs.NextHop
+	}
+	return e
 }
 
 func (c *xrlRIBClient) send(method string, r *bgp.Route, done func(error)) {
@@ -53,11 +80,65 @@ func (c *xrlRIBClient) send(method string, r *bgp.Route, done func(error)) {
 	})
 }
 
-// AddRoute implements bgp.RIBClient.
-func (c *xrlRIBClient) AddRoute(r *bgp.Route, done func(error)) { c.send("add_route4", r, done) }
+// AddRoute implements bgp.RIBClient, buffering the add into the current
+// coalescing run.
+func (c *xrlRIBClient) AddRoute(r *bgp.Route, done func(error)) {
+	c.pend = append(c.pend, pendingRIBAdd{
+		proto: protoName(r),
+		atom:  rib.EncodeRouteAtom(ribEntryOf(r)),
+		done:  done,
+	})
+	if len(c.pend) >= ribAddBatchCap {
+		c.flush()
+		return
+	}
+	if !c.flushQueued {
+		c.flushQueued = true
+		c.router.Loop().Dispatch(c.flush)
+	}
+}
+
+// flush ships the buffered adds as one add_routes4 per consecutive
+// same-protocol run.
+func (c *xrlRIBClient) flush() {
+	c.flushQueued = false
+	if len(c.pend) == 0 {
+		return
+	}
+	pend := c.pend
+	c.pend = nil
+	for start := 0; start < len(pend); {
+		end := start + 1
+		for end < len(pend) && pend[end].proto == pend[start].proto {
+			end++
+		}
+		run := pend[start:end]
+		start = end
+		items := make([]xrl.Atom, len(run))
+		var dones []func(error)
+		for i := range run {
+			items[i] = run[i].atom
+			if run[i].done != nil {
+				dones = append(dones, run[i].done)
+			}
+		}
+		c.router.Send(xrl.New(c.ribTarget, "rib", "1.0", "add_routes4",
+			xrl.Text("protocol", run[0].proto),
+			xrl.List("routes", items...)), func(_ xrl.Args, xe *xrl.Error) {
+			var err error
+			if xe != nil {
+				err = xe
+			}
+			for _, d := range dones {
+				d(err)
+			}
+		})
+	}
+}
 
 // ReplaceRoute implements bgp.RIBClient.
 func (c *xrlRIBClient) ReplaceRoute(old, new *bgp.Route, done func(error)) {
+	c.flush() // keep the stream ordered past the buffered adds
 	// Protocol identity may change between old and new (ebgp vs ibgp
 	// winner): the RIB keys origin tables by protocol, so clear the old
 	// entry when it moved.
@@ -69,6 +150,7 @@ func (c *xrlRIBClient) ReplaceRoute(old, new *bgp.Route, done func(error)) {
 
 // DeleteRoute implements bgp.RIBClient.
 func (c *xrlRIBClient) DeleteRoute(r *bgp.Route, done func(error)) {
+	c.flush() // keep the stream ordered past the buffered adds
 	args := xrl.Args{
 		xrl.Text("protocol", protoName(r)),
 		xrl.Net("network", r.Net),
@@ -144,6 +226,39 @@ func (c *xrlFIBClient) FIBReplace(_, new route.Entry) { c.send("add_entry4", new
 func (c *xrlFIBClient) FIBDelete(e route.Entry) {
 	c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "delete_entry4",
 		xrl.Net("network", e.Net)), nil)
+}
+
+// FIBApplyBatch implements rib.FIBBatchClient: the coalesced update set
+// ships as runs of list-carrying XRLs (adds/replaces as add_entries4,
+// deletes as delete_entries4) instead of one XRL per route.
+func (c *xrlFIBClient) FIBApplyBatch(b *rib.FIBBatch) {
+	var adds, dels []xrl.Atom
+	flushAdds := func() {
+		if len(adds) > 0 {
+			c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "add_entries4",
+				xrl.List("entries", adds...)), nil)
+			adds = nil
+		}
+	}
+	flushDels := func() {
+		if len(dels) > 0 {
+			c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "delete_entries4",
+				xrl.List("networks", dels...)), nil)
+			dels = nil
+		}
+	}
+	b.Ops(func(op rib.FIBOp) {
+		switch op.Kind {
+		case rib.FIBOpAdd, rib.FIBOpReplace:
+			flushDels()
+			adds = append(adds, rib.EncodeRouteAtom(op.New))
+		case rib.FIBOpDelete:
+			flushAdds()
+			dels = append(dels, xrl.Text("", op.Old.Net.String()))
+		}
+	})
+	flushAdds()
+	flushDels()
 }
 
 func (c *xrlFIBClient) send(method string, e route.Entry) {

@@ -1,0 +1,138 @@
+package trie
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzTrie differentially fuzzes the trie against a map+linear-scan
+// reference model. The input bytes are decoded as an op stream over both
+// address families: insert, upsert, delete, get and longest-match, with
+// every result cross-checked, plus a full-content sweep at the end.
+func FuzzTrie(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 0, 8, 1, 10, 1, 0, 0, 16, 2, 10, 0, 0, 0, 8})
+	f.Add([]byte{0, 1, 2, 3, 4, 32, 4, 1, 2, 3, 4, 32, 2, 1, 2, 3, 4, 32})
+	f.Add([]byte{
+		0x80, 0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 128,
+		0x84, 0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 64,
+	})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 2, 2, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New[int]()
+		model := map[netip.Prefix]int{}
+
+		// decode pulls one op from the stream: 1 op byte (bit 7 selects
+		// IPv6), then 4 or 16 address bytes, then 1 prefix-length byte.
+		i := 0
+		next := func() (op int, p netip.Prefix, ok bool) {
+			if i >= len(data) {
+				return 0, p, false
+			}
+			b := data[i]
+			i++
+			v6 := b&0x80 != 0
+			op = int(b & 0x7f)
+			var a netip.Addr
+			if v6 {
+				if i+16 > len(data) {
+					return 0, p, false
+				}
+				var raw [16]byte
+				copy(raw[:], data[i:i+16])
+				a = netip.AddrFrom16(raw)
+				i += 16
+			} else {
+				if i+4 > len(data) {
+					return 0, p, false
+				}
+				var raw [4]byte
+				copy(raw[:], data[i:i+4])
+				a = netip.AddrFrom4(raw)
+				i += 4
+			}
+			if i >= len(data) {
+				return 0, p, false
+			}
+			bits := int(data[i]) % (a.BitLen() + 1)
+			i++
+			p, err := a.Prefix(bits)
+			if err != nil {
+				return 0, p, false
+			}
+			return op, p, true
+		}
+
+		step := 0
+		for {
+			op, p, ok := next()
+			if !ok {
+				break
+			}
+			step++
+			switch op % 5 {
+			case 0: // Insert
+				wantReplaced := false
+				if _, had := model[p]; had {
+					wantReplaced = true
+				}
+				replaced, err := tr.Insert(p, step)
+				if err != nil || replaced != wantReplaced {
+					t.Fatalf("Insert(%v) = %v, %v; model replaced=%v", p, replaced, err, wantReplaced)
+				}
+				model[p] = step
+			case 1: // Upsert
+				wantOld, wantExisted := model[p]
+				old, existed := tr.Upsert(p, step)
+				if existed != wantExisted || old != wantOld {
+					t.Fatalf("Upsert(%v) = (%d,%v), model (%d,%v)", p, old, existed, wantOld, wantExisted)
+				}
+				model[p] = step
+			case 2: // Delete
+				wantOld, wantExisted := model[p]
+				old, existed := tr.Delete(p)
+				if existed != wantExisted || old != wantOld {
+					t.Fatalf("Delete(%v) = (%d,%v), model (%d,%v)", p, old, existed, wantOld, wantExisted)
+				}
+				delete(model, p)
+			case 3: // Get
+				wantV, wantOK := model[p]
+				v, ok := tr.Get(p)
+				if ok != wantOK || v != wantV {
+					t.Fatalf("Get(%v) = (%d,%v), model (%d,%v)", p, v, ok, wantV, wantOK)
+				}
+			case 4: // LongestMatch on the prefix's address
+				addr := p.Addr()
+				var bestP netip.Prefix
+				bestLen, found := -1, false
+				for q := range model {
+					if q.Addr().Is4() == addr.Is4() && q.Contains(addr) && q.Bits() > bestLen {
+						bestP, bestLen, found = q, q.Bits(), true
+					}
+				}
+				gp, gv, ok := tr.LongestMatch(addr)
+				if ok != found || (ok && gp != bestP) {
+					t.Fatalf("LongestMatch(%v) = (%v,%v), model (%v,%v)", addr, gp, ok, bestP, found)
+				}
+				if ok && gv != model[bestP] {
+					t.Fatalf("LongestMatch(%v) value %d, model %d", addr, gv, model[bestP])
+				}
+			}
+		}
+
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+		}
+		walked := 0
+		tr.Walk(func(p netip.Prefix, v int) bool {
+			if mv, ok := model[p]; !ok || mv != v {
+				t.Fatalf("Walk yielded (%v,%d), model has (%d,%v)", p, v, mv, ok)
+			}
+			walked++
+			return true
+		})
+		if walked != len(model) {
+			t.Fatalf("Walk yielded %d entries, model %d", walked, len(model))
+		}
+	})
+}

@@ -57,25 +57,28 @@ func (t *Trie[T]) IterateFrom(p netip.Prefix) *Iterator[T] {
 }
 
 // seekFrom returns the first node (valued or glue) of root's subtree
-// whose prefix is >= p in DFS pre-order, by walking p's bits. At each
+// whose prefix is >= p in DFS pre-order, by walking p's word key. At each
 // branch point it remembers the deepest right-hand subtree passed over:
 // if the descent dead-ends before reaching a node >= p, that subtree's
 // head is the DFS successor of p's would-be position.
 func (t *Trie[T]) seekFrom(root *node[T], p netip.Prefix) *node[T] {
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
 	var nextRight *node[T]
 	n := root
 	for n != nil {
-		if !lexLess(n.prefix, p) {
-			// A node covering p always sorts <= p, so n's subtree lies
-			// entirely at or after p and n heads it in DFS order.
+		if n.key == k && n.bits >= pb || k.less(n.key) {
+			// n sorts at or after p. A node covering p always sorts <= p,
+			// so n's subtree lies entirely at or after p and n heads it in
+			// DFS order.
 			return n
 		}
-		if !contains(n.prefix, p) {
+		if !n.covers(k, pb) {
 			// n sorts before p and does not cover it: its whole subtree
 			// precedes p.
 			break
 		}
-		b := bitAt(p.Addr(), n.prefix.Bits())
+		b := k.bit(n.bits)
 		if b == 0 && n.child[1] != nil {
 			nextRight = n.child[1] // first subtree after p seen so far
 		}

@@ -11,23 +11,102 @@
 // A Trie transparently holds both IPv4 and IPv6 prefixes (one internal
 // root per family — the Go analogue of XORP's per-family C++ template
 // instantiations, behind one API).
+//
+// Traversal never touches address bytes: every node carries its prefix
+// bits precomputed as a 128-bit word key, so branch decisions, containment
+// checks and divergence points are single word compares
+// (bits.LeadingZeros64) instead of per-bit byte extraction.
 package trie
 
 import (
+	"encoding/binary"
 	"fmt"
+	mathbits "math/bits"
 	"net/netip"
 )
+
+// key128 is a prefix's address bits as two big-endian words: bit 0 is the
+// most significant bit of hi. IPv4 addresses occupy the top 32 bits of hi
+// (families never share a root, so the mapping only needs to be
+// order-preserving within a family).
+type key128 struct{ hi, lo uint64 }
+
+// keyOf extracts a's bits.
+func keyOf(a netip.Addr) key128 {
+	if a.Is4() {
+		b := a.As4()
+		return key128{hi: uint64(binary.BigEndian.Uint32(b[:])) << 32}
+	}
+	b := a.As16()
+	return key128{hi: binary.BigEndian.Uint64(b[:8]), lo: binary.BigEndian.Uint64(b[8:])}
+}
+
+// bit returns bit i (0 = most significant) of k. Out-of-range bits read
+// as 0, so callers may ask for the branch bit "below" a full-length
+// prefix without special-casing (/32 and /128 nodes never have children).
+func (k key128) bit(i uint8) int {
+	if i < 64 {
+		return int(k.hi>>(63-i)) & 1
+	}
+	if i < 128 {
+		return int(k.lo>>(127-i)) & 1
+	}
+	return 0
+}
+
+// hasPrefix reports whether the first n bits of k equal the first n bits
+// of p (p is assumed masked to n bits).
+func (k key128) hasPrefix(p key128, n uint8) bool {
+	switch {
+	case n == 0:
+		return true
+	case n <= 64:
+		return (k.hi^p.hi)>>(64-n) == 0
+	default:
+		return k.hi == p.hi && (k.lo^p.lo)>>(128-n) == 0
+	}
+}
+
+// less orders keys lexicographically (most significant word first).
+func (k key128) less(o key128) bool {
+	if k.hi != o.hi {
+		return k.hi < o.hi
+	}
+	return k.lo < o.lo
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a
+// and b, capped at max.
+func commonPrefixLen(a, b key128, max uint8) uint8 {
+	n := uint8(mathbits.LeadingZeros64(a.hi ^ b.hi))
+	if n == 64 {
+		n += uint8(mathbits.LeadingZeros64(a.lo ^ b.lo))
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
 
 // node is a trie node. A node either carries a value (a real route) or is
 // structural "glue" at a branch point. Glue nodes with fewer than two
 // children are spliced out as soon as no iterator references them.
+// Field order keeps the traversal-hot fields (key, child, bits) in the
+// node's first cache line; prefix and the value trail behind.
 type node[T any] struct {
+	key     key128 // prefix.Addr() bits, precomputed
+	child   [2]*node[T]
+	bits    uint8 // prefix.Bits(), precomputed
+	hasVal  bool
+	iterRef int32
+	parent  *node[T]
 	prefix  netip.Prefix
 	val     T
-	hasVal  bool
-	child   [2]*node[T]
-	parent  *node[T]
-	iterRef int
+}
+
+// covers reports whether n's prefix covers (k, kb): equal or less specific.
+func (n *node[T]) covers(k key128, kb uint8) bool {
+	return n.bits <= kb && k.hasPrefix(n.key, n.bits)
 }
 
 // Trie is a longest-prefix-match table mapping netip.Prefix to values of
@@ -37,6 +116,40 @@ type Trie[T any] struct {
 	root4 *node[T] // created on first v4 insert; never removed
 	root6 *node[T] // created on first v6 insert; never removed
 	size  int
+
+	// Nodes come from slab blocks with removed nodes recycled through a
+	// freelist, so a full-table load costs one heap allocation per
+	// nodeSlabSize inserts instead of one per node, and steady-state churn
+	// costs none. Recycled memory stays with the trie — the right trade
+	// for long-lived, churning routing tables.
+	slab []node[T]
+	free *node[T] // freelist threaded through the parent pointer
+}
+
+// nodeSlabSize is the nodes-per-block growth quantum.
+const nodeSlabSize = 256
+
+// newNode returns a zeroed node from the freelist or the current slab.
+func (t *Trie[T]) newNode() *node[T] {
+	if n := t.free; n != nil {
+		t.free = n.parent
+		n.parent = nil
+		return n
+	}
+	if len(t.slab) == 0 {
+		t.slab = make([]node[T], nodeSlabSize)
+	}
+	n := &t.slab[0]
+	t.slab = t.slab[1:]
+	return n
+}
+
+// freeNode recycles a detached node. Callers guarantee it is out of the
+// tree, valueless and unreferenced by iterators.
+func (t *Trie[T]) freeNode(n *node[T]) {
+	*n = node[T]{} // clear, dropping any held value
+	n.parent = t.free
+	t.free = n
 }
 
 // New returns an empty trie.
@@ -70,103 +183,109 @@ func (t *Trie[T]) ensureRoot(p netip.Prefix) *node[T] {
 // isRoot reports whether n is one of the family roots.
 func (t *Trie[T]) isRoot(n *node[T]) bool { return n == t.root4 || n == t.root6 }
 
-// bitAt returns bit i (0 = most significant) of a.
-func bitAt(a netip.Addr, i int) int {
-	b := a.As16()
-	if a.Is4() {
-		b4 := a.As4()
-		return int(b4[i/8]>>(7-i%8)) & 1
-	}
-	return int(b[i/8]>>(7-i%8)) & 1
-}
-
 // contains reports whether p covers q (p is equal to or less specific).
+// Kept for tests and non-hot callers; traversal uses node.covers.
 func contains(p, q netip.Prefix) bool {
 	return p.Bits() <= q.Bits() && p.Contains(q.Addr())
 }
 
-// commonBits returns the length of the longest common prefix of a and b,
-// capped at max.
-func commonBits(a, b netip.Addr, max int) int {
-	n := 0
-	for n < max && bitAt(a, n) == bitAt(b, n) {
-		n++
-	}
-	return n
-}
-
 // Insert adds or replaces the value for p (which is masked first). It
 // reports whether an existing value was replaced, and returns an error on
-// an address-family mismatch or an invalid prefix.
+// an invalid prefix.
 func (t *Trie[T]) Insert(p netip.Prefix, v T) (replaced bool, err error) {
 	if !p.IsValid() {
 		return false, fmt.Errorf("trie: invalid prefix %v", p)
 	}
+	_, replaced = t.Upsert(p, v)
+	return replaced, nil
+}
+
+// Upsert adds or replaces the value for p (masked first) in a single
+// traversal, returning the previous value if one existed — the combined
+// Get+Insert the RIB's origin tables perform per arriving route. An
+// invalid prefix is a no-op reporting existed=false.
+func (t *Trie[T]) Upsert(p netip.Prefix, v T) (old T, existed bool) {
+	if !p.IsValid() {
+		return old, false
+	}
 	p = p.Masked()
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
 	cur := t.ensureRoot(p)
 	for {
-		if cur.prefix == p {
-			replaced = cur.hasVal
+		if cur.bits == pb && cur.key == k {
+			old, existed = cur.val, cur.hasVal
 			cur.val = v
 			cur.hasVal = true
-			if !replaced {
+			if !existed {
 				t.size++
 			}
-			return replaced, nil
+			return old, existed
 		}
-		b := bitAt(p.Addr(), cur.prefix.Bits())
+		// Invariant: cur strictly covers p, so cur.bits < pb.
+		b := k.bit(cur.bits)
 		c := cur.child[b]
 		if c == nil {
-			cur.child[b] = &node[T]{prefix: p, val: v, hasVal: true, parent: cur}
+			cur.child[b] = t.newValNode(p, k, pb, v, cur)
 			t.size++
-			return false, nil
+			return old, false
 		}
-		if contains(c.prefix, p) {
+		if c.covers(k, pb) {
 			cur = c
 			continue
 		}
-		if contains(p, c.prefix) {
+		if pb < c.bits && c.key.hasPrefix(k, pb) {
 			// Insert p between cur and c.
-			n := &node[T]{prefix: p, val: v, hasVal: true, parent: cur}
+			n := t.newValNode(p, k, pb, v, cur)
 			cur.child[b] = n
-			n.child[bitAt(c.prefix.Addr(), p.Bits())] = c
+			n.child[c.key.bit(pb)] = c
 			c.parent = n
 			t.size++
-			return false, nil
+			return old, false
 		}
 		// Diverge: create a glue node at the longest common prefix.
-		max := min(p.Bits(), c.prefix.Bits())
-		gb := commonBits(p.Addr(), c.prefix.Addr(), max)
-		gp, perr := p.Addr().Prefix(gb)
+		max := min(pb, c.bits)
+		gb := commonPrefixLen(k, c.key, max)
+		gp, perr := p.Addr().Prefix(int(gb))
 		if perr != nil {
-			return false, perr
+			return old, false
 		}
-		g := &node[T]{prefix: gp, parent: cur}
+		g := t.newNode()
+		g.prefix, g.key, g.bits, g.parent = gp, keyOf(gp.Addr()), gb, cur
 		cur.child[b] = g
-		g.child[bitAt(c.prefix.Addr(), gb)] = c
+		g.child[c.key.bit(gb)] = c
 		c.parent = g
-		n := &node[T]{prefix: p, val: v, hasVal: true, parent: g}
-		g.child[bitAt(p.Addr(), gb)] = n
+		n := t.newValNode(p, k, pb, v, g)
+		g.child[k.bit(gb)] = n
 		t.size++
-		return false, nil
+		return old, false
 	}
+}
+
+// newValNode builds a valued leaf from the slab.
+func (t *Trie[T]) newValNode(p netip.Prefix, k key128, pb uint8, v T, parent *node[T]) *node[T] {
+	n := t.newNode()
+	n.prefix, n.key, n.bits, n.val, n.hasVal, n.parent = p, k, pb, v, true, parent
+	return n
 }
 
 // find returns the node holding exactly p, valued or not.
 func (t *Trie[T]) find(p netip.Prefix) *node[T] {
 	p = p.Masked()
 	cur := t.rootFor(p)
-	if cur == nil {
+	if cur == nil || !p.IsValid() {
 		return nil
 	}
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
 	for cur != nil {
-		if cur.prefix == p {
+		if cur.bits == pb && cur.key == k {
 			return cur
 		}
-		if !contains(cur.prefix, p) {
+		if !cur.covers(k, pb) {
 			return nil
 		}
-		cur = cur.child[bitAt(p.Addr(), cur.prefix.Bits())]
+		cur = cur.child[k.bit(cur.bits)]
 	}
 	return nil
 }
@@ -212,7 +331,7 @@ func (t *Trie[T]) cleanup(n *node[T]) {
 			} else {
 				p.child[1] = nil
 			}
-			n.parent = nil
+			t.freeNode(n)
 			n = p
 		default:
 			c := n.child[0]
@@ -226,7 +345,7 @@ func (t *Trie[T]) cleanup(n *node[T]) {
 				p.child[1] = c
 			}
 			c.parent = p
-			n.parent, n.child[0], n.child[1] = nil, nil, nil
+			t.freeNode(n)
 			return
 		}
 	}
@@ -240,20 +359,23 @@ func (t *Trie[T]) LongestMatch(addr netip.Addr) (netip.Prefix, T, bool) {
 		found bool
 	)
 	cur := t.root6
+	maxBits := uint8(128)
 	if addr.Is4() {
 		cur = t.root4
+		maxBits = 32
 	}
 	if cur == nil {
 		return bestP, bestV, false
 	}
+	k := keyOf(addr)
 	for cur != nil {
-		if !cur.prefix.Contains(addr) {
+		if cur.bits > maxBits || !k.hasPrefix(cur.key, cur.bits) {
 			break
 		}
 		if cur.hasVal {
 			bestP, bestV, found = cur.prefix, cur.val, true
 		}
-		cur = cur.child[bitAt(addr, cur.prefix.Bits())]
+		cur = cur.child[k.bit(cur.bits)]
 	}
 	return bestP, bestV, found
 }
@@ -268,14 +390,19 @@ func (t *Trie[T]) LongestMatchPrefix(p netip.Prefix) (netip.Prefix, T, bool) {
 	)
 	p = p.Masked()
 	cur := t.rootFor(p)
-	for cur != nil && contains(cur.prefix, p) {
+	if cur == nil || !p.IsValid() {
+		return bestP, bestV, false
+	}
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
+	for cur != nil && cur.covers(k, pb) {
 		if cur.hasVal {
 			bestP, bestV, found = cur.prefix, cur.val, true
 		}
-		if cur.prefix.Bits() >= p.Bits() {
+		if cur.bits >= pb {
 			break
 		}
-		cur = cur.child[bitAt(p.Addr(), cur.prefix.Bits())]
+		cur = cur.child[k.bit(cur.bits)]
 	}
 	return bestP, bestV, found
 }
@@ -292,14 +419,32 @@ func (t *Trie[T]) Walk(fn func(netip.Prefix, T) bool) {
 	}
 }
 
+// walkSubtree is an iterative pre-order DFS with an explicit stack: a
+// /0→/128 chain is 129 nodes deep, and recursing per node costs a call
+// frame each. The stack holds pending right-hand subtrees, so its depth
+// is bounded by the tree depth; the array backing keeps the common case
+// allocation-free.
 func (t *Trie[T]) walkSubtree(n *node[T], fn func(netip.Prefix, T) bool) bool {
 	if n == nil {
 		return true
 	}
-	if n.hasVal && !fn(n.prefix, n.val) {
-		return false
+	var buf [48]*node[T]
+	stack := append(buf[:0], n)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.hasVal && !fn(n.prefix, n.val) {
+			return false
+		}
+		// Push right first so the left subtree pops (and is visited) first.
+		if n.child[1] != nil {
+			stack = append(stack, n.child[1])
+		}
+		if n.child[0] != nil {
+			stack = append(stack, n.child[0])
+		}
 	}
-	return t.walkSubtree(n.child[0], fn) && t.walkSubtree(n.child[1], fn)
+	return true
 }
 
 // WalkCovered visits every valued entry whose prefix is contained within p
@@ -307,15 +452,20 @@ func (t *Trie[T]) walkSubtree(n *node[T], fn func(netip.Prefix, T) bool) bool {
 func (t *Trie[T]) WalkCovered(p netip.Prefix, fn func(netip.Prefix, T) bool) {
 	p = p.Masked()
 	cur := t.rootFor(p)
+	if cur == nil || !p.IsValid() {
+		return
+	}
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
 	for cur != nil {
-		if contains(p, cur.prefix) {
+		if cur.bits >= pb && cur.key.hasPrefix(k, pb) {
 			t.walkSubtree(cur, fn)
 			return
 		}
-		if !contains(cur.prefix, p) {
+		if !cur.covers(k, pb) {
 			return
 		}
-		cur = cur.child[bitAt(p.Addr(), cur.prefix.Bits())]
+		cur = cur.child[k.bit(cur.bits)]
 	}
 }
 

@@ -376,7 +376,10 @@ func checkInvariants[T any](t *testing.T, tr *Trie[T]) {
 			if !contains(n.prefix, c.prefix) || n.prefix == c.prefix {
 				t.Fatalf("child %v not strictly inside parent %v", c.prefix, n.prefix)
 			}
-			if bitAt(c.prefix.Addr(), n.prefix.Bits()) != b {
+			if c.key != keyOf(c.prefix.Addr()) || int(c.bits) != c.prefix.Bits() {
+				t.Fatalf("node %v word key out of sync", c.prefix)
+			}
+			if c.key.bit(n.bits) != b {
 				t.Fatalf("child %v under wrong branch of %v", c.prefix, n.prefix)
 			}
 			walk(c)
@@ -514,6 +517,140 @@ func TestInvalidPrefix(t *testing.T) {
 	}
 }
 
+func TestUpsert(t *testing.T) {
+	tr := New[int]()
+	if old, existed := tr.Upsert(mustP("10.0.0.0/8"), 1); existed || old != 0 {
+		t.Fatalf("first Upsert = %d, %v", old, existed)
+	}
+	if old, existed := tr.Upsert(mustP("10.0.0.0/8"), 2); !existed || old != 1 {
+		t.Fatalf("second Upsert = %d, %v", old, existed)
+	}
+	if v, _ := tr.Get(mustP("10.0.0.0/8")); v != 2 {
+		t.Fatalf("value after Upsert = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Unmasked input is normalized like Insert.
+	p, _ := netip.ParsePrefix("10.1.2.3/8")
+	if old, existed := tr.Upsert(p, 3); !existed || old != 2 {
+		t.Fatalf("unmasked Upsert = %d, %v", old, existed)
+	}
+	// Invalid prefix is a no-op.
+	if _, existed := tr.Upsert(netip.Prefix{}, 9); existed {
+		t.Fatal("invalid prefix Upsert reported existed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after invalid Upsert = %d", tr.Len())
+	}
+}
+
+func TestUpsertMatchesGetInsert(t *testing.T) {
+	// Property: Upsert behaves exactly like Get-then-Insert.
+	r := rand.New(rand.NewSource(11))
+	a, b := New[int](), New[int]()
+	for i := 0; i < 4000; i++ {
+		p := randomPrefix(r)
+		oldB, existedB := b.Get(p)
+		b.Insert(p, i)
+		oldA, existedA := a.Upsert(p, i)
+		if oldA != oldB || existedA != existedB {
+			t.Fatalf("Upsert(%v) = (%d,%v), Get+Insert = (%d,%v)", p, oldA, existedA, oldB, existedB)
+		}
+		if r.Intn(4) == 0 {
+			q := randomPrefix(r)
+			va, oka := a.Delete(q)
+			vb, okb := b.Delete(q)
+			if va != vb || oka != okb {
+				t.Fatalf("Delete(%v) diverged", q)
+			}
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("Len diverged: %d vs %d", a.Len(), b.Len())
+	}
+	checkInvariants(t, a)
+}
+
+func TestDeepChainWalk(t *testing.T) {
+	// A /0→/128 chain is the worst case for the subtree walk: every node
+	// has exactly one child, so the walk is 129 levels deep. The iterative
+	// explicit-stack walk must visit all of it in order (the old
+	// per-node recursion burned a call frame per level).
+	tr := New[int]()
+	base := mustA("8000::") // high bit set so every chain step branches on bit i
+	for bits := 0; bits <= 128; bits++ {
+		p, err := base.Prefix(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Insert(p, bits)
+	}
+	// And the v4 analogue.
+	for bits := 0; bits <= 32; bits++ {
+		p, err := mustA("128.0.0.0").Prefix(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Insert(p, 1000+bits)
+	}
+	if tr.Len() != 129+33 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	last := -1
+	n := 0
+	tr.Walk(func(p netip.Prefix, v int) bool {
+		if p.Bits() <= last {
+			t.Fatalf("walk out of order at %v", p)
+		}
+		last = p.Bits()
+		n++
+		if p.Bits() == 32 && p.Addr().Is4() {
+			last = -1 // family hop resets depth ordering
+		}
+		return true
+	})
+	if n != 129+33 {
+		t.Fatalf("walked %d entries", n)
+	}
+	// LongestMatch descends the full chain to the /128 and /32 leaves
+	// without panicking past the last bit.
+	if p, v, ok := tr.LongestMatch(mustA("8000::")); !ok || v != 128 || p.Bits() != 128 {
+		t.Fatalf("v6 chain LongestMatch = %v, %d, %v", p, v, ok)
+	}
+	if p, v, ok := tr.LongestMatch(mustA("128.0.0.0")); !ok || v != 1032 || p.Bits() != 32 {
+		t.Fatalf("v4 chain LongestMatch = %v, %d, %v", p, v, ok)
+	}
+	// Deleting the chain interior leaves the walk consistent.
+	for bits := 1; bits < 128; bits += 2 {
+		p, _ := base.Prefix(bits)
+		tr.Delete(p)
+	}
+	n = 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return true })
+	if n != tr.Len() {
+		t.Fatalf("walk saw %d, Len %d", n, tr.Len())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestLongestMatchZeroAllocs(t *testing.T) {
+	tr := New[int]()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		a := netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+		p, _ := a.Prefix(16 + r.Intn(9))
+		tr.Insert(p, i)
+	}
+	addr := netip.AddrFrom4([4]byte{100, 1, 2, 3})
+	if allocs := testing.AllocsPerRun(200, func() { tr.LongestMatch(addr) }); allocs != 0 {
+		t.Fatalf("LongestMatch allocates %.1f/op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { tr.Get(mustP("100.1.0.0/16")) }); allocs != 0 {
+		t.Fatalf("Get allocates %.1f/op", allocs)
+	}
+}
+
 func BenchmarkInsert150k(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	ps := make([]netip.Prefix, 150000)
@@ -530,7 +667,9 @@ func BenchmarkInsert150k(b *testing.B) {
 	}
 }
 
-func BenchmarkLongestMatch(b *testing.B) {
+// BenchmarkTrieLongestMatch measures the word-keyed LPM walk against a
+// full-table trie; the fast path requires it to stay at 0 allocs/op.
+func BenchmarkTrieLongestMatch(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	tr := New[int]()
 	for i := 0; i < 150000; i++ {
@@ -542,9 +681,30 @@ func BenchmarkLongestMatch(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.LongestMatch(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkTrieUpsert measures the combined Get+Insert traversal on the
+// replace path (no node allocation).
+func BenchmarkTrieUpsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	ps := make([]netip.Prefix, 0, 150000)
+	for i := 0; i < 150000; i++ {
+		a := netip.AddrFrom4([4]byte{byte(r.Intn(223) + 1), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+		p, _ := a.Prefix(16 + r.Intn(9))
+		if replaced, _ := tr.Insert(p, i); !replaced {
+			ps = append(ps, p)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Upsert(ps[i%len(ps)], i)
 	}
 }
 

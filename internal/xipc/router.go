@@ -52,18 +52,34 @@ type Router struct {
 	finderEp      string // "proto|addr" of the Finder ("" = hub lookup)
 	timeout       time.Duration
 	onFinderEvent func(event, class, instance string)
+
+	// pendingSends holds, per target, sends queued behind an in-flight
+	// Finder resolution so the per-target send order survives a cold
+	// cache: without it, the first use of a new method waits a resolution
+	// round-trip while later sends of already-resolved methods overtake
+	// it — reordering route updates. Touched only on the loop goroutine.
+	pendingSends map[string][]orderedSend
+}
+
+// orderedSend is one send parked behind a resolution for its target.
+type orderedSend struct {
+	x          xrl.XRL
+	cmd        string
+	cb         Callback
+	allowRetry bool
 }
 
 // NewRouter returns a Router named name (the process instance name,
 // e.g. "bgp") bound to loop.
 func NewRouter(name string, loop *eventloop.Loop) *Router {
 	return &Router{
-		name:    name,
-		loop:    loop,
-		targets: make(map[string]*Target),
-		cache:   make(map[cacheKey]resolved),
-		senders: make(map[epKey]sender),
-		timeout: 30 * time.Second,
+		name:         name,
+		loop:         loop,
+		targets:      make(map[string]*Target),
+		cache:        make(map[cacheKey]resolved),
+		senders:      make(map[epKey]sender),
+		pendingSends: make(map[string][]orderedSend),
+		timeout:      30 * time.Second,
 	}
 }
 
@@ -226,41 +242,98 @@ func (r *Router) sendInLoop(x xrl.XRL, cb Callback, allowRetry bool) {
 		return
 	}
 
+	// Earlier sends to this target are parked behind a resolution: join
+	// the queue so the per-target order holds.
+	if len(r.pendingSends[x.Target]) > 0 {
+		r.pendingSends[x.Target] = append(r.pendingSends[x.Target],
+			orderedSend{x: x, cmd: cmd, cb: cb, allowRetry: allowRetry})
+		return
+	}
+
 	// Cached resolution?
 	ck := cacheKey{x.Target, cmd}
 	r.mu.Lock()
 	res, hit := r.cache[ck]
 	r.mu.Unlock()
 	if hit {
-		wrapped := cb
-		if allowRetry {
-			wrapped = func(args xrl.Args, err *xrl.Error) {
-				if err != nil && (err.Code == xrl.CodeNoSuchTarget || err.Code == xrl.CodeSendFailed || err.Code == xrl.CodeBadKey) {
-					// Stale cache: drop and re-resolve once.
-					r.mu.Lock()
-					delete(r.cache, ck)
-					r.mu.Unlock()
-					r.sendInLoop(x, cb, false)
-					return
-				}
-				cb(args, err)
-			}
-		}
-		r.transportSend(res, res.instance, cmd, x.Args, wrapped)
+		r.sendCached(res, x, cmd, cb, allowRetry)
 		return
 	}
 
-	// Resolve through the Finder, then send.
-	r.resolve(x.Target, cmd, func(res resolved, err *xrl.Error) {
+	// Cold cache: park the send (opening the target's order queue) and
+	// resolve through the Finder.
+	r.pendingSends[x.Target] = append(r.pendingSends[x.Target],
+		orderedSend{x: x, cmd: cmd, cb: cb, allowRetry: allowRetry})
+	r.resolveHead(x.Target)
+}
+
+// sendCached ships x over a cached resolution, dropping and re-resolving
+// the cache entry once if the transport reports it stale.
+func (r *Router) sendCached(res resolved, x xrl.XRL, cmd string, cb Callback, allowRetry bool) {
+	wrapped := cb
+	if allowRetry {
+		ck := cacheKey{x.Target, cmd}
+		wrapped = func(args xrl.Args, err *xrl.Error) {
+			if err != nil && (err.Code == xrl.CodeNoSuchTarget || err.Code == xrl.CodeSendFailed || err.Code == xrl.CodeBadKey) {
+				// Stale cache: drop and re-resolve once.
+				r.mu.Lock()
+				delete(r.cache, ck)
+				r.mu.Unlock()
+				r.sendInLoop(x, cb, false)
+				return
+			}
+			cb(args, err)
+		}
+	}
+	r.transportSend(res, res.instance, cmd, x.Args, wrapped)
+}
+
+// resolveHead resolves the command at the head of target's order queue,
+// then drains the queue. Runs on the loop.
+func (r *Router) resolveHead(target string) {
+	q := r.pendingSends[target]
+	if len(q) == 0 {
+		delete(r.pendingSends, target)
+		return
+	}
+	head := q[0]
+	r.resolve(target, head.cmd, func(res resolved, err *xrl.Error) {
+		// Pop the head; it either fails or ships now.
+		q := r.pendingSends[target]
+		r.pendingSends[target] = q[1:]
 		if err != nil {
-			cb(nil, err)
+			head.cb(nil, err)
+		} else {
+			r.mu.Lock()
+			r.cache[cacheKey{target, head.cmd}] = res
+			r.mu.Unlock()
+			r.sendCached(res, head.x, head.cmd, head.cb, head.allowRetry)
+		}
+		r.drainPending(target)
+	})
+}
+
+// drainPending ships queued sends whose commands now hit the resolution
+// cache; the first cold command (if any) restarts resolution and keeps
+// the rest parked behind it.
+func (r *Router) drainPending(target string) {
+	for {
+		q := r.pendingSends[target]
+		if len(q) == 0 {
+			delete(r.pendingSends, target)
 			return
 		}
+		head := q[0]
 		r.mu.Lock()
-		r.cache[ck] = res
+		res, hit := r.cache[cacheKey{target, head.cmd}]
 		r.mu.Unlock()
-		r.transportSend(res, res.instance, cmd, x.Args, cb)
-	})
+		if !hit {
+			r.resolveHead(target)
+			return
+		}
+		r.pendingSends[target] = q[1:]
+		r.sendCached(res, head.x, head.cmd, head.cb, head.allowRetry)
+	}
 }
 
 // resolve asks the Finder for the concrete endpoint of (target, command).
