@@ -4,29 +4,47 @@
 // program. This is put to frequent use in all our scripts for automated
 // testing."
 //
+// The xif interface registry makes the tool spec-aware: calls to known
+// interfaces are typechecked client-side before anything is sent (a
+// typo'd atom name fails here with the method's usage line, not at the
+// receiver), and -list prints the full interface catalogue plus, when a
+// Finder is reachable, the live targets registered with it.
+//
 // Usage:
 //
 //	call_xrl [-finder 127.0.0.1:19999] 'finder://bgp/bgp/1.0/set_local_as?as:u32=1777'
+//	call_xrl -list                 # interface catalogue (+ live targets)
+//	call_xrl -list rib             # one interface's methods and usage
 //
 // The reply's arguments are printed one per line as name:type=value.
-// Exit status 0 on OKAY, 1 otherwise.
+// Exit status 0 on OKAY, 1 otherwise, 2 on a client-side usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xorp/internal/eventloop"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
 
 func main() {
 	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
+	list := flag.Bool("list", false, "list interfaces (and live targets, if a Finder is reachable)")
 	flag.Parse()
+
+	if *list {
+		listInterfaces(flag.Arg(0))
+		listTargets(*finderAddr)
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: call_xrl [-finder addr] '<xrl>'")
+		fmt.Fprintln(os.Stderr, "usage: call_xrl [-finder addr] '<xrl>' | call_xrl -list [iface]")
 		os.Exit(2)
 	}
 	x, err := xrl.Parse(flag.Arg(0))
@@ -34,6 +52,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "call_xrl: %v\n", err)
 		os.Exit(2)
 	}
+	typecheck(x)
 
 	loop := eventloop.New(nil)
 	router := xipc.NewRouter("call_xrl", loop)
@@ -48,5 +67,86 @@ func main() {
 	}
 	for _, a := range args {
 		fmt.Println(a.String())
+	}
+}
+
+// typecheck validates the call against the xif registry before sending.
+// Unknown interfaces pass through untouched (the registry covers this
+// build; a remote process may legitimately speak more).
+func typecheck(x xrl.XRL) {
+	spec, ok := xif.Lookup(x.Interface, x.Version)
+	if !ok {
+		return
+	}
+	m, ok := spec.Method(x.Method)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "call_xrl: interface %s/%s has no method %q; methods:\n",
+			x.Interface, x.Version, x.Method)
+		for i := range spec.Methods {
+			fmt.Fprintf(os.Stderr, "  %s\n", spec.Methods[i].Usage())
+		}
+		os.Exit(2)
+	}
+	if err := m.CheckArgs(x.Args); err != nil {
+		fmt.Fprintf(os.Stderr, "call_xrl: %v\nusage: %s/%s/%s\n",
+			err, x.Interface, x.Version, m.Usage())
+		os.Exit(2)
+	}
+}
+
+// listInterfaces prints the registry catalogue, optionally filtered to
+// one interface name.
+func listInterfaces(filter string) {
+	for _, s := range xif.All() {
+		if filter != "" && s.Name != filter {
+			continue
+		}
+		fmt.Printf("%s/%s\n", s.Name, s.Version)
+		for i := range s.Methods {
+			fmt.Printf("  %s\n", s.Methods[i].Usage())
+		}
+	}
+}
+
+// listTargets asks the Finder for live registrations; unreachable
+// Finders are reported but not fatal (-list is useful offline).
+func listTargets(finderAddr string) {
+	loop := eventloop.New(nil)
+	router := xipc.NewRouter("call_xrl", loop)
+	router.SetFinderTCP(finderAddr)
+	router.SetTimeout(2e9)
+	go loop.Run()
+	defer loop.Stop()
+
+	type reply struct {
+		targets []string
+		err     *xrl.Error
+	}
+	ch := make(chan reply, 1)
+	xif.NewFinderClient(router).Targets(func(targets []string, err *xrl.Error) {
+		ch <- reply{targets, err}
+	})
+	rep := <-ch
+	if rep.err != nil {
+		fmt.Printf("\n(no finder at %s: %v)\n", finderAddr, rep.err)
+		return
+	}
+	fmt.Printf("\ntargets registered at %s (instance:class):\n", finderAddr)
+	for _, t := range rep.targets {
+		fmt.Printf("  %s\n", t)
+	}
+	// For each live target, ask what it implements via common/0.1.
+	for _, t := range rep.targets {
+		instance, _, _ := strings.Cut(t, ":")
+		ich := make(chan []string, 1)
+		xif.NewCommonClient(router, instance).GetInterfaces(func(ifaces []string, err *xrl.Error) {
+			if err != nil {
+				ifaces = nil
+			}
+			ich <- ifaces
+		})
+		if ifaces := <-ich; len(ifaces) > 0 {
+			fmt.Printf("  %s implements %s\n", instance, strings.Join(ifaces, " "))
+		}
 	}
 }

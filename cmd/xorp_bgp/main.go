@@ -24,6 +24,7 @@ import (
 	"xorp/internal/eventloop"
 	"xorp/internal/finder"
 	"xorp/internal/rtrmgr"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 )
 
@@ -57,7 +58,7 @@ func main() {
 		EnableDamping: *damping,
 	}, rtrmgr.NewXRLRIBClient(router, "rib"), metricSrc)
 
-	target := xipc.NewTarget("bgp", "bgp")
+	target := xif.NewTarget("bgp", "bgp")
 	proc.RegisterXRLs(target)
 	router.AddTarget(target)
 	go loop.Run()

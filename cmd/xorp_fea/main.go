@@ -20,6 +20,7 @@ import (
 	"xorp/internal/fea"
 	"xorp/internal/finder"
 	"xorp/internal/kernel"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 )
 
@@ -55,7 +56,7 @@ func main() {
 	}
 
 	proc := fea.New(loop, fib, nil, router)
-	target := xipc.NewTarget("fea", "fea")
+	target := xif.NewTarget("fea", "fea")
 	proc.RegisterXRLs(target)
 	router.AddTarget(target)
 	go loop.Run()

@@ -24,10 +24,9 @@ import (
 	"xorp/internal/eventloop"
 	"xorp/internal/finder"
 	"xorp/internal/ospf"
-	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
-	"xorp/internal/xrl"
 )
 
 func main() {
@@ -56,47 +55,17 @@ func main() {
 	}
 	router.SetFinderTCP(*finderAddr)
 
-	tr := &xrlTransport{router: router}
-	proc := ospf.NewProcess(loop, cfg, tr, &xrlRIB{router: router})
+	tr := &xrlTransport{fea: xif.NewFEAUDPClient(router, "fea")}
+	proc := ospf.NewProcess(loop, cfg, tr, &xrlRIB{stub: xif.NewRIBClient(router, "rib")})
 
-	target := xipc.NewTarget("ospf", "ospf")
-	target.Register("ospf", "0.1", "originate", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		cost, _ := args.U32Arg("cost")
-		if cost == 0 {
-			cost = 1
-		}
-		proc.OriginatePrefix(net, uint16(min(cost, 0xffff)))
-		return nil, nil
-	})
-	target.Register("ospf", "0.1", "withdraw", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		proc.WithdrawPrefix(net)
-		return nil, nil
-	})
+	target := xif.NewTarget("ospf", "ospf")
+	xif.BindOSPF(target, ospfServer{proc})
 	// The FEA pushes received datagrams here.
-	target.Register("fea_udp_client", "0.1", "recv", func(args xrl.Args) (xrl.Args, error) {
-		src, err := args.AddrArg("src")
-		if err != nil {
-			return nil, err
-		}
-		sport, err := args.U32Arg("sport")
-		if err != nil {
-			return nil, err
-		}
-		payload, err := args.BinaryArg("payload")
-		if err != nil {
-			return nil, err
-		}
-		tr.deliver(netip.AddrPortFrom(src, uint16(sport)), payload)
-		return nil, nil
-	})
+	xif.BindFEAUDPRecv(target, xif.FEAUDPRecvFunc(
+		func(src netip.AddrPort, payload []byte) error {
+			tr.deliver(src, payload)
+			return nil
+		}))
 	router.AddTarget(target)
 	go loop.Run()
 	if err := finder.RegisterTargetSync(router, target, true); err != nil {
@@ -115,20 +84,33 @@ func main() {
 	loop.Stop()
 }
 
-// xrlTransport relays OSPF packets through the FEA's fea_udp interface,
+// ospfServer exposes the process's prefix origination as ospf/0.1.
+type ospfServer struct{ proc *ospf.Process }
+
+func (s ospfServer) Originate(net netip.Prefix, cost uint32) error {
+	if cost == 0 {
+		cost = 1
+	}
+	s.proc.OriginatePrefix(net, uint16(min(cost, 0xffff)))
+	return nil
+}
+
+func (s ospfServer) Withdraw(net netip.Prefix) error {
+	s.proc.WithdrawPrefix(net)
+	return nil
+}
+
+// xrlTransport relays OSPF packets through the FEA's fea_udp stub,
 // joining the AllSPFRouters group via join_group.
 type xrlTransport struct {
-	router *xipc.Router
-	recv   func(src netip.AddrPort, payload []byte)
+	fea  *xif.FEAUDPClient
+	recv func(src netip.AddrPort, payload []byte)
 }
 
 func (t *xrlTransport) Bind(recv func(src netip.AddrPort, payload []byte)) error {
 	t.recv = recv
-	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "join_group",
-		xrl.Addr("group", ospf.AllSPFRouters)), nil)
-	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "bind",
-		xrl.U32("port", ospf.Port),
-		xrl.Text("client", "ospf")), nil)
+	t.fea.JoinGroup(ospf.AllSPFRouters, nil)
+	t.fea.Bind(ospf.Port, "ospf", nil)
 	return nil
 }
 
@@ -140,11 +122,7 @@ func (t *xrlTransport) deliver(src netip.AddrPort, payload []byte) {
 }
 
 func (t *xrlTransport) Send(dst netip.AddrPort, payload []byte) error {
-	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "send",
-		xrl.U32("sport", ospf.Port),
-		xrl.Addr("dst", dst.Addr()),
-		xrl.U32("dport", uint32(dst.Port())),
-		xrl.Binary("payload", payload)), nil)
+	t.fea.Send(ospf.Port, dst, payload, nil)
 	return nil
 }
 
@@ -152,54 +130,28 @@ func (t *xrlTransport) Multicast(payload []byte) error {
 	return t.Send(netip.AddrPortFrom(ospf.AllSPFRouters, ospf.Port), payload)
 }
 
-// xrlRIB feeds OSPF routes to the RIB process.
+// xrlRIB feeds OSPF routes to the RIB process through the typed stub.
 type xrlRIB struct {
-	router *xipc.Router
+	stub *xif.RIBClient
 }
 
 func (r *xrlRIB) AddRoute(e route.Entry) {
-	args := xrl.Args{
-		xrl.Text("protocol", "ospf"),
-		xrl.Net("network", e.Net),
-		xrl.U32("metric", e.Metric),
-		xrl.Text("ifname", e.IfName),
-	}
-	if e.NextHop.IsValid() {
-		args = append(args, xrl.Addr("nexthop", e.NextHop))
-	}
-	r.router.Send(xrl.XRL{
-		Protocol: xrl.ProtoFinder, Target: "rib",
-		Interface: "rib", Version: "1.0", Method: "add_route4", Args: args,
-	}, nil)
+	r.stub.AddRoute4("ospf", e, nil)
 }
 
 func (r *xrlRIB) DeleteRoute(net netip.Prefix) {
-	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_route4",
-		xrl.Text("protocol", "ospf"),
-		xrl.Net("network", net)), nil)
+	r.stub.DeleteRoute4("ospf", net, nil)
 }
 
 // AddRoutes ships a whole SPF result as one add_routes4 list XRL
 // (ospf.BatchRIBClient), riding the RIB's batch fast path.
 func (r *xrlRIB) AddRoutes(es []route.Entry) {
-	items := make([]xrl.Atom, len(es))
-	for i := range es {
-		items[i] = rib.EncodeRouteAtom(es[i])
-	}
-	r.router.Send(xrl.New("rib", "rib", "1.0", "add_routes4",
-		xrl.Text("protocol", "ospf"),
-		xrl.List("routes", items...)), nil)
+	r.stub.AddRoutes4("ospf", es, nil)
 }
 
 // DeleteRoutes ships a batch withdrawal as one delete_routes4 XRL.
 func (r *xrlRIB) DeleteRoutes(nets []netip.Prefix) {
-	items := make([]xrl.Atom, len(nets))
-	for i := range nets {
-		items[i] = xrl.Text("", nets[i].String())
-	}
-	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_routes4",
-		xrl.Text("protocol", "ospf"),
-		xrl.List("networks", items...)), nil)
+	r.stub.DeleteRoutes4("ospf", nets, nil)
 }
 
 func fatal(err error) {

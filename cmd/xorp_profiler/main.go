@@ -1,6 +1,6 @@
 // Command xorp_profiler controls the profiling points of a running XORP
 // process over XRLs (paper §8.2): enable, disable, clear, list, and fetch
-// time-stamped records.
+// time-stamped records. It drives the typed profile/0.1 client stub.
 //
 // Usage:
 //
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"xorp/internal/eventloop"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
@@ -34,41 +35,58 @@ func main() {
 	go loop.Run()
 	defer loop.Stop()
 
+	prof := xif.NewProfileClient(router, *targetName)
+
+	// The stub API is asynchronous (callbacks on the loop); this tool is
+	// a one-shot command, so block on a channel per call.
+	done := make(chan error, 1)
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_profiler: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	wrapErr := func(err *xrl.Error) error {
+		if err == nil {
+			return nil
+		}
+		return err
+	}
+
 	verb := flag.Arg(0)
-	var x xrl.XRL
-	switch verb {
-	case "list":
-		x = xrl.New(*targetName, "profile", "0.1", "list")
-	case "enable", "disable", "clear":
+	needPoint := func() string {
 		if flag.NArg() != 2 {
 			fmt.Fprintf(os.Stderr, "xorp_profiler: %s needs a point name\n", verb)
 			os.Exit(2)
 		}
-		x = xrl.New(*targetName, "profile", "0.1", verb, xrl.Text("pname", flag.Arg(1)))
+		return flag.Arg(1)
+	}
+	switch verb {
+	case "list":
+		prof.List(func(points string, err *xrl.Error) {
+			if err == nil {
+				fmt.Println(points)
+			}
+			done <- wrapErr(err)
+		})
+	case "enable":
+		prof.Enable(needPoint(), func(err error) { done <- err })
+	case "disable":
+		prof.Disable(needPoint(), func(err error) { done <- err })
+	case "clear":
+		prof.Clear(needPoint(), func(err error) { done <- err })
 	case "get":
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "xorp_profiler: get needs a point name")
-			os.Exit(2)
-		}
-		x = xrl.New(*targetName, "profile", "0.1", "get_entries", xrl.Text("pname", flag.Arg(1)))
+		prof.GetEntries(needPoint(), func(entries []string, err *xrl.Error) {
+			if err == nil {
+				for _, e := range entries {
+					fmt.Println(e)
+				}
+			}
+			done <- wrapErr(err)
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "xorp_profiler: unknown verb %q\n", verb)
 		os.Exit(2)
 	}
-
-	args, err := router.Call(x)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "xorp_profiler: %v\n", err)
-		os.Exit(1)
-	}
-	switch verb {
-	case "list":
-		points, _ := args.TextArg("points")
-		fmt.Println(points)
-	case "get":
-		entries, _ := args.ListArg("entries")
-		for _, e := range entries {
-			fmt.Println(e.TextVal)
-		}
-	}
+	fail(<-done)
 }

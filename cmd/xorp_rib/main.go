@@ -18,6 +18,7 @@ import (
 	"xorp/internal/finder"
 	"xorp/internal/rib"
 	"xorp/internal/rtrmgr"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 )
 
@@ -34,7 +35,7 @@ func main() {
 	router.SetFinderTCP(*finderAddr)
 
 	proc := rib.NewProcess(loop, rtrmgr.NewXRLFIBClient(router, *feaTarget), router)
-	target := xipc.NewTarget("rib", "rib")
+	target := xif.NewTarget("rib", "rib")
 	proc.RegisterXRLs(target)
 	router.AddTarget(target)
 	go loop.Run()

@@ -22,11 +22,10 @@ import (
 
 	"xorp/internal/eventloop"
 	"xorp/internal/finder"
-	"xorp/internal/rib"
 	"xorp/internal/rip"
 	"xorp/internal/route"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
-	"xorp/internal/xrl"
 )
 
 func main() {
@@ -49,31 +48,15 @@ func main() {
 	router.SetFinderTCP(*finderAddr)
 
 	proc := rip.NewProcess(loop, rip.Config{LocalAddr: localAddr, IfName: "eth0"},
-		&xrlTransport{router: router}, &xrlRIB{router: router})
+		&xrlTransport{fea: xif.NewFEAUDPClient(router, "fea")},
+		&xrlRIB{stub: xif.NewRIBClient(router, "rib")})
 
-	target := xipc.NewTarget("rip", "rip")
-	target.Register("rip", "0.1", "add_static_route", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		metric, _ := args.U32Arg("metric")
-		proc.InjectLocal(net, metric, 0)
-		return nil, nil
-	})
-	target.Register("rip", "0.1", "delete_static_route", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		proc.WithdrawLocal(net)
-		return nil, nil
-	})
-	// The FEA pushes received datagrams here.
-	target.Register("fea_udp_client", "0.1", "recv", func(args xrl.Args) (xrl.Args, error) {
-		// Delivered to the transport's receive callback below.
-		return nil, nil
-	})
+	target := xif.NewTarget("rip", "rip")
+	xif.BindRIP(target, ripServer{proc})
+	// The FEA pushes received datagrams here; delivery happens through
+	// the transport's receive callback below.
+	xif.BindFEAUDPRecv(target, xif.FEAUDPRecvFunc(
+		func(netip.AddrPort, []byte) error { return nil }))
 	router.AddTarget(target)
 	go loop.Run()
 	if err := finder.RegisterTargetSync(router, target, true); err != nil {
@@ -92,72 +75,56 @@ func main() {
 	loop.Stop()
 }
 
-// xrlTransport relays RIP datagrams through the FEA's fea_udp interface.
+// ripServer exposes the process's local-route injection as rip/0.1.
+type ripServer struct{ proc *rip.Process }
+
+func (s ripServer) AddStaticRoute(net netip.Prefix, metric uint32) error {
+	s.proc.InjectLocal(net, metric, 0)
+	return nil
+}
+
+func (s ripServer) DeleteStaticRoute(net netip.Prefix) error {
+	s.proc.WithdrawLocal(net)
+	return nil
+}
+
+// xrlTransport relays RIP datagrams through the FEA's fea_udp stub.
 type xrlTransport struct {
-	router *xipc.Router
+	fea *xif.FEAUDPClient
 }
 
 func (t *xrlTransport) Bind(recv func(src netip.AddrPort, payload []byte)) error {
-	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "bind",
-		xrl.U32("port", rip.Port),
-		xrl.Text("client", "rip")), nil)
+	t.fea.Bind(rip.Port, "rip", nil)
 	return nil
 }
 
 func (t *xrlTransport) Send(dst netip.AddrPort, payload []byte) error {
-	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "send",
-		xrl.U32("sport", rip.Port),
-		xrl.Addr("dst", dst.Addr()),
-		xrl.U32("dport", uint32(dst.Port())),
-		xrl.Binary("payload", payload)), nil)
+	t.fea.Send(rip.Port, dst, payload, nil)
 	return nil
 }
 
 func (t *xrlTransport) Broadcast(payload []byte) error {
-	t.router.Send(xrl.New("fea", "fea_udp", "0.1", "broadcast",
-		xrl.U32("sport", rip.Port),
-		xrl.U32("dport", rip.Port),
-		xrl.Binary("payload", payload)), nil)
+	t.fea.Broadcast(rip.Port, rip.Port, payload, nil)
 	return nil
 }
 
-// xrlRIB feeds RIP routes to the RIB process.
+// xrlRIB feeds RIP routes to the RIB process through the typed stub.
 type xrlRIB struct {
-	router *xipc.Router
+	stub *xif.RIBClient
 }
 
 func (r *xrlRIB) AddRoute(e route.Entry) {
-	args := xrl.Args{
-		xrl.Text("protocol", "rip"),
-		xrl.Net("network", e.Net),
-		xrl.U32("metric", e.Metric),
-		xrl.Text("ifname", e.IfName),
-	}
-	if e.NextHop.IsValid() {
-		args = append(args, xrl.Addr("nexthop", e.NextHop))
-	}
-	r.router.Send(xrl.XRL{
-		Protocol: xrl.ProtoFinder, Target: "rib",
-		Interface: "rib", Version: "1.0", Method: "add_route4", Args: args,
-	}, nil)
+	r.stub.AddRoute4("rip", e, nil)
 }
 
 func (r *xrlRIB) DeleteRoute(net netip.Prefix) {
-	r.router.Send(xrl.New("rib", "rib", "1.0", "delete_route4",
-		xrl.Text("protocol", "rip"),
-		xrl.Net("network", net)), nil)
+	r.stub.DeleteRoute4("rip", net, nil)
 }
 
 // AddRoutes ships one received update's routes as a single add_routes4
 // list XRL (rip.BatchRIBClient), riding the RIB's batch fast path.
 func (r *xrlRIB) AddRoutes(es []route.Entry) {
-	items := make([]xrl.Atom, len(es))
-	for i := range es {
-		items[i] = rib.EncodeRouteAtom(es[i])
-	}
-	r.router.Send(xrl.New("rib", "rib", "1.0", "add_routes4",
-		xrl.Text("protocol", "rip"),
-		xrl.List("routes", items...)), nil)
+	r.stub.AddRoutes4("rip", es, nil)
 }
 
 func fatal(err error) {

@@ -21,6 +21,7 @@ import (
 	"xorp/internal/rtrmgr"
 	"xorp/internal/scanner"
 	"xorp/internal/workload"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
@@ -53,10 +54,10 @@ func RunFig9(transport string, nargs, total, window int) (Fig9Result, error) {
 	// Receiver setup.
 	recvLoop := eventloop.New(nil)
 	recvRouter := xipc.NewRouter("fig9_receiver", recvLoop)
-	target := xipc.NewTarget("fig9echo", "fig9echo")
-	target.Register("bench", "1.0", "sink", func(args xrl.Args) (xrl.Args, error) {
+	target := xif.NewTarget("fig9echo", "fig9echo")
+	xif.BindBench(target, xif.BenchSinkFunc(func(args xrl.Args) (xrl.Args, error) {
 		return nil, nil
-	})
+	}))
 	recvRouter.AddTarget(target)
 
 	// Sender setup. For "intra" the paper measured direct calls within
@@ -114,7 +115,7 @@ func RunFig9(transport string, nargs, total, window int) (Fig9Result, error) {
 	for i := range args {
 		args[i] = xrl.U32(fmt.Sprintf("a%d", i), uint32(i))
 	}
-	call := xrl.New("fig9echo", "bench", "1.0", "sink", args...)
+	call := xif.BenchSpec.NewXRL("fig9echo", "sink", args...)
 
 	// Warm the resolution cache and the transport.
 	if _, err := sendRouter.Call(call); err != nil {

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
-	"time"
 
 	"xorp/internal/core"
 	"xorp/internal/eventloop"
 	"xorp/internal/profiler"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
@@ -327,110 +327,71 @@ func (p *Process) Close() {
 	}
 }
 
-// RegisterXRLs exposes the bgp/1.0 interface on target t. Handlers run on
-// the process loop (the router shares it).
+// bgpServer adapts the Process as a xif.BGPServer (and xif.RIBNotifyServer
+// for the RIB's nexthop cache invalidations, §5.2.1).
+type bgpServer struct{ p *Process }
+
+func (s bgpServer) GetBGPVersion() (uint32, error) { return Version, nil }
+
+// LocalConfig reports the AS/ID fixed at construction.
+func (s bgpServer) LocalConfig() (uint32, netip.Addr, error) {
+	return uint32(s.p.cfg.AS), s.p.cfg.BGPID, nil
+}
+
+func (s bgpServer) AddPeer(cfg xif.BGPPeerConfig) error {
+	_, err := s.p.AddPeer(PeerConfig{
+		Name:      cfg.Name,
+		LocalAddr: cfg.LocalAddr,
+		PeerAddr:  cfg.PeerAddr,
+		PeerAS:    cfg.PeerAS,
+		DialAddr:  cfg.DialAddr,
+		HoldTime:  cfg.HoldTime,
+	})
+	return err
+}
+
+func (s bgpServer) EnablePeer(name string) error { return s.p.EnablePeer(name) }
+
+func (s bgpServer) DisablePeer(name string) error {
+	peer, ok := s.p.peers[name]
+	if !ok {
+		return xrl.Errorf(xrl.CodeCommandFailed, "unknown peer %q", name)
+	}
+	peer.Disable()
+	return nil
+}
+
+func (s bgpServer) PeerState(name string) (string, error) {
+	peer, ok := s.p.peers[name]
+	if !ok {
+		return "", xrl.Errorf(xrl.CodeCommandFailed, "unknown peer %q", name)
+	}
+	return peer.State().String(), nil
+}
+
+func (s bgpServer) OriginateRoute4(nlri netip.Prefix, nexthop netip.Addr, med uint32) error {
+	s.p.Originate(nlri, nexthop, med)
+	return nil
+}
+
+func (s bgpServer) WithdrawRoute4(nlri netip.Prefix) error {
+	s.p.WithdrawOriginated(nlri)
+	return nil
+}
+
+func (s bgpServer) RouteInfoInvalid(net netip.Prefix) error {
+	if inv, ok := s.p.metricSrc.(interface{ Invalidate(netip.Prefix) }); ok {
+		inv.Invalidate(net)
+	}
+	return nil
+}
+
+// RegisterXRLs exposes the bgp/1.0, rib_client/0.1 and profile/0.1
+// interfaces on target t through their spec-checked bindings. Handlers
+// run on the process loop (the router shares it).
 func (p *Process) RegisterXRLs(t *xipc.Target) {
-	t.Register("bgp", "1.0", "get_bgp_version", func(xrl.Args) (xrl.Args, error) {
-		return xrl.Args{xrl.U32("version", Version)}, nil
-	})
-	t.Register("bgp", "1.0", "local_config", func(args xrl.Args) (xrl.Args, error) {
-		// AS/ID are fixed at construction; report them.
-		return xrl.Args{
-			xrl.U32("as", uint32(p.cfg.AS)),
-			xrl.Addr("id", p.cfg.BGPID),
-		}, nil
-	})
-	t.Register("bgp", "1.0", "add_peer", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("name")
-		if err != nil {
-			return nil, err
-		}
-		localAddr, err := args.AddrArg("local_addr")
-		if err != nil {
-			return nil, err
-		}
-		peerAddr, err := args.AddrArg("peer_addr")
-		if err != nil {
-			return nil, err
-		}
-		as, err := args.U32Arg("as")
-		if err != nil {
-			return nil, err
-		}
-		dial, _ := args.TextArg("dial")
-		holdTime, _ := args.U32Arg("holdtime")
-		cfg := PeerConfig{
-			Name:      name,
-			LocalAddr: localAddr,
-			PeerAddr:  peerAddr,
-			PeerAS:    uint16(as),
-			DialAddr:  dial,
-			HoldTime:  time.Duration(holdTime) * time.Second,
-		}
-		_, aerr := p.AddPeer(cfg)
-		return nil, aerr
-	})
-	t.Register("bgp", "1.0", "enable_peer", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("name")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.EnablePeer(name)
-	})
-	t.Register("bgp", "1.0", "disable_peer", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("name")
-		if err != nil {
-			return nil, err
-		}
-		peer, ok := p.peers[name]
-		if !ok {
-			return nil, xrl.Errorf(xrl.CodeCommandFailed, "unknown peer %q", name)
-		}
-		peer.Disable()
-		return nil, nil
-	})
-	t.Register("bgp", "1.0", "peer_state", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("name")
-		if err != nil {
-			return nil, err
-		}
-		peer, ok := p.peers[name]
-		if !ok {
-			return nil, xrl.Errorf(xrl.CodeCommandFailed, "unknown peer %q", name)
-		}
-		return xrl.Args{xrl.Text("state", peer.State().String())}, nil
-	})
-	t.Register("bgp", "1.0", "originate_route4", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("nlri")
-		if err != nil {
-			return nil, err
-		}
-		nh, err := args.AddrArg("next_hop")
-		if err != nil {
-			return nil, err
-		}
-		med, _ := args.U32Arg("med")
-		p.Originate(net, nh, med)
-		return nil, nil
-	})
-	t.Register("bgp", "1.0", "withdraw_route4", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("nlri")
-		if err != nil {
-			return nil, err
-		}
-		p.WithdrawOriginated(net)
-		return nil, nil
-	})
-	// The RIB pushes nexthop cache invalidations here (§5.2.1).
-	t.Register("rib_client", "0.1", "route_info_invalid", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		if inv, ok := p.metricSrc.(interface{ Invalidate(netip.Prefix) }); ok {
-			inv.Invalidate(net)
-		}
-		return nil, nil
-	})
+	srv := bgpServer{p}
+	xif.BindBGP(t, srv)
+	xif.BindRIBNotify(t, srv)
 	p.prof.RegisterXRLs(t)
 }

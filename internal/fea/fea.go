@@ -16,8 +16,8 @@ import (
 	"xorp/internal/profiler"
 	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
-	"xorp/internal/xrl"
 )
 
 // Process is the FEA process.
@@ -30,6 +30,7 @@ type Process struct {
 	// datagrams to (the RIP relay path).
 	udpClients map[uint16]string
 	router     *xipc.Router
+	recvPush   *xif.FEAUDPRecvClient // fea_udp_client/0.1 stub over router
 
 	prof       *profiler.Profiler
 	profArrive *profiler.Point // "route_arrive_fea"
@@ -49,6 +50,9 @@ func New(loop *eventloop.Loop, fib *kernel.FIB, host *kernel.Host, router *xipc.
 	}
 	p.profArrive = p.prof.Point("route_arrive_fea")
 	p.profKernel = p.prof.Point("route_enter_kernel")
+	if router != nil {
+		p.recvPush = xif.NewFEAUDPRecvClient(router)
+	}
 	return p
 }
 
@@ -136,13 +140,10 @@ func (p *Process) UDPBind(port uint16, client string, recv func(src netip.AddrPo
 	}
 	if recv == nil {
 		recv = func(src netip.AddrPort, payload []byte) {
-			if p.router == nil {
+			if p.recvPush == nil {
 				return
 			}
-			p.router.Send(xrl.New(client, "fea_udp_client", "0.1", "recv",
-				xrl.Addr("src", src.Addr()),
-				xrl.U32("sport", uint32(src.Port())),
-				xrl.Binary("payload", payload)), nil)
+			p.recvPush.Recv(client, src, payload, nil)
 		}
 	}
 	handler := func(src netip.AddrPort, payload []byte) {
@@ -195,159 +196,72 @@ func (p *Process) UDPBroadcast(srcPort, dstPort uint16, payload []byte) error {
 	return nil
 }
 
-// RegisterXRLs exposes fti/0.2 (forwarding table), ifmgr/0.1 (interfaces)
-// and fea_udp/0.1 (packet relay) on target t.
+// feaServer adapts the Process as the typed xif server for fti/0.2,
+// ifmgr/0.1 and fea_udp/0.1.
+type feaServer struct{ p *Process }
+
+func (s feaServer) AddEntry4(e route.Entry) error       { return s.p.AddEntry(e) }
+func (s feaServer) DeleteEntry4(net netip.Prefix) error { return s.p.DeleteEntry(net) }
+
+// AddEntries4 applies a decoded batch; individual failures don't abort
+// the rest, the first error is reported.
+func (s feaServer) AddEntries4(es []route.Entry) error {
+	var firstErr error
+	for _, e := range es {
+		if err := s.p.AddEntry(e); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s feaServer) DeleteEntries4(nets []netip.Prefix) error {
+	var firstErr error
+	for _, net := range nets {
+		if err := s.p.DeleteEntry(net); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s feaServer) LookupEntry4(addr netip.Addr) (xif.FTILookup, error) {
+	e, ok := s.p.fib.Lookup(addr)
+	if !ok {
+		return xif.FTILookup{}, nil
+	}
+	return xif.FTILookup{Found: true, Entry: route.Entry{
+		Net: e.Net, NextHop: e.NextHop, IfName: e.IfName,
+	}}, nil
+}
+
+func (s feaServer) GetInterfaces() ([]string, error) {
+	var out []string
+	for _, i := range s.p.fib.Interfaces() {
+		out = append(out, fmt.Sprintf("%s %v %d %v", i.Name, i.Addr, i.MTU, i.Up))
+	}
+	return out, nil
+}
+
+func (s feaServer) UDPBind(port uint16, client string) error {
+	return s.p.UDPBind(port, client, nil)
+}
+func (s feaServer) UDPJoinGroup(group netip.Addr) error  { return s.p.UDPJoinGroup(group) }
+func (s feaServer) UDPLeaveGroup(group netip.Addr) error { return s.p.UDPLeaveGroup(group) }
+func (s feaServer) UDPSend(sport uint16, dst netip.AddrPort, payload []byte) error {
+	return s.p.UDPSend(sport, dst, payload)
+}
+func (s feaServer) UDPBroadcast(sport, dport uint16, payload []byte) error {
+	return s.p.UDPBroadcast(sport, dport, payload)
+}
+
+// RegisterXRLs exposes fti/0.2 (forwarding table), ifmgr/0.1 (interfaces),
+// fea_udp/0.1 (packet relay) and profile/0.1 on target t through their
+// spec-checked bindings.
 func (p *Process) RegisterXRLs(t *xipc.Target) {
-	t.Register("fti", "0.2", "add_entry4", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		e := route.Entry{Net: net}
-		if nh, err := args.AddrArg("nexthop"); err == nil {
-			e.NextHop = nh
-		}
-		if ifn, err := args.TextArg("ifname"); err == nil {
-			e.IfName = ifn
-		}
-		return nil, p.AddEntry(e)
-	})
-	t.Register("fti", "0.2", "delete_entry4", func(args xrl.Args) (xrl.Args, error) {
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.DeleteEntry(net)
-	})
-	t.Register("fti", "0.2", "add_entries4", func(args xrl.Args) (xrl.Args, error) {
-		items, err := args.ListArg("entries")
-		if err != nil {
-			return nil, err
-		}
-		// Decode everything before touching the FIB: a malformed atom
-		// must reject the whole batch, not leave it half-applied while
-		// reporting rejection.
-		es := make([]route.Entry, 0, len(items))
-		for _, it := range items {
-			e, err := rib.DecodeRouteAtom(it)
-			if err != nil {
-				return nil, xrl.Errorf(xrl.CodeBadArgs, "%v", err)
-			}
-			es = append(es, e)
-		}
-		var firstErr error
-		for _, e := range es {
-			if err := p.AddEntry(e); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return nil, firstErr
-	})
-	t.Register("fti", "0.2", "delete_entries4", func(args xrl.Args) (xrl.Args, error) {
-		items, err := args.ListArg("networks")
-		if err != nil {
-			return nil, err
-		}
-		nets := make([]netip.Prefix, 0, len(items))
-		for _, it := range items {
-			net, err := netip.ParsePrefix(it.TextVal)
-			if err != nil {
-				return nil, xrl.Errorf(xrl.CodeBadArgs, "fea: bad network %q", it.TextVal)
-			}
-			nets = append(nets, net)
-		}
-		var firstErr error
-		for _, net := range nets {
-			if err := p.DeleteEntry(net); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return nil, firstErr
-	})
-	t.Register("fti", "0.2", "lookup_entry4", func(args xrl.Args) (xrl.Args, error) {
-		addr, err := args.AddrArg("addr")
-		if err != nil {
-			return nil, err
-		}
-		e, ok := p.fib.Lookup(addr)
-		if !ok {
-			return xrl.Args{xrl.Bool("found", false)}, nil
-		}
-		out := xrl.Args{
-			xrl.Bool("found", true),
-			xrl.Net("network", e.Net),
-			xrl.Text("ifname", e.IfName),
-		}
-		if e.NextHop.IsValid() {
-			out = append(out, xrl.Addr("nexthop", e.NextHop))
-		}
-		return out, nil
-	})
-	t.Register("ifmgr", "0.1", "get_interfaces", func(xrl.Args) (xrl.Args, error) {
-		var items []xrl.Atom
-		for _, i := range p.fib.Interfaces() {
-			items = append(items, xrl.Text("", fmt.Sprintf("%s %v %d %v", i.Name, i.Addr, i.MTU, i.Up)))
-		}
-		return xrl.Args{xrl.List("interfaces", items...)}, nil
-	})
-	t.Register("fea_udp", "0.1", "bind", func(args xrl.Args) (xrl.Args, error) {
-		port, err := args.U32Arg("port")
-		if err != nil {
-			return nil, err
-		}
-		client, err := args.TextArg("client")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.UDPBind(uint16(port), client, nil)
-	})
-	t.Register("fea_udp", "0.1", "join_group", func(args xrl.Args) (xrl.Args, error) {
-		group, err := args.AddrArg("group")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.UDPJoinGroup(group)
-	})
-	t.Register("fea_udp", "0.1", "leave_group", func(args xrl.Args) (xrl.Args, error) {
-		group, err := args.AddrArg("group")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.UDPLeaveGroup(group)
-	})
-	t.Register("fea_udp", "0.1", "send", func(args xrl.Args) (xrl.Args, error) {
-		sport, err := args.U32Arg("sport")
-		if err != nil {
-			return nil, err
-		}
-		dst, err := args.AddrArg("dst")
-		if err != nil {
-			return nil, err
-		}
-		dport, err := args.U32Arg("dport")
-		if err != nil {
-			return nil, err
-		}
-		payload, err := args.BinaryArg("payload")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.UDPSend(uint16(sport), netip.AddrPortFrom(dst, uint16(dport)), payload)
-	})
-	t.Register("fea_udp", "0.1", "broadcast", func(args xrl.Args) (xrl.Args, error) {
-		sport, err := args.U32Arg("sport")
-		if err != nil {
-			return nil, err
-		}
-		dport, err := args.U32Arg("dport")
-		if err != nil {
-			return nil, err
-		}
-		payload, err := args.BinaryArg("payload")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.UDPBroadcast(uint16(sport), uint16(dport), payload)
-	})
+	srv := feaServer{p}
+	xif.BindFTI(t, srv)
+	xif.BindIfMgr(t, srv)
+	xif.BindFEAUDP(t, srv)
 	p.prof.RegisterXRLs(t)
 }

@@ -3,6 +3,7 @@ package finder
 import (
 	"fmt"
 
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
@@ -10,7 +11,9 @@ import (
 // RegisterTarget registers target t — hosted by router r — with the
 // Finder: it announces the instance with r's transport endpoints, then
 // registers every method, recording the Finder-issued keys on t so the
-// router enforces them on dispatch. done runs on r's loop.
+// router enforces them on dispatch. The Finder also derives the
+// interface versions t implements from the command list, enabling
+// version-negotiated resolution. done runs on r's loop.
 //
 // Registration also primes the xrl codec's intern table with the
 // instance, class and command strings: every frame addressed to t decodes
@@ -24,17 +27,8 @@ func RegisterTarget(r *xipc.Router, t *xipc.Target, sole bool, done func(error))
 	for _, c := range t.Commands() {
 		xrl.Intern(c)
 	}
-	eps := r.Endpoints()
-	epAtoms := make([]xrl.Atom, len(eps))
-	for i, ep := range eps {
-		epAtoms[i] = xrl.Text("", ep)
-	}
-	reg := xrl.New(xipc.FinderTargetName, "finder", "1.0", "register_target",
-		xrl.Text("instance", t.Name),
-		xrl.Text("class", t.Class),
-		xrl.Bool("sole", sole),
-		xrl.List("endpoints", epAtoms...))
-	r.Send(reg, func(_ xrl.Args, err *xrl.Error) {
+	fc := xif.NewFinderClient(r)
+	fc.RegisterTarget(t.Name, t.Class, sole, r.Endpoints(), func(err error) {
 		if err != nil {
 			done(err)
 			return
@@ -44,25 +38,17 @@ func RegisterTarget(r *xipc.Router, t *xipc.Target, sole bool, done func(error))
 			done(nil)
 			return
 		}
-		cmdAtoms := make([]xrl.Atom, len(cmds))
-		for i, c := range cmds {
-			cmdAtoms[i] = xrl.Text("", c)
-		}
-		rm := xrl.New(xipc.FinderTargetName, "finder", "1.0", "register_methods",
-			xrl.Text("instance", t.Name),
-			xrl.List("commands", cmdAtoms...))
-		r.Send(rm, func(args xrl.Args, err *xrl.Error) {
-			if err != nil {
-				done(err)
+		fc.RegisterMethods(t.Name, cmds, func(keys []string, xerr *xrl.Error) {
+			if xerr != nil {
+				done(xerr)
 				return
 			}
-			keys, kerr := args.ListArg("keys")
-			if kerr != nil || len(keys) != len(cmds) {
+			if len(keys) != len(cmds) {
 				done(fmt.Errorf("finder: malformed register_methods reply"))
 				return
 			}
 			for i, c := range cmds {
-				t.SetMethodKey(c, keys[i].TextVal)
+				t.SetMethodKey(c, keys[i])
 			}
 			done(nil)
 		})
@@ -79,32 +65,11 @@ func RegisterTargetSync(r *xipc.Router, t *xipc.Target, sole bool) error {
 
 // UnregisterTarget removes the instance from the Finder.
 func UnregisterTarget(r *xipc.Router, instance string, done func(error)) {
-	r.Send(xrl.New(xipc.FinderTargetName, "finder", "1.0", "unregister_target",
-		xrl.Text("instance", instance)),
-		func(_ xrl.Args, err *xrl.Error) {
-			if done != nil {
-				if err != nil {
-					done(err)
-				} else {
-					done(nil)
-				}
-			}
-		})
+	xif.NewFinderClient(r).UnregisterTarget(instance, done)
 }
 
 // Watch subscribes watcherTarget to birth/death events for class ("*" for
 // all classes). Events arrive via the router's SetFinderEvent callback.
 func Watch(r *xipc.Router, watcherTarget, class string, done func(error)) {
-	r.Send(xrl.New(xipc.FinderTargetName, "finder", "1.0", "watch",
-		xrl.Text("watcher", watcherTarget),
-		xrl.Text("class", class)),
-		func(_ xrl.Args, err *xrl.Error) {
-			if done != nil {
-				if err != nil {
-					done(err)
-				} else {
-					done(nil)
-				}
-			}
-		})
+	xif.NewFinderClient(r).Watch(watcherTarget, class, done)
 }

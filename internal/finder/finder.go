@@ -1,16 +1,19 @@
 // Package finder implements the XORP Finder (paper §6.2): the broker that
 // resolves generic XRLs into concrete transport endpoints, issues the
 // 16-byte random method keys of the security framework (§7), enforces
-// per-method access control, and provides component lifetime notification.
+// per-method access control, negotiates interface versions, and provides
+// component lifetime notification.
 package finder
 
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sort"
 	"strings"
 	"time"
 
 	"xorp/internal/eventloop"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
@@ -22,7 +25,11 @@ type instanceInfo struct {
 	sole      bool
 	endpoints []string          // "proto|addr"
 	methods   map[string]string // command -> key
-	lastSeen  time.Time
+	// ifaces records the interface versions the component implements
+	// (iface name -> version set), derived from its registered commands;
+	// resolution negotiates against it (§6 rolling-upgrade scenario).
+	ifaces   map[string]map[string]bool
+	lastSeen time.Time
 }
 
 // aclRule allows caller to invoke command on target. "*" wildcards any
@@ -32,9 +39,11 @@ type aclRule struct {
 }
 
 // Finder is the broker service. All state is confined to its event loop.
+// It implements xif.FinderServer; BindFinder wires it to the wire.
 type Finder struct {
 	loop   *eventloop.Loop
 	router *xipc.Router
+	events *xif.FinderEventClient
 
 	instances map[string]*instanceInfo
 	classes   map[string][]string        // class -> instance names
@@ -55,17 +64,54 @@ func New(loop *eventloop.Loop) *Finder {
 		classes:   make(map[string][]string),
 		watchers:  make(map[string]map[string]bool),
 	}
-	t := xipc.NewTarget(xipc.FinderTargetName, "finder")
-	t.Register("finder", "1.0", "register_target", f.handleRegisterTarget)
-	t.Register("finder", "1.0", "register_methods", f.handleRegisterMethods)
-	t.Register("finder", "1.0", "unregister_target", f.handleUnregisterTarget)
-	t.Register("finder", "1.0", "resolve", f.handleResolve)
-	t.Register("finder", "1.0", "watch", f.handleWatch)
-	t.Register("finder", "1.0", "targets", f.handleTargets)
-	t.Register("finder", "1.0", "add_permission", f.handleAddPermission)
-	t.Register("finder", "1.0", "set_strict", f.handleSetStrict)
+	f.events = xif.NewFinderEventClient(f.router)
+	t := xif.NewTarget(xipc.FinderTargetName, "finder")
+	xif.BindFinder(t, finderServer{f})
 	f.router.AddTarget(t)
 	return f
+}
+
+// finderServer adapts the Finder as a xif.FinderServer; all methods run
+// on the Finder's event loop (XRL handlers always do).
+type finderServer struct{ f *Finder }
+
+func (s finderServer) RegisterTarget(instance, class string, sole bool, endpoints []string) error {
+	return s.f.registerTarget(instance, class, sole, endpoints)
+}
+func (s finderServer) RegisterMethods(instance string, commands []string) ([]string, error) {
+	return s.f.registerMethods(instance, commands)
+}
+func (s finderServer) UnregisterTarget(instance string) error {
+	s.f.removeInstance(instance)
+	return nil
+}
+func (s finderServer) Resolve(caller, target, command string, accept []string) (xif.FinderResolution, error) {
+	return s.f.resolve(caller, target, command, accept)
+}
+func (s finderServer) Watch(watcher, class string) error {
+	m := s.f.watchers[class]
+	if m == nil {
+		m = make(map[string]bool)
+		s.f.watchers[class] = m
+	}
+	m[watcher] = true
+	return nil
+}
+func (s finderServer) Targets() ([]string, error) {
+	items := make([]string, 0, len(s.f.instances))
+	for _, info := range s.f.instances {
+		items = append(items, info.name+":"+info.class)
+	}
+	sort.Strings(items)
+	return items, nil
+}
+func (s finderServer) AddPermission(caller, target, command string) error {
+	s.f.rules = append(s.f.rules, aclRule{caller, target, command})
+	return nil
+}
+func (s finderServer) SetStrict(strict bool) error {
+	s.f.strict = strict
+	return nil
 }
 
 // Router returns the Finder's XRL router (to attach hubs or listeners).
@@ -120,80 +166,67 @@ func newKey() string {
 	return hex.EncodeToString(b[:])
 }
 
-func (f *Finder) handleRegisterTarget(args xrl.Args) (xrl.Args, error) {
-	instance, err := args.TextArg("instance")
-	if err != nil {
-		return nil, err
-	}
-	class, err := args.TextArg("class")
-	if err != nil {
-		return nil, err
-	}
-	sole, err := args.BoolArg("sole")
-	if err != nil {
-		return nil, err
-	}
-	epAtoms, err := args.ListArg("endpoints")
-	if err != nil {
-		return nil, err
-	}
+// registerTarget records a component registration. Runs on the loop.
+func (f *Finder) registerTarget(instance, class string, sole bool, endpoints []string) error {
 	if _, dup := f.instances[instance]; dup {
-		return nil, xrl.Errorf(xrl.CodeCommandFailed, "instance %q already registered", instance)
+		return xrl.Errorf(xrl.CodeCommandFailed, "instance %q already registered", instance)
 	}
 	if sole {
 		if n := len(f.classes[class]); n > 0 {
-			return nil, xrl.Errorf(xrl.CodeCommandFailed,
+			return xrl.Errorf(xrl.CodeCommandFailed,
 				"class %q already has %d instance(s), sole registration refused", class, n)
 		}
 	}
-	info := &instanceInfo{
-		name:     instance,
-		class:    class,
-		sole:     sole,
-		methods:  make(map[string]string),
-		lastSeen: f.loop.Now(),
+	f.instances[instance] = &instanceInfo{
+		name:      instance,
+		class:     class,
+		sole:      sole,
+		endpoints: append([]string(nil), endpoints...),
+		methods:   make(map[string]string),
+		ifaces:    make(map[string]map[string]bool),
+		lastSeen:  f.loop.Now(),
 	}
-	for _, a := range epAtoms {
-		info.endpoints = append(info.endpoints, a.TextVal)
-	}
-	f.instances[instance] = info
 	f.classes[class] = append(f.classes[class], instance)
 	f.notifyLifetime("birth", class, instance)
-	return nil, nil
+	return nil
 }
 
-func (f *Finder) handleRegisterMethods(args xrl.Args) (xrl.Args, error) {
-	instance, err := args.TextArg("instance")
-	if err != nil {
-		return nil, err
-	}
-	cmds, err := args.ListArg("commands")
-	if err != nil {
-		return nil, err
-	}
+// registerMethods issues (or re-issues) one key per command, and records
+// the implemented interface versions for resolution-time negotiation.
+// Runs on the loop.
+func (f *Finder) registerMethods(instance string, commands []string) ([]string, error) {
 	info, ok := f.instances[instance]
 	if !ok {
 		return nil, xrl.Errorf(xrl.CodeCommandFailed, "unknown instance %q", instance)
 	}
-	keys := make([]xrl.Atom, 0, len(cmds))
-	for _, c := range cmds {
-		key, exists := info.methods[c.TextVal]
+	keys := make([]string, 0, len(commands))
+	for _, c := range commands {
+		key, exists := info.methods[c]
 		if !exists {
 			key = newKey()
-			info.methods[c.TextVal] = key
+			info.methods[c] = key
 		}
-		keys = append(keys, xrl.Text("", key))
+		keys = append(keys, key)
+		if iface, version, _, ok := splitCommand(c); ok {
+			vs := info.ifaces[iface]
+			if vs == nil {
+				vs = make(map[string]bool)
+				info.ifaces[iface] = vs
+			}
+			vs[version] = true
+		}
 	}
-	return xrl.Args{xrl.List("keys", keys...)}, nil
+	return keys, nil
 }
 
-func (f *Finder) handleUnregisterTarget(args xrl.Args) (xrl.Args, error) {
-	instance, err := args.TextArg("instance")
-	if err != nil {
-		return nil, err
+// splitCommand splits "iface/version/method".
+func splitCommand(cmd string) (iface, version, method string, ok bool) {
+	iface, rest, ok1 := strings.Cut(cmd, "/")
+	version, method, ok2 := strings.Cut(rest, "/")
+	if !ok1 || !ok2 || iface == "" || version == "" || method == "" {
+		return "", "", "", false
 	}
-	f.removeInstance(instance)
-	return nil, nil
+	return iface, version, method, true
 }
 
 func (f *Finder) removeInstance(instance string) {
@@ -230,20 +263,14 @@ func (f *Finder) allowed(caller, target, command string) bool {
 	return false
 }
 
-func (f *Finder) handleResolve(args xrl.Args) (xrl.Args, error) {
-	caller, err := args.TextArg("caller")
-	if err != nil {
-		return nil, err
-	}
-	target, err := args.TextArg("target")
-	if err != nil {
-		return nil, err
-	}
-	command, err := args.TextArg("command")
-	if err != nil {
-		return nil, err
-	}
-
+// resolve answers one resolution request. accept lists the interface
+// versions the caller's stubs speak, preferred first; when the exact
+// command is not implemented, the highest mutually supported version is
+// chosen and the rewritten command returned. A target that implements
+// the interface and method but under no acceptable version yields
+// CodeBadVersion naming both sides — the rolling-upgrade failure mode
+// the paper's versioned interfaces exist to catch. Runs on the loop.
+func (f *Finder) resolve(caller, target, command string, accept []string) (xif.FinderResolution, error) {
 	// Resolve by instance name first, then by class.
 	info, ok := f.instances[target]
 	if !ok {
@@ -253,80 +280,96 @@ func (f *Finder) handleResolve(args xrl.Args) (xrl.Args, error) {
 		}
 	}
 	if !ok {
-		return nil, xrl.Errorf(xrl.CodeResolveFailed, "no target %q", target)
+		return xif.FinderResolution{}, xrl.Errorf(xrl.CodeResolveFailed, "no target %q", target)
 	}
 	// The finder_client interface is implemented by every router
 	// internally (cache invalidation, lifetime events, ping) and is never
 	// explicitly registered; it resolves with an empty key.
 	key := ""
+	chosen := command
 	if !strings.HasPrefix(command, "finder_client/1.0/") {
-		key, ok = info.methods[command]
+		chosen, key, ok = f.negotiate(info, command, accept)
 		if !ok {
-			return nil, xrl.Errorf(xrl.CodeResolveFailed, "%s has no method %q", info.name, command)
+			iface, version, method, splitOK := splitCommand(command)
+			if splitOK && len(info.ifaces[iface]) > 0 && methodKnown(info, iface, method) {
+				return xif.FinderResolution{}, xrl.Errorf(xrl.CodeBadVersion,
+					"%s implements %s/%s; caller speaks %s/%s",
+					info.name, iface, strings.Join(sortedVersions(info.ifaces[iface]), ","),
+					iface, strings.Join(appendMissing(accept, version), ","))
+			}
+			return xif.FinderResolution{}, xrl.Errorf(xrl.CodeResolveFailed,
+				"%s has no method %q", info.name, command)
 		}
 	}
 	// ACL is checked against both the generic name used and the concrete
-	// instance, so rules can be written either way.
-	if !f.allowed(caller, target, command) && !f.allowed(caller, info.name, command) &&
-		!f.allowed(caller, info.class, command) {
-		return nil, xrl.Errorf(xrl.CodeResolveFailed,
-			"%q is not permitted to call %s on %s", caller, command, info.name)
+	// instance, so rules can be written either way — and against the
+	// NEGOTIATED command, which is what actually executes: a rule
+	// permitting only rib/1.0 methods must not authorize a call the
+	// negotiation rewrote to rib/2.0.
+	if !f.allowed(caller, target, chosen) && !f.allowed(caller, info.name, chosen) &&
+		!f.allowed(caller, info.class, chosen) {
+		return xif.FinderResolution{}, xrl.Errorf(xrl.CodeResolveFailed,
+			"%q is not permitted to call %s on %s", caller, chosen, info.name)
 	}
-	eps := make([]xrl.Atom, len(info.endpoints))
-	for i, ep := range info.endpoints {
-		eps[i] = xrl.Text("", ep)
-	}
-	return xrl.Args{
-		xrl.Text("instance", info.name),
-		xrl.Text("key", key),
-		xrl.List("endpoints", eps...),
+	return xif.FinderResolution{
+		Instance:  info.name,
+		Key:       key,
+		Command:   chosen,
+		Endpoints: info.endpoints,
 	}, nil
 }
 
-func (f *Finder) handleWatch(args xrl.Args) (xrl.Args, error) {
-	watcher, err := args.TextArg("watcher")
-	if err != nil {
-		return nil, err
+// negotiate picks the command to dispatch for a requested command plus
+// the caller's accept list: the exact command if implemented, else the
+// first (= most preferred) accepted version the target implements.
+func (f *Finder) negotiate(info *instanceInfo, command string, accept []string) (chosen, key string, ok bool) {
+	if key, ok = info.methods[command]; ok {
+		return command, key, true
 	}
-	class, err := args.TextArg("class")
-	if err != nil {
-		return nil, err
+	iface, version, method, splitOK := splitCommand(command)
+	if !splitOK {
+		return "", "", false
 	}
-	m := f.watchers[class]
-	if m == nil {
-		m = make(map[string]bool)
-		f.watchers[class] = m
+	for _, v := range appendMissing(accept, version) {
+		if !info.ifaces[iface][v] {
+			continue
+		}
+		c := iface + "/" + v + "/" + method
+		if k, exists := info.methods[c]; exists {
+			return c, k, true
+		}
 	}
-	m[watcher] = true
-	return nil, nil
+	return "", "", false
 }
 
-func (f *Finder) handleTargets(xrl.Args) (xrl.Args, error) {
-	items := make([]xrl.Atom, 0, len(f.instances))
-	for _, info := range f.instances {
-		items = append(items, xrl.Text("", info.name+":"+info.class))
+// methodKnown reports whether the target implements method under any
+// version of iface (distinguishing version mismatch from no-such-method).
+func methodKnown(info *instanceInfo, iface, method string) bool {
+	for v := range info.ifaces[iface] {
+		if _, ok := info.methods[iface+"/"+v+"/"+method]; ok {
+			return true
+		}
 	}
-	return xrl.Args{xrl.List("targets", items...)}, nil
+	return false
 }
 
-func (f *Finder) handleAddPermission(args xrl.Args) (xrl.Args, error) {
-	caller, e1 := args.TextArg("caller")
-	target, e2 := args.TextArg("target")
-	command, e3 := args.TextArg("command")
-	if e1 != nil || e2 != nil || e3 != nil {
-		return nil, &xrl.Error{Code: xrl.CodeBadArgs, Note: "need caller, target, command"}
+func sortedVersions(vs map[string]bool) []string {
+	out := make([]string, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
 	}
-	f.rules = append(f.rules, aclRule{caller, target, command})
-	return nil, nil
+	sort.Slice(out, func(i, j int) bool { return xif.CompareVersions(out[i], out[j]) < 0 })
+	return out
 }
 
-func (f *Finder) handleSetStrict(args xrl.Args) (xrl.Args, error) {
-	strict, err := args.BoolArg("strict")
-	if err != nil {
-		return nil, err
+// appendMissing returns accept with version appended if absent.
+func appendMissing(accept []string, version string) []string {
+	for _, v := range accept {
+		if v == version {
+			return accept
+		}
 	}
-	f.strict = strict
-	return nil, nil
+	return append(append([]string(nil), accept...), version)
 }
 
 // notifyLifetime pushes a birth/death event to watchers of the class and
@@ -339,9 +382,11 @@ func (f *Finder) notifyLifetime(event, class, instance string) {
 				continue
 			}
 			seen[watcher] = true
-			f.router.Send(xrl.New(watcher, "finder_client", "1.0", event,
-				xrl.Text("class", class),
-				xrl.Text("instance", instance)), nil)
+			if event == "birth" {
+				f.events.Birth(watcher, class, instance, nil)
+			} else {
+				f.events.Death(watcher, class, instance, nil)
+			}
 		}
 	}
 }
@@ -351,8 +396,7 @@ func (f *Finder) notifyLifetime(event, class, instance string) {
 // invalidated", §6.1).
 func (f *Finder) broadcastInvalidate(instance string) {
 	for name := range f.instances {
-		f.router.Send(xrl.New(name, "finder_client", "1.0", "invalidate",
-			xrl.Text("instance", instance)), nil)
+		f.events.Invalidate(name, instance, nil)
 	}
 }
 
@@ -364,13 +408,11 @@ func (f *Finder) pingAll(period time.Duration) {
 			f.removeInstance(name)
 			continue
 		}
-		name := name
 		info := info
-		f.router.Send(xrl.New(name, "finder_client", "1.0", "ping"),
-			func(_ xrl.Args, err *xrl.Error) {
-				if err == nil {
-					info.lastSeen = f.loop.Now()
-				}
-			})
+		f.events.Ping(name, func(_ xrl.Args, err *xrl.Error) {
+			if err == nil {
+				info.lastSeen = f.loop.Now()
+			}
+		})
 	}
 }

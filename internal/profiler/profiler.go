@@ -17,8 +17,8 @@ import (
 	"time"
 
 	"xorp/internal/eventloop"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
-	"xorp/internal/xrl"
 )
 
 // Record is one time-stamped profiling record.
@@ -120,47 +120,40 @@ func (pr *Profiler) List() []string {
 	return names
 }
 
+// profileServer adapts the Profiler as a xif.ProfileServer.
+type profileServer struct{ pr *Profiler }
+
+func (s profileServer) ProfileEnable(pname string) error {
+	s.pr.Enable(pname)
+	return nil
+}
+
+func (s profileServer) ProfileDisable(pname string) error {
+	s.pr.Disable(pname)
+	return nil
+}
+
+func (s profileServer) ProfileClear(pname string) error {
+	s.pr.Clear(pname)
+	return nil
+}
+
+func (s profileServer) ProfileList() (string, error) {
+	return strings.Join(s.pr.List(), " "), nil
+}
+
+func (s profileServer) ProfileEntries(pname string) ([]string, error) {
+	recs := s.pr.Entries(pname)
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = pname + " " + r.String()
+	}
+	return out, nil
+}
+
 // RegisterXRLs exposes the profiler on target t under the "profile/0.1"
-// interface, mirroring xorp_profiler's control protocol. All handlers run
-// on the owning loop.
+// interface, mirroring xorp_profiler's control protocol, through the
+// spec-checked binding. All handlers run on the owning loop.
 func (pr *Profiler) RegisterXRLs(t *xipc.Target) {
-	t.Register("profile", "0.1", "enable", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("pname")
-		if err != nil {
-			return nil, err
-		}
-		pr.Enable(name)
-		return nil, nil
-	})
-	t.Register("profile", "0.1", "disable", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("pname")
-		if err != nil {
-			return nil, err
-		}
-		pr.Disable(name)
-		return nil, nil
-	})
-	t.Register("profile", "0.1", "clear", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("pname")
-		if err != nil {
-			return nil, err
-		}
-		pr.Clear(name)
-		return nil, nil
-	})
-	t.Register("profile", "0.1", "list", func(xrl.Args) (xrl.Args, error) {
-		return xrl.Args{xrl.Text("points", strings.Join(pr.List(), " "))}, nil
-	})
-	t.Register("profile", "0.1", "get_entries", func(args xrl.Args) (xrl.Args, error) {
-		name, err := args.TextArg("pname")
-		if err != nil {
-			return nil, err
-		}
-		recs := pr.Entries(name)
-		items := make([]xrl.Atom, len(recs))
-		for i, r := range recs {
-			items[i] = xrl.Text("", name+" "+r.String())
-		}
-		return xrl.Args{xrl.List("entries", items...)}, nil
-	})
+	xif.BindProfile(t, profileServer{pr})
 }

@@ -7,8 +7,8 @@ import (
 	"xorp/internal/eventloop"
 	"xorp/internal/profiler"
 	"xorp/internal/route"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
-	"xorp/internal/xrl"
 )
 
 // FIBClient receives the RIB's final forwarding decisions (the "Routes to
@@ -32,7 +32,8 @@ type Process struct {
 	chain    []Stage // extint ... redists ... register, fibSink
 	fib      FIBClient
 
-	router *xipc.Router // for invalidation pushes; may be nil
+	router *xipc.Router         // for invalidation pushes; may be nil
+	notify *xif.RIBNotifyClient // rib_client/0.1 stub over router
 
 	prof       *profiler.Profiler
 	profArrive *profiler.Point
@@ -54,6 +55,9 @@ func NewProcess(loop *eventloop.Loop, fib FIBClient, router *xipc.Router) *Proce
 	p.profArrive = p.prof.Point("route_arrive_rib")
 	p.profQueue = p.prof.Point("route_queued_fea")
 	p.profSent = p.prof.Point("route_sent_fea")
+	if router != nil {
+		p.notify = xif.NewRIBNotifyClient(router)
+	}
 
 	for _, proto := range []route.Protocol{
 		route.ProtoConnected, route.ProtoStatic, route.ProtoRIP,
@@ -221,11 +225,10 @@ func (p *Process) RemoveRedist(name string) error {
 
 // notifyInvalid pushes a cache-invalidation to a registered client.
 func (p *Process) notifyInvalid(client string, covering netip.Prefix) {
-	if p.router == nil {
+	if p.notify == nil {
 		return
 	}
-	p.router.Send(xrl.New(client, "rib_client", "0.1", "route_info_invalid",
-		xrl.Net("network", covering)), nil)
+	p.notify.RouteInfoInvalid(client, covering, nil)
 }
 
 // fibSinkStage hands final routes to the FIB client with the §8.2
@@ -326,110 +329,49 @@ func (s *fibSinkStage) shipBatch(es []route.Entry, verb string,
 func (s *fibSinkStage) Lookup(netip.Prefix) (route.Entry, bool)   { return route.Entry{}, false }
 func (s *fibSinkStage) LookupBest(netip.Addr) (route.Entry, bool) { return route.Entry{}, false }
 
-// RegisterXRLs exposes the rib/1.0 interface on target t.
+// ribServer adapts the Process as a xif.RIBServer: the typed handler
+// surface behind the rib/1.0 binding.
+type ribServer struct{ p *Process }
+
+func (s ribServer) AddRoute4(proto route.Protocol, e route.Entry) error {
+	return s.p.AddRoute(proto, e)
+}
+
+// ReplaceRoute4 shares AddRoute4's semantics: the origin table upserts.
+func (s ribServer) ReplaceRoute4(proto route.Protocol, e route.Entry) error {
+	return s.p.AddRoute(proto, e)
+}
+
+func (s ribServer) DeleteRoute4(proto route.Protocol, net netip.Prefix) error {
+	return s.p.DeleteRoute(proto, net)
+}
+
+func (s ribServer) AddRoutes4(proto route.Protocol, es []route.Entry) error {
+	return s.p.AddRoutes(proto, es)
+}
+
+func (s ribServer) DeleteRoutes4(proto route.Protocol, nets []netip.Prefix) error {
+	return s.p.DeleteRoutes(proto, nets)
+}
+
+func (s ribServer) RegisterInterest4(client string, addr netip.Addr) (xif.RIBInterest, error) {
+	ans := s.p.register.RegisterInterest(client, addr)
+	return xif.RIBInterest{Resolves: ans.Resolves, Covering: ans.Covering, Route: ans.Route}, nil
+}
+
+func (s ribServer) DeregisterInterest4(client string, covering netip.Prefix) error {
+	s.p.register.DeregisterInterest(client, covering)
+	return nil
+}
+
+func (s ribServer) LookupRouteByDest4(addr netip.Addr) (xif.RIBLookup, error) {
+	e, ok := s.p.LookupBest(addr)
+	return xif.RIBLookup{Found: ok, Entry: e}, nil
+}
+
+// RegisterXRLs exposes the rib/1.0 and profile/0.1 interfaces on target t
+// through their spec-checked bindings.
 func (p *Process) RegisterXRLs(t *xipc.Target) {
-	parseProto := func(args xrl.Args) (route.Protocol, error) {
-		s, err := args.TextArg("protocol")
-		if err != nil {
-			return route.ProtoUnknown, err
-		}
-		proto, perr := route.ParseProtocol(s)
-		if perr != nil {
-			return route.ProtoUnknown, xrl.Errorf(xrl.CodeBadArgs, "%v", perr)
-		}
-		return proto, nil
-	}
-	addRoute := func(args xrl.Args) (xrl.Args, error) {
-		proto, err := parseProto(args)
-		if err != nil {
-			return nil, err
-		}
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		e := route.Entry{Net: net}
-		if nh, err := args.AddrArg("nexthop"); err == nil {
-			e.NextHop = nh
-		}
-		if m, err := args.U32Arg("metric"); err == nil {
-			e.Metric = m
-		}
-		if ifn, err := args.TextArg("ifname"); err == nil {
-			e.IfName = ifn
-		}
-		return nil, p.AddRoute(proto, e)
-	}
-	t.Register("rib", "1.0", "add_route4", addRoute)
-	t.Register("rib", "1.0", "replace_route4", addRoute)
-	p.registerBatchXRLs(t, parseProto)
-	t.Register("rib", "1.0", "delete_route4", func(args xrl.Args) (xrl.Args, error) {
-		proto, err := parseProto(args)
-		if err != nil {
-			return nil, err
-		}
-		net, err := args.NetArg("network")
-		if err != nil {
-			return nil, err
-		}
-		return nil, p.DeleteRoute(proto, net)
-	})
-	t.Register("rib", "1.0", "register_interest4", func(args xrl.Args) (xrl.Args, error) {
-		client, err := args.TextArg("target")
-		if err != nil {
-			return nil, err
-		}
-		addr, err := args.AddrArg("addr")
-		if err != nil {
-			return nil, err
-		}
-		ans := p.register.RegisterInterest(client, addr)
-		out := xrl.Args{
-			xrl.Bool("resolves", ans.Resolves),
-			xrl.Net("covering", ans.Covering),
-		}
-		if ans.Resolves {
-			out = append(out,
-				xrl.U32("metric", ans.Route.Metric),
-				xrl.Text("ifname", ans.Route.IfName))
-			if ans.Route.NextHop.IsValid() {
-				out = append(out, xrl.Addr("nexthop", ans.Route.NextHop))
-			}
-		}
-		return out, nil
-	})
-	t.Register("rib", "1.0", "deregister_interest4", func(args xrl.Args) (xrl.Args, error) {
-		client, err := args.TextArg("target")
-		if err != nil {
-			return nil, err
-		}
-		covering, err := args.NetArg("covering")
-		if err != nil {
-			return nil, err
-		}
-		p.register.DeregisterInterest(client, covering)
-		return nil, nil
-	})
-	t.Register("rib", "1.0", "lookup_route_by_dest4", func(args xrl.Args) (xrl.Args, error) {
-		addr, err := args.AddrArg("addr")
-		if err != nil {
-			return nil, err
-		}
-		e, ok := p.LookupBest(addr)
-		if !ok {
-			return xrl.Args{xrl.Bool("found", false)}, nil
-		}
-		out := xrl.Args{
-			xrl.Bool("found", true),
-			xrl.Net("network", e.Net),
-			xrl.U32("metric", e.Metric),
-			xrl.Text("protocol", e.Protocol.String()),
-			xrl.Text("ifname", e.IfName),
-		}
-		if e.NextHop.IsValid() {
-			out = append(out, xrl.Addr("nexthop", e.NextHop))
-		}
-		return out, nil
-	})
+	xif.BindRIB(t, ribServer{p})
 	p.prof.RegisterXRLs(t)
 }

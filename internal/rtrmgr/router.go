@@ -16,6 +16,7 @@ import (
 	"xorp/internal/rib"
 	"xorp/internal/rip"
 	"xorp/internal/route"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 )
 
@@ -164,7 +165,7 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 		}
 	}
 	r.FEA = fea.New(feaLoop, r.FIB, host, r.FEARouter)
-	feaTarget := xipc.NewTarget("fea", "fea")
+	feaTarget := xif.NewTarget("fea", "fea")
 	r.FEA.RegisterXRLs(feaTarget)
 	r.FEARouter.AddTarget(feaTarget)
 	if err := r.registerTarget(r.FEARouter, feaTarget); err != nil {
@@ -175,8 +176,8 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 	ribLoop := r.loopFor()
 	r.RIBRouter = xipc.NewRouter("rib_process", ribLoop)
 	r.RIBRouter.AttachHub(r.Hub)
-	r.RIB = rib.NewProcess(ribLoop, &xrlFIBClient{router: r.RIBRouter, feaTarget: "fea"}, r.RIBRouter)
-	ribTarget := xipc.NewTarget("rib", "rib")
+	r.RIB = rib.NewProcess(ribLoop, &xrlFIBClient{stub: xif.NewFTIClient(r.RIBRouter, "fea")}, r.RIBRouter)
+	ribTarget := xif.NewTarget("rib", "rib")
 	r.RIB.RegisterXRLs(ribTarget)
 	r.RIBRouter.AddTarget(ribTarget)
 	if err := r.registerTarget(r.RIBRouter, ribTarget); err != nil {
@@ -283,10 +284,10 @@ func (r *Router) setupBGP(cfg *Node) error {
 	r.BGPRouter = xipc.NewRouter("bgp_process", bgpLoop)
 	r.BGPRouter.AttachHub(r.Hub)
 
-	ms := &xrlMetricSource{router: r.BGPRouter, ribTarget: "rib", bgpTarget: "bgp"}
+	ms := &xrlMetricSource{stub: xif.NewRIBClient(r.BGPRouter, "rib"), bgpTarget: "bgp"}
 	var metricSrc bgp.MetricSource = ms
 	r.MetricSource = &metricSrc
-	ribClient := &xrlRIBClient{router: r.BGPRouter, ribTarget: "rib"}
+	ribClient := &xrlRIBClient{stub: xif.NewRIBClient(r.BGPRouter, "rib"), loop: bgpLoop}
 	r.BGP = bgp.NewProcess(bgpLoop, bgp.Config{
 		AS:                uint16(as),
 		BGPID:             id,
@@ -295,7 +296,7 @@ func (r *Router) setupBGP(cfg *Node) error {
 		ConsistencyChecks: r.opts.ConsistencyChecks,
 	}, ribClient, metricSrc)
 
-	bgpTarget := xipc.NewTarget("bgp", "bgp")
+	bgpTarget := xif.NewTarget("bgp", "bgp")
 	r.BGP.RegisterXRLs(bgpTarget)
 	r.BGPRouter.AddTarget(bgpTarget)
 	if err := r.registerTarget(r.BGPRouter, bgpTarget); err != nil {

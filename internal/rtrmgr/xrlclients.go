@@ -4,8 +4,10 @@ import (
 	"net/netip"
 
 	"xorp/internal/bgp"
+	"xorp/internal/eventloop"
 	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
 )
@@ -13,18 +15,18 @@ import (
 // The XRL client adapters wiring processes together across IPC: BGP's
 // best routes to the RIB, the RIB's final routes to the FEA, and BGP's
 // nexthop lookups to the RIB's register stage. These are the arrows of
-// Figure 1 realized as XRLs, so every hop in the Figures 10–12 latency
-// path crosses the real IPC machinery.
+// Figure 1 realized as XRLs through the typed xif stubs, so every hop in
+// the Figures 10–12 latency path crosses the real IPC machinery.
 
-// xrlRIBClient implements bgp.RIBClient by sending rib/1.0 XRLs.
-// Consecutive AddRoute calls issued within one event-loop drain (a full
-// table load, a burst of decision-process output) coalesce into
+// xrlRIBClient implements bgp.RIBClient over the typed xif.RIBClient
+// stub. Consecutive AddRoute calls issued within one event-loop drain (a
+// full table load, a burst of decision-process output) coalesce into
 // add_routes4 list XRLs, so the preload of the Figures 10–12 experiments
 // rides the RIB's batch fast path; replaces, deletes and the end of the
 // drain flush the pending run, preserving the per-route XRL order.
 type xrlRIBClient struct {
-	router    *xipc.Router
-	ribTarget string
+	stub *xif.RIBClient
+	loop *eventloop.Loop
 
 	pend        []pendingRIBAdd
 	flushQueued bool
@@ -56,36 +58,12 @@ func ribEntryOf(r *bgp.Route) route.Entry {
 	return e
 }
 
-func (c *xrlRIBClient) send(method string, r *bgp.Route, done func(error)) {
-	args := xrl.Args{
-		xrl.Text("protocol", protoName(r)),
-		xrl.Net("network", r.Net),
-		xrl.U32("metric", r.IGPMetric),
-	}
-	if r.Attrs.NextHop.IsValid() {
-		args = append(args, xrl.Addr("nexthop", r.Attrs.NextHop))
-	}
-	x := xrl.XRL{
-		Protocol: xrl.ProtoFinder, Target: c.ribTarget,
-		Interface: "rib", Version: "1.0", Method: method, Args: args,
-	}
-	c.router.Send(x, func(_ xrl.Args, err *xrl.Error) {
-		if done != nil {
-			if err != nil {
-				done(err)
-			} else {
-				done(nil)
-			}
-		}
-	})
-}
-
 // AddRoute implements bgp.RIBClient, buffering the add into the current
 // coalescing run.
 func (c *xrlRIBClient) AddRoute(r *bgp.Route, done func(error)) {
 	c.pend = append(c.pend, pendingRIBAdd{
 		proto: protoName(r),
-		atom:  rib.EncodeRouteAtom(ribEntryOf(r)),
+		atom:  xif.EncodeRouteAtom(ribEntryOf(r)),
 		done:  done,
 	})
 	if len(c.pend) >= ribAddBatchCap {
@@ -94,7 +72,7 @@ func (c *xrlRIBClient) AddRoute(r *bgp.Route, done func(error)) {
 	}
 	if !c.flushQueued {
 		c.flushQueued = true
-		c.router.Loop().Dispatch(c.flush)
+		c.loop.Dispatch(c.flush)
 	}
 }
 
@@ -122,13 +100,7 @@ func (c *xrlRIBClient) flush() {
 				dones = append(dones, run[i].done)
 			}
 		}
-		c.router.Send(xrl.New(c.ribTarget, "rib", "1.0", "add_routes4",
-			xrl.Text("protocol", run[0].proto),
-			xrl.List("routes", items...)), func(_ xrl.Args, xe *xrl.Error) {
-			var err error
-			if xe != nil {
-				err = xe
-			}
+		c.stub.AddRoutes4Encoded(run[0].proto, items, func(err error) {
 			for _, d := range dones {
 				d(err)
 			}
@@ -145,54 +117,36 @@ func (c *xrlRIBClient) ReplaceRoute(old, new *bgp.Route, done func(error)) {
 	if protoName(old) != protoName(new) {
 		c.DeleteRoute(old, nil)
 	}
-	c.send("replace_route4", new, done)
+	c.stub.ReplaceRoute4(protoName(new), ribEntryOf(new), done)
 }
 
 // DeleteRoute implements bgp.RIBClient.
 func (c *xrlRIBClient) DeleteRoute(r *bgp.Route, done func(error)) {
 	c.flush() // keep the stream ordered past the buffered adds
-	args := xrl.Args{
-		xrl.Text("protocol", protoName(r)),
-		xrl.Net("network", r.Net),
-	}
-	c.router.Send(xrl.XRL{
-		Protocol: xrl.ProtoFinder, Target: c.ribTarget,
-		Interface: "rib", Version: "1.0", Method: "delete_route4", Args: args,
-	}, func(_ xrl.Args, err *xrl.Error) {
-		if done != nil {
-			if err != nil {
-				done(err)
-			} else {
-				done(nil)
-			}
-		}
-	})
+	c.stub.DeleteRoute4(protoName(r), r.Net, done)
 }
 
-// xrlMetricSource implements bgp.MetricSource over rib/1.0
-// register_interest4; invalidations arrive via the BGP target's
+// xrlMetricSource implements bgp.MetricSource over the rib/1.0
+// register_interest4 stub; invalidations arrive via the BGP target's
 // rib_client/0.1/route_info_invalid method, which calls Invalidate.
 type xrlMetricSource struct {
-	router    *xipc.Router
-	ribTarget string
+	stub      *xif.RIBClient
 	bgpTarget string
 	watchers  []func(netip.Prefix)
 }
 
 // LookupNexthop implements bgp.MetricSource.
 func (m *xrlMetricSource) LookupNexthop(nh netip.Addr, cb func(bgp.NexthopInfo)) {
-	x := xrl.New(m.ribTarget, "rib", "1.0", "register_interest4",
-		xrl.Text("target", m.bgpTarget),
-		xrl.Addr("addr", nh))
-	m.router.Send(x, func(args xrl.Args, err *xrl.Error) {
+	m.stub.RegisterInterest4(m.bgpTarget, nh, func(ans xif.RIBInterest, err *xrl.Error) {
 		if err != nil {
 			cb(bgp.NexthopInfo{})
 			return
 		}
-		resolves, _ := args.BoolArg("resolves")
-		covering, _ := args.NetArg("covering")
-		metric, _ := args.U32Arg("metric")
-		cb(bgp.NexthopInfo{Resolvable: resolves, Metric: metric, Covering: covering})
+		cb(bgp.NexthopInfo{
+			Resolvable: ans.Resolves,
+			Metric:     ans.Route.Metric,
+			Covering:   ans.Covering,
+		})
 	})
 }
 
@@ -209,24 +163,20 @@ func (m *xrlMetricSource) Invalidate(net netip.Prefix) {
 	}
 }
 
-// xrlFIBClient implements rib.FIBClient by sending fti/0.2 XRLs to the
-// FEA.
+// xrlFIBClient implements rib.FIBClient over the typed xif.FTIClient
+// stub.
 type xrlFIBClient struct {
-	router    *xipc.Router
-	feaTarget string
+	stub *xif.FTIClient
 }
 
 // FIBAdd implements rib.FIBClient.
-func (c *xrlFIBClient) FIBAdd(e route.Entry) { c.send("add_entry4", e) }
+func (c *xrlFIBClient) FIBAdd(e route.Entry) { c.stub.AddEntry4(e, nil) }
 
 // FIBReplace implements rib.FIBClient.
-func (c *xrlFIBClient) FIBReplace(_, new route.Entry) { c.send("add_entry4", new) }
+func (c *xrlFIBClient) FIBReplace(_, new route.Entry) { c.stub.AddEntry4(new, nil) }
 
 // FIBDelete implements rib.FIBClient.
-func (c *xrlFIBClient) FIBDelete(e route.Entry) {
-	c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "delete_entry4",
-		xrl.Net("network", e.Net)), nil)
-}
+func (c *xrlFIBClient) FIBDelete(e route.Entry) { c.stub.DeleteEntry4(e.Net, nil) }
 
 // FIBApplyBatch implements rib.FIBBatchClient: the coalesced update set
 // ships as runs of list-carrying XRLs (adds/replaces as add_entries4,
@@ -235,15 +185,13 @@ func (c *xrlFIBClient) FIBApplyBatch(b *rib.FIBBatch) {
 	var adds, dels []xrl.Atom
 	flushAdds := func() {
 		if len(adds) > 0 {
-			c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "add_entries4",
-				xrl.List("entries", adds...)), nil)
+			c.stub.AddEntries4Encoded(adds, nil)
 			adds = nil
 		}
 	}
 	flushDels := func() {
 		if len(dels) > 0 {
-			c.router.Send(xrl.New(c.feaTarget, "fti", "0.2", "delete_entries4",
-				xrl.List("networks", dels...)), nil)
+			c.stub.DeleteEntries4Encoded(dels, nil)
 			dels = nil
 		}
 	}
@@ -251,7 +199,7 @@ func (c *xrlFIBClient) FIBApplyBatch(b *rib.FIBBatch) {
 		switch op.Kind {
 		case rib.FIBOpAdd, rib.FIBOpReplace:
 			flushDels()
-			adds = append(adds, rib.EncodeRouteAtom(op.New))
+			adds = append(adds, xif.EncodeRouteAtom(op.New))
 		case rib.FIBOpDelete:
 			flushAdds()
 			dels = append(dels, xrl.Text("", op.Old.Net.String()))
@@ -259,20 +207,6 @@ func (c *xrlFIBClient) FIBApplyBatch(b *rib.FIBBatch) {
 	})
 	flushAdds()
 	flushDels()
-}
-
-func (c *xrlFIBClient) send(method string, e route.Entry) {
-	args := xrl.Args{
-		xrl.Net("network", e.Net),
-		xrl.Text("ifname", e.IfName),
-	}
-	if e.NextHop.IsValid() {
-		args = append(args, xrl.Addr("nexthop", e.NextHop))
-	}
-	c.router.Send(xrl.XRL{
-		Protocol: xrl.ProtoFinder, Target: c.feaTarget,
-		Interface: "fti", Version: "0.2", Method: method, Args: args,
-	}, nil)
 }
 
 // directRedist adapts a BGP process as a rib.Redistributor (route
@@ -303,18 +237,18 @@ var _ rib.Redistributor = directRedist{}
 // NewXRLFIBClient returns a rib.FIBClient that sends fti/0.2 XRLs to
 // feaTarget through router.
 func NewXRLFIBClient(router *xipc.Router, feaTarget string) rib.FIBClient {
-	return &xrlFIBClient{router: router, feaTarget: feaTarget}
+	return &xrlFIBClient{stub: xif.NewFTIClient(router, feaTarget)}
 }
 
 // NewXRLRIBClient returns a bgp.RIBClient that sends rib/1.0 XRLs to
 // ribTarget through router.
 func NewXRLRIBClient(router *xipc.Router, ribTarget string) bgp.RIBClient {
-	return &xrlRIBClient{router: router, ribTarget: ribTarget}
+	return &xrlRIBClient{stub: xif.NewRIBClient(router, ribTarget), loop: router.Loop()}
 }
 
 // NewXRLMetricSource returns a bgp.MetricSource that registers interest
 // with ribTarget; invalidations must be fed to the returned source's
 // Invalidate method (the BGP process's rib_client XRL handler does this).
 func NewXRLMetricSource(router *xipc.Router, ribTarget, bgpTarget string) bgp.MetricSource {
-	return &xrlMetricSource{router: router, ribTarget: ribTarget, bgpTarget: bgpTarget}
+	return &xrlMetricSource{stub: xif.NewRIBClient(router, ribTarget), bgpTarget: bgpTarget}
 }

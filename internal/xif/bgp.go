@@ -1,0 +1,199 @@
+package xif
+
+import (
+	"net/netip"
+	"time"
+
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// BGPSpec declares bgp/1.0: process configuration and route origination.
+var BGPSpec = Define(Spec{
+	Name:    "bgp",
+	Version: "1.0",
+	Methods: []Method{
+		{Name: "get_bgp_version", Rets: []Arg{{Name: "version", Type: xrl.TypeU32}}},
+		{Name: "local_config", Rets: []Arg{
+			{Name: "as", Type: xrl.TypeU32},
+			{Name: "id", Type: xrl.TypeIPv4},
+		}},
+		{Name: "add_peer", Args: []Arg{
+			{Name: "name", Type: xrl.TypeText},
+			{Name: "local_addr", Type: xrl.TypeIPv4},
+			{Name: "peer_addr", Type: xrl.TypeIPv4},
+			{Name: "as", Type: xrl.TypeU32},
+			{Name: "dial", Type: xrl.TypeText, Optional: true},
+			{Name: "holdtime", Type: xrl.TypeU32, Optional: true},
+		}},
+		{Name: "enable_peer", Args: []Arg{{Name: "name", Type: xrl.TypeText}}},
+		{Name: "disable_peer", Args: []Arg{{Name: "name", Type: xrl.TypeText}}},
+		{Name: "peer_state", Args: []Arg{{Name: "name", Type: xrl.TypeText}},
+			Rets: []Arg{{Name: "state", Type: xrl.TypeText}}},
+		{Name: "originate_route4", Args: []Arg{
+			{Name: "nlri", Type: xrl.TypeIPv4Net},
+			{Name: "next_hop", Type: xrl.TypeIPv4},
+			{Name: "med", Type: xrl.TypeU32, Optional: true},
+		}},
+		{Name: "withdraw_route4", Args: []Arg{
+			{Name: "nlri", Type: xrl.TypeIPv4Net},
+		}},
+	},
+})
+
+// BGPPeerConfig carries add_peer's arguments.
+type BGPPeerConfig struct {
+	Name      string
+	LocalAddr netip.Addr
+	PeerAddr  netip.Addr
+	PeerAS    uint16
+	DialAddr  string
+	HoldTime  time.Duration
+}
+
+// BGPServer is the typed implementation contract for bgp/1.0.
+type BGPServer interface {
+	GetBGPVersion() (uint32, error)
+	LocalConfig() (as uint32, id netip.Addr, err error)
+	AddPeer(cfg BGPPeerConfig) error
+	EnablePeer(name string) error
+	DisablePeer(name string) error
+	PeerState(name string) (string, error)
+	OriginateRoute4(nlri netip.Prefix, nexthop netip.Addr, med uint32) error
+	WithdrawRoute4(nlri netip.Prefix) error
+}
+
+// BindBGP wires a BGPServer onto t as bgp/1.0.
+func BindBGP(t *xipc.Target, s BGPServer) {
+	b := newBinding(t, BGPSpec)
+	b.handle("get_bgp_version", func(xrl.Args) (xrl.Args, error) {
+		v, err := s.GetBGPVersion()
+		if err != nil {
+			return nil, err
+		}
+		return xrl.Args{xrl.U32("version", v)}, nil
+	})
+	b.handle("local_config", func(xrl.Args) (xrl.Args, error) {
+		as, id, err := s.LocalConfig()
+		if err != nil {
+			return nil, err
+		}
+		return xrl.Args{xrl.U32("as", as), xrl.Addr("id", id)}, nil
+	})
+	b.handle("add_peer", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		localAddr, err := args.AddrArg("local_addr")
+		if err != nil {
+			return nil, err
+		}
+		peerAddr, err := args.AddrArg("peer_addr")
+		if err != nil {
+			return nil, err
+		}
+		as, err := args.U32Arg("as")
+		if err != nil {
+			return nil, err
+		}
+		dial, _ := args.TextArg("dial")
+		holdTime, _ := args.U32Arg("holdtime")
+		return nil, s.AddPeer(BGPPeerConfig{
+			Name:      name,
+			LocalAddr: localAddr,
+			PeerAddr:  peerAddr,
+			PeerAS:    uint16(as),
+			DialAddr:  dial,
+			HoldTime:  time.Duration(holdTime) * time.Second,
+		})
+	})
+	b.handle("enable_peer", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.EnablePeer(name)
+	})
+	b.handle("disable_peer", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.DisablePeer(name)
+	})
+	b.handle("peer_state", func(args xrl.Args) (xrl.Args, error) {
+		name, err := args.TextArg("name")
+		if err != nil {
+			return nil, err
+		}
+		state, err := s.PeerState(name)
+		if err != nil {
+			return nil, err
+		}
+		return xrl.Args{xrl.Text("state", state)}, nil
+	})
+	b.handle("originate_route4", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("nlri")
+		if err != nil {
+			return nil, err
+		}
+		nh, err := args.AddrArg("next_hop")
+		if err != nil {
+			return nil, err
+		}
+		med, _ := args.U32Arg("med")
+		return nil, s.OriginateRoute4(net, nh, med)
+	})
+	b.handle("withdraw_route4", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("nlri")
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.WithdrawRoute4(net)
+	})
+	b.done()
+}
+
+// BGPClient is the typed stub for bgp/1.0.
+type BGPClient struct{ client }
+
+// NewBGPClient returns a stub sending bgp/1.0 XRLs to target through r.
+func NewBGPClient(r *xipc.Router, target string) *BGPClient {
+	return &BGPClient{newClient(r, target, BGPSpec)}
+}
+
+// AddPeer configures a peering.
+func (c *BGPClient) AddPeer(cfg BGPPeerConfig, done func(error)) {
+	args := xrl.Args{
+		xrl.Text("name", cfg.Name),
+		xrl.Addr("local_addr", cfg.LocalAddr),
+		xrl.Addr("peer_addr", cfg.PeerAddr),
+		xrl.U32("as", uint32(cfg.PeerAS)),
+	}
+	if cfg.DialAddr != "" {
+		args = append(args, xrl.Text("dial", cfg.DialAddr))
+	}
+	if cfg.HoldTime > 0 {
+		args = append(args, xrl.U32("holdtime", uint32(cfg.HoldTime/time.Second)))
+	}
+	c.call("add_peer", Done(done), args...)
+}
+
+// EnablePeer brings a configured peering up.
+func (c *BGPClient) EnablePeer(name string, done func(error)) {
+	c.call("enable_peer", Done(done), xrl.Text("name", name))
+}
+
+// OriginateRoute4 injects a locally-originated route.
+func (c *BGPClient) OriginateRoute4(nlri netip.Prefix, nexthop netip.Addr, med uint32, done func(error)) {
+	c.call("originate_route4", Done(done),
+		xrl.Net("nlri", nlri),
+		xrl.Addr("next_hop", nexthop),
+		xrl.U32("med", med))
+}
+
+// WithdrawRoute4 withdraws a locally-originated route.
+func (c *BGPClient) WithdrawRoute4(nlri netip.Prefix, done func(error)) {
+	c.call("withdraw_route4", Done(done), xrl.Net("nlri", nlri))
+}

@@ -1,0 +1,431 @@
+package xif
+
+import (
+	"net/netip"
+
+	"xorp/internal/route"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// RIBSpec declares the rib/1.0 route-injection interface (paper §5.2):
+// protocols feed routes here, and interested parties register for
+// resolvability notifications (§5.2.1).
+var RIBSpec = Define(Spec{
+	Name:    "rib",
+	Version: "1.0",
+	Methods: []Method{
+		{Name: "add_route4", Args: ribRouteArgs},
+		{Name: "replace_route4", Args: ribRouteArgs},
+		{Name: "delete_route4", Args: []Arg{
+			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
+			{Name: "network", Type: xrl.TypeIPv4Net},
+		}},
+		{Name: "add_routes4", Args: []Arg{
+			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
+			{Name: "routes", Type: xrl.TypeList, Sample: "192.0.2.0/24 192.0.2.1 5 eth0"},
+		}},
+		{Name: "delete_routes4", Args: []Arg{
+			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
+			{Name: "networks", Type: xrl.TypeList, Sample: "192.0.2.0/24"},
+		}},
+		{Name: "register_interest4", Args: []Arg{
+			{Name: "target", Type: xrl.TypeText},
+			{Name: "addr", Type: xrl.TypeIPv4},
+		}, Rets: []Arg{
+			{Name: "resolves", Type: xrl.TypeBool},
+			{Name: "covering", Type: xrl.TypeIPv4Net},
+			{Name: "metric", Type: xrl.TypeU32, Optional: true},
+			{Name: "ifname", Type: xrl.TypeText, Optional: true},
+			{Name: "nexthop", Type: xrl.TypeIPv4, Optional: true},
+		}},
+		{Name: "deregister_interest4", Args: []Arg{
+			{Name: "target", Type: xrl.TypeText},
+			{Name: "covering", Type: xrl.TypeIPv4Net},
+		}},
+		{Name: "lookup_route_by_dest4", Args: []Arg{
+			{Name: "addr", Type: xrl.TypeIPv4},
+		}, Rets: []Arg{
+			{Name: "found", Type: xrl.TypeBool},
+			{Name: "network", Type: xrl.TypeIPv4Net, Optional: true},
+			{Name: "metric", Type: xrl.TypeU32, Optional: true},
+			{Name: "protocol", Type: xrl.TypeText, Optional: true},
+			{Name: "ifname", Type: xrl.TypeText, Optional: true},
+			{Name: "nexthop", Type: xrl.TypeIPv4, Optional: true},
+		}},
+	},
+})
+
+var ribRouteArgs = []Arg{
+	{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
+	{Name: "network", Type: xrl.TypeIPv4Net},
+	{Name: "nexthop", Type: xrl.TypeIPv4, Optional: true},
+	{Name: "metric", Type: xrl.TypeU32, Optional: true},
+	{Name: "ifname", Type: xrl.TypeText, Optional: true},
+}
+
+// RIBInterest is the reply to register_interest4.
+type RIBInterest struct {
+	Resolves bool
+	Covering netip.Prefix
+	Route    route.Entry // meaningful when Resolves
+}
+
+// RIBLookup is the reply to lookup_route_by_dest4.
+type RIBLookup struct {
+	Found bool
+	Entry route.Entry
+}
+
+// RIBServer is the typed implementation contract for rib/1.0. The
+// compiler enforces completeness; BindRIB enforces spec coverage at
+// registration.
+type RIBServer interface {
+	AddRoute4(proto route.Protocol, e route.Entry) error
+	ReplaceRoute4(proto route.Protocol, e route.Entry) error
+	DeleteRoute4(proto route.Protocol, net netip.Prefix) error
+	AddRoutes4(proto route.Protocol, es []route.Entry) error
+	DeleteRoutes4(proto route.Protocol, nets []netip.Prefix) error
+	RegisterInterest4(client string, addr netip.Addr) (RIBInterest, error)
+	DeregisterInterest4(client string, covering netip.Prefix) error
+	LookupRouteByDest4(addr netip.Addr) (RIBLookup, error)
+}
+
+// parseRouteArgs decodes the shared add/replace argument shape.
+func parseRouteArgs(args xrl.Args) (route.Protocol, route.Entry, error) {
+	proto, err := parseProtoArg(args)
+	if err != nil {
+		return route.ProtoUnknown, route.Entry{}, err
+	}
+	net, err := args.NetArg("network")
+	if err != nil {
+		return route.ProtoUnknown, route.Entry{}, err
+	}
+	e := route.Entry{Net: net}
+	if nh, err := args.AddrArg("nexthop"); err == nil {
+		e.NextHop = nh
+	}
+	if m, err := args.U32Arg("metric"); err == nil {
+		e.Metric = m
+	}
+	if ifn, err := args.TextArg("ifname"); err == nil {
+		e.IfName = ifn
+	}
+	return proto, e, nil
+}
+
+func parseProtoArg(args xrl.Args) (route.Protocol, error) {
+	s, err := args.TextArg("protocol")
+	if err != nil {
+		return route.ProtoUnknown, err
+	}
+	proto, perr := route.ParseProtocol(s)
+	if perr != nil {
+		return route.ProtoUnknown, xrl.Errorf(xrl.CodeBadArgs, "%v", perr)
+	}
+	return proto, nil
+}
+
+// BindRIB wires a RIBServer onto t as rib/1.0. The hot batch handlers
+// (add_routes4/delete_routes4) decode into one slice per call and hand
+// it straight to the server — no reflection, no per-route boxing.
+func BindRIB(t *xipc.Target, s RIBServer) {
+	b := newBinding(t, RIBSpec)
+	b.handle("add_route4", func(args xrl.Args) (xrl.Args, error) {
+		proto, e, err := parseRouteArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.AddRoute4(proto, e)
+	})
+	b.handle("replace_route4", func(args xrl.Args) (xrl.Args, error) {
+		proto, e, err := parseRouteArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.ReplaceRoute4(proto, e)
+	})
+	b.handle("delete_route4", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProtoArg(args)
+		if err != nil {
+			return nil, err
+		}
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.DeleteRoute4(proto, net)
+	})
+	b.handle("add_routes4", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProtoArg(args)
+		if err != nil {
+			return nil, err
+		}
+		items, err := args.ListArg("routes")
+		if err != nil {
+			return nil, err
+		}
+		// Decode everything before touching the table: a malformed atom
+		// must reject the whole batch, not leave it half-applied.
+		es := make([]route.Entry, 0, len(items))
+		for _, it := range items {
+			e, err := DecodeRouteAtom(it)
+			if err != nil {
+				return nil, xrl.Errorf(xrl.CodeBadArgs, "%v", err)
+			}
+			es = append(es, e)
+		}
+		return nil, s.AddRoutes4(proto, es)
+	})
+	b.handle("delete_routes4", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProtoArg(args)
+		if err != nil {
+			return nil, err
+		}
+		items, err := args.ListArg("networks")
+		if err != nil {
+			return nil, err
+		}
+		nets := make([]netip.Prefix, 0, len(items))
+		for _, it := range items {
+			net, err := netip.ParsePrefix(it.TextVal)
+			if err != nil {
+				return nil, xrl.Errorf(xrl.CodeBadArgs, "xif: bad network %q", it.TextVal)
+			}
+			nets = append(nets, net)
+		}
+		return nil, s.DeleteRoutes4(proto, nets)
+	})
+	b.handle("register_interest4", func(args xrl.Args) (xrl.Args, error) {
+		client, err := args.TextArg("target")
+		if err != nil {
+			return nil, err
+		}
+		addr, err := args.AddrArg("addr")
+		if err != nil {
+			return nil, err
+		}
+		ans, err := s.RegisterInterest4(client, addr)
+		if err != nil {
+			return nil, err
+		}
+		out := xrl.Args{
+			xrl.Bool("resolves", ans.Resolves),
+			xrl.Net("covering", ans.Covering),
+		}
+		if ans.Resolves {
+			out = append(out,
+				xrl.U32("metric", ans.Route.Metric),
+				xrl.Text("ifname", ans.Route.IfName))
+			if ans.Route.NextHop.IsValid() {
+				out = append(out, xrl.Addr("nexthop", ans.Route.NextHop))
+			}
+		}
+		return out, nil
+	})
+	b.handle("deregister_interest4", func(args xrl.Args) (xrl.Args, error) {
+		client, err := args.TextArg("target")
+		if err != nil {
+			return nil, err
+		}
+		covering, err := args.NetArg("covering")
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.DeregisterInterest4(client, covering)
+	})
+	b.handle("lookup_route_by_dest4", func(args xrl.Args) (xrl.Args, error) {
+		addr, err := args.AddrArg("addr")
+		if err != nil {
+			return nil, err
+		}
+		ans, err := s.LookupRouteByDest4(addr)
+		if err != nil {
+			return nil, err
+		}
+		if !ans.Found {
+			return xrl.Args{xrl.Bool("found", false)}, nil
+		}
+		e := ans.Entry
+		out := xrl.Args{
+			xrl.Bool("found", true),
+			xrl.Net("network", e.Net),
+			xrl.U32("metric", e.Metric),
+			xrl.Text("protocol", e.Protocol.String()),
+			xrl.Text("ifname", e.IfName),
+		}
+		if e.NextHop.IsValid() {
+			out = append(out, xrl.Addr("nexthop", e.NextHop))
+		}
+		return out, nil
+	})
+	b.done()
+}
+
+// RIBClient is the typed stub for rib/1.0: what XORP would generate from
+// rib.xif. Route arguments are Go values; the stub owns atom layout.
+type RIBClient struct{ client }
+
+// NewRIBClient returns a stub sending rib/1.0 XRLs to target through r.
+func NewRIBClient(r *xipc.Router, target string) *RIBClient {
+	return &RIBClient{newClient(r, target, RIBSpec)}
+}
+
+// routeArgs builds the shared add/replace argument list. Argument order
+// matches the legacy hand-built call sites byte for byte (the wire-compat
+// oracle pins this).
+func routeArgs(proto string, e route.Entry) xrl.Args {
+	args := xrl.Args{
+		xrl.Text("protocol", proto),
+		xrl.Net("network", e.Net),
+		xrl.U32("metric", e.Metric),
+	}
+	if e.IfName != "" {
+		args = append(args, xrl.Text("ifname", e.IfName))
+	}
+	if e.NextHop.IsValid() {
+		args = append(args, xrl.Addr("nexthop", e.NextHop))
+	}
+	return args
+}
+
+// AddRoute4 feeds one route into the RIB's origin table for proto.
+func (c *RIBClient) AddRoute4(proto string, e route.Entry, done func(error)) {
+	c.call("add_route4", Done(done), routeArgs(proto, e)...)
+}
+
+// ReplaceRoute4 replaces proto's route for e.Net.
+func (c *RIBClient) ReplaceRoute4(proto string, e route.Entry, done func(error)) {
+	c.call("replace_route4", Done(done), routeArgs(proto, e)...)
+}
+
+// DeleteRoute4 withdraws proto's route for net.
+func (c *RIBClient) DeleteRoute4(proto string, net netip.Prefix, done func(error)) {
+	c.call("delete_route4", Done(done),
+		xrl.Text("protocol", proto),
+		xrl.Net("network", net))
+}
+
+// AddRoutes4 ships a batch of routes as one list XRL, riding the RIB's
+// batch fast path.
+func (c *RIBClient) AddRoutes4(proto string, es []route.Entry, done func(error)) {
+	c.AddRoutes4Encoded(proto, EncodeRouteAtoms(es), done)
+}
+
+// AddRoutes4Encoded is AddRoutes4 for callers that pre-encode entries
+// with EncodeRouteAtom (per-drain coalescers encode at enqueue time so
+// no protocol route object is retained).
+func (c *RIBClient) AddRoutes4Encoded(proto string, items []xrl.Atom, done func(error)) {
+	c.call("add_routes4", Done(done),
+		xrl.Text("protocol", proto),
+		xrl.List("routes", items...))
+}
+
+// DeleteRoutes4 withdraws a batch of prefixes as one list XRL.
+func (c *RIBClient) DeleteRoutes4(proto string, nets []netip.Prefix, done func(error)) {
+	c.call("delete_routes4", Done(done),
+		xrl.Text("protocol", proto),
+		xrl.List("networks", EncodeNetAtoms(nets)...))
+}
+
+// RegisterInterest4 registers client for resolvability of addr (§5.2.1).
+func (c *RIBClient) RegisterInterest4(client string, addr netip.Addr, cb func(RIBInterest, *xrl.Error)) {
+	c.call("register_interest4", func(args xrl.Args, err *xrl.Error) {
+		if err != nil {
+			cb(RIBInterest{}, err)
+			return
+		}
+		var ans RIBInterest
+		ans.Resolves, _ = args.BoolArg("resolves")
+		ans.Covering, _ = args.NetArg("covering")
+		if ans.Resolves {
+			ans.Route.Net = ans.Covering
+			ans.Route.Metric, _ = args.U32Arg("metric")
+			ans.Route.IfName, _ = args.TextArg("ifname")
+			if nh, e := args.AddrArg("nexthop"); e == nil {
+				ans.Route.NextHop = nh
+			}
+		}
+		cb(ans, nil)
+	}, xrl.Text("target", client), xrl.Addr("addr", addr))
+}
+
+// DeregisterInterest4 drops a registration made with RegisterInterest4.
+func (c *RIBClient) DeregisterInterest4(client string, covering netip.Prefix, done func(error)) {
+	c.call("deregister_interest4", Done(done),
+		xrl.Text("target", client),
+		xrl.Net("covering", covering))
+}
+
+// LookupRouteByDest4 asks for the RIB's final longest-prefix match.
+func (c *RIBClient) LookupRouteByDest4(addr netip.Addr, cb func(RIBLookup, *xrl.Error)) {
+	c.call("lookup_route_by_dest4", func(args xrl.Args, err *xrl.Error) {
+		if err != nil {
+			cb(RIBLookup{}, err)
+			return
+		}
+		var ans RIBLookup
+		ans.Found, _ = args.BoolArg("found")
+		if ans.Found {
+			ans.Entry.Net, _ = args.NetArg("network")
+			ans.Entry.Metric, _ = args.U32Arg("metric")
+			ans.Entry.IfName, _ = args.TextArg("ifname")
+			if s, e := args.TextArg("protocol"); e == nil {
+				if p, perr := route.ParseProtocol(s); perr == nil {
+					ans.Entry.Protocol = p
+				}
+			}
+			if nh, e := args.AddrArg("nexthop"); e == nil {
+				ans.Entry.NextHop = nh
+			}
+		}
+		cb(ans, nil)
+	}, xrl.Addr("addr", addr))
+}
+
+// RIBNotifySpec declares rib_client/0.1: the RIB's push channel back to
+// protocols whose nexthop answers may have changed (§5.2.1).
+var RIBNotifySpec = Define(Spec{
+	Name:    "rib_client",
+	Version: "0.1",
+	Methods: []Method{
+		{Name: "route_info_invalid", Args: []Arg{
+			{Name: "network", Type: xrl.TypeIPv4Net},
+		}},
+	},
+})
+
+// RIBNotifyServer is the typed contract for rib_client/0.1.
+type RIBNotifyServer interface {
+	RouteInfoInvalid(net netip.Prefix) error
+}
+
+// BindRIBNotify wires a RIBNotifyServer onto t as rib_client/0.1.
+func BindRIBNotify(t *xipc.Target, s RIBNotifyServer) {
+	b := newBinding(t, RIBNotifySpec)
+	b.handle("route_info_invalid", func(args xrl.Args) (xrl.Args, error) {
+		net, err := args.NetArg("network")
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.RouteInfoInvalid(net)
+	})
+	b.done()
+}
+
+// RIBNotifyClient is the typed stub for rib_client/0.1; the destination
+// target varies per call (each registered client is notified on its own
+// target).
+type RIBNotifyClient struct{ anycast }
+
+// NewRIBNotifyClient returns a stub pushing rib_client/0.1 events
+// through r.
+func NewRIBNotifyClient(r *xipc.Router) *RIBNotifyClient {
+	return &RIBNotifyClient{newAnycast(r, RIBNotifySpec)}
+}
+
+// RouteInfoInvalid tells client its cached answers under covering are
+// stale.
+func (c *RIBNotifyClient) RouteInfoInvalid(client string, covering netip.Prefix, done func(error)) {
+	c.call(client, "route_info_invalid", Done(done), xrl.Net("network", covering))
+}

@@ -1,0 +1,330 @@
+package xif
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xorp/internal/xrl"
+)
+
+// Arg is one declared argument (or return atom) of an interface method.
+type Arg struct {
+	Name string
+	Type xrl.AtomType
+	// Optional arguments may be absent from a call; XORP's generated
+	// stubs model these as separate method overloads, we fold them into
+	// one declaration.
+	Optional bool
+	// Sample is a textual sample value used by the spec-conformance
+	// tests when the type's zero-ish default would be semantically
+	// rejected by the handler (e.g. a protocol name). Empty means "use
+	// the type default".
+	Sample string
+}
+
+// Method is one declared method of an interface: its named, typed
+// arguments and return atoms.
+type Method struct {
+	Name string
+	Args []Arg
+	Rets []Arg
+	// AnyArgs marks a method taking an arbitrary argument list (the
+	// bench sink); its calls are not arg-checked.
+	AnyArgs bool
+}
+
+// Spec is the declarative definition of one XRL interface: the Go
+// equivalent of a XORP .xif file. Client stubs and handler bindings are
+// both checked against it.
+type Spec struct {
+	// Name and Version identify the interface, e.g. "rib"/"1.0".
+	Name    string
+	Version string
+	// Compatible lists every version the stubs in this build can speak,
+	// preferred (highest) first; it is advertised to the Finder so
+	// resolution can pick the highest mutually supported version. It
+	// always includes Version.
+	Compatible []string
+	Methods    []Method
+
+	byName map[string]*Method
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]*Spec) // "name/version" -> spec
+)
+
+// Define registers a Spec in the package registry and returns it.
+// Duplicate definitions panic: specs are package-level declarations.
+func Define(s Spec) *Spec {
+	if len(s.Compatible) == 0 {
+		s.Compatible = []string{s.Version}
+	}
+	sp := &s
+	sp.byName = make(map[string]*Method, len(sp.Methods))
+	for i := range sp.Methods {
+		m := &sp.Methods[i]
+		if _, dup := sp.byName[m.Name]; dup {
+			panic(fmt.Sprintf("xif: duplicate method %s in spec %s/%s", m.Name, s.Name, s.Version))
+		}
+		sp.byName[m.Name] = m
+	}
+	key := s.Name + "/" + s.Version
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[key]; dup {
+		panic("xif: duplicate spec " + key)
+	}
+	registry[key] = sp
+	return sp
+}
+
+// Lookup returns the spec for interface name/version.
+func Lookup(name, version string) (*Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name+"/"+version]
+	return s, ok
+}
+
+// All returns every registered spec, sorted by name then version.
+func All() []*Spec {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Method returns the declaration of the named method.
+func (s *Spec) Method(name string) (*Method, bool) {
+	m, ok := s.byName[name]
+	return m, ok
+}
+
+// Command returns "name/version/method" for a method of this interface.
+func (s *Spec) Command(method string) string {
+	return s.Name + "/" + s.Version + "/" + method
+}
+
+// NewXRL builds an unresolved XRL for a call to method on target,
+// checking the call against the spec. A violation panics: stub code is
+// written against the spec, so a mismatch is a programming error caught
+// the first time the path runs (use Check for data-driven callers like
+// call_xrl).
+func (s *Spec) NewXRL(target, method string, args ...xrl.Atom) xrl.XRL {
+	if err := s.Check(method, args); err != nil {
+		panic("xif: " + err.Error())
+	}
+	return xrl.XRL{
+		Protocol:  xrl.ProtoFinder,
+		Target:    target,
+		Interface: s.Name,
+		Version:   s.Version,
+		Method:    method,
+		Args:      args,
+	}
+}
+
+// Check validates a call to method with args against the spec: the
+// method must exist, every non-optional declared argument must be
+// present with the declared type, and no undeclared argument may appear.
+func (s *Spec) Check(method string, args xrl.Args) error {
+	m, ok := s.byName[method]
+	if !ok {
+		return fmt.Errorf("interface %s/%s has no method %q", s.Name, s.Version, method)
+	}
+	return m.CheckArgs(args)
+}
+
+// CheckArgs validates an argument list against the method declaration.
+func (m *Method) CheckArgs(args xrl.Args) error {
+	if m.AnyArgs {
+		return nil
+	}
+	for i := range m.Args {
+		d := &m.Args[i]
+		a, ok := args.Get(d.Name)
+		if !ok {
+			if d.Optional {
+				continue
+			}
+			return fmt.Errorf("method %s: missing argument %s:%v", m.Name, d.Name, d.Type)
+		}
+		if !typeMatches(d.Type, a.Type) {
+			return fmt.Errorf("method %s: argument %s has type %v, want %v",
+				m.Name, d.Name, a.Type, d.Type)
+		}
+	}
+	for _, a := range args {
+		if m.arg(a.Name) == nil {
+			return fmt.Errorf("method %s: unknown argument %q", m.Name, a.Name)
+		}
+	}
+	return nil
+}
+
+func (m *Method) arg(name string) *Arg {
+	for i := range m.Args {
+		if m.Args[i].Name == name {
+			return &m.Args[i]
+		}
+	}
+	return nil
+}
+
+// typeMatches reports whether an actual atom type satisfies a declared
+// one. Address and prefix arguments declared as the IPv4 flavor accept
+// the IPv6 flavor too, matching the Args.AddrArg/NetArg accessors.
+func typeMatches(want, got xrl.AtomType) bool {
+	if want == got {
+		return true
+	}
+	switch want {
+	case xrl.TypeIPv4, xrl.TypeIPv6:
+		return got == xrl.TypeIPv4 || got == xrl.TypeIPv6
+	case xrl.TypeIPv4Net, xrl.TypeIPv6Net:
+		return got == xrl.TypeIPv4Net || got == xrl.TypeIPv6Net
+	}
+	return false
+}
+
+// Usage renders the method's call shape in XRL textual form, e.g.
+//
+//	add_route4?protocol:txt&network:ipv4net[&nexthop:ipv4][&metric:u32] -> ()
+func (m *Method) Usage() string {
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	if m.AnyArgs {
+		sb.WriteString("?...")
+	} else {
+		for i := range m.Args {
+			a := &m.Args[i]
+			sep := "&"
+			if i == 0 {
+				sep = "?"
+			}
+			if a.Optional {
+				sb.WriteString("[" + sep + a.Name + ":" + a.Type.String() + "]")
+			} else {
+				sb.WriteString(sep + a.Name + ":" + a.Type.String())
+			}
+		}
+	}
+	if len(m.Rets) > 0 {
+		sb.WriteString(" -> ")
+		for i := range m.Rets {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(m.Rets[i].Name + ":" + m.Rets[i].Type.String())
+		}
+	}
+	return sb.String()
+}
+
+// SampleArgs builds a plausible argument list for the method from the
+// spec (the spec-conformance tests drive every bound handler with it).
+func (m *Method) SampleArgs() (xrl.Args, error) {
+	if m.AnyArgs {
+		return nil, nil
+	}
+	var args xrl.Args
+	for i := range m.Args {
+		d := &m.Args[i]
+		a, err := sampleAtom(d)
+		if err != nil {
+			return nil, fmt.Errorf("method %s: %v", m.Name, err)
+		}
+		args = append(args, a)
+	}
+	return args, nil
+}
+
+func sampleAtom(d *Arg) (xrl.Atom, error) {
+	val := d.Sample
+	if val == "" {
+		switch d.Type {
+		case xrl.TypeBool:
+			val = "true"
+		case xrl.TypeI32, xrl.TypeU32, xrl.TypeI64, xrl.TypeU64:
+			val = "1"
+		case xrl.TypeFP64:
+			val = "1.5"
+		case xrl.TypeText:
+			val = "sample"
+		case xrl.TypeIPv4:
+			val = "192.0.2.1"
+		case xrl.TypeIPv6:
+			val = "2001:db8::1"
+		case xrl.TypeIPv4Net:
+			val = "192.0.2.0/24"
+		case xrl.TypeIPv6Net:
+			val = "2001:db8::/32"
+		case xrl.TypeBinary:
+			val = "00ff"
+		case xrl.TypeList:
+			return xrl.List(d.Name), nil
+		default:
+			return xrl.Atom{}, fmt.Errorf("no sample for type %v", d.Type)
+		}
+	}
+	if d.Type == xrl.TypeList {
+		// A sample list holds one text item.
+		return xrl.List(d.Name, xrl.Text("", val)), nil
+	}
+	return parseTextAtom(d.Name, d.Type, val)
+}
+
+// parseTextAtom builds an atom of typ from its canonical textual value by
+// round-tripping through the xrl text parser.
+func parseTextAtom(name string, typ xrl.AtomType, val string) (xrl.Atom, error) {
+	x, err := xrl.Parse("finder://t/i/0.0/m?" + name + ":" + typ.String() + "=" + val)
+	if err != nil {
+		return xrl.Atom{}, err
+	}
+	a, ok := x.Args.Get(name)
+	if !ok {
+		return xrl.Atom{}, fmt.Errorf("sample %q did not parse", val)
+	}
+	return a, nil
+}
+
+// CompareVersions orders two "major.minor" interface versions, returning
+// <0, 0 or >0. Non-numeric components fall back to string comparison.
+func CompareVersions(a, b string) int {
+	as, bs := strings.Split(a, "."), strings.Split(b, ".")
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		var av, bv string
+		if i < len(as) {
+			av = as[i]
+		}
+		if i < len(bs) {
+			bv = bs[i]
+		}
+		an, aerr := strconv.Atoi(av)
+		bn, berr := strconv.Atoi(bv)
+		if aerr == nil && berr == nil {
+			if an != bn {
+				return an - bn
+			}
+			continue
+		}
+		if av != bv {
+			return strings.Compare(av, bv)
+		}
+	}
+	return 0
+}

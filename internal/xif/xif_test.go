@@ -1,0 +1,542 @@
+package xif_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/route"
+	"xorp/internal/xif"
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// ---------------------------------------------------------------------
+// Wire-compatibility oracle: every typed stub must produce byte-identical
+// encodings to the legacy hand-built XRLs it replaced, for the rib/fti
+// hot-path methods. The "legacy" builders below are verbatim copies of
+// the pre-xif call sites (rtrmgr xrlclients, cmd/xorp_rip, cmd/xorp_ospf).
+// ---------------------------------------------------------------------
+
+// capture records every XRL delivered to a local target, reassembled
+// from the handler's view (command is fixed per registration; local
+// dispatch hands the args over unmodified).
+type capture struct {
+	cmds []string
+	args []xrl.Args
+}
+
+// captureTarget registers recording handlers for every command of the
+// given specs (raw Target.Register is fine in tests; the lint gate
+// exempts _test.go).
+func captureTarget(name string, cap *capture, specs ...*xif.Spec) *xipc.Target {
+	t := xipc.NewTarget(name, name)
+	for _, s := range specs {
+		for i := range s.Methods {
+			cmd := s.Command(s.Methods[i].Name)
+			t.Register(s.Name, s.Version, s.Methods[i].Name, func(args xrl.Args) (xrl.Args, error) {
+				cap.cmds = append(cap.cmds, cmd)
+				// Copy: the caller may reuse the backing array.
+				cap.args = append(cap.args, append(xrl.Args(nil), args...))
+				return nil, nil
+			})
+		}
+	}
+	return t
+}
+
+// encodeCall renders (target, cmd, args) the way every byte-transport
+// does, giving the oracle a canonical byte string to compare.
+func encodeCall(t *testing.T, target, cmd string, args xrl.Args) []byte {
+	t.Helper()
+	buf, err := xrl.AppendRequest(nil, &xrl.Request{Seq: 1, Target: target, Command: cmd, Args: args})
+	if err != nil {
+		t.Fatalf("encode %s: %v", cmd, err)
+	}
+	return buf
+}
+
+// legacyRouteAtom is the pre-xif rib.EncodeRouteAtom format, pinned
+// literally so drift in EncodeRouteAtom breaks the oracle.
+func legacyRouteAtom(e route.Entry) xrl.Atom {
+	nh, ifn := "-", "-"
+	if e.NextHop.IsValid() {
+		nh = e.NextHop.String()
+	}
+	if e.IfName != "" {
+		ifn = e.IfName
+	}
+	return xrl.Text("", fmt.Sprintf("%s %s %d %s", e.Net, nh, e.Metric, ifn))
+}
+
+func TestWireCompatOracle(t *testing.T) {
+	loop := eventloop.New(nil)
+	r := xipc.NewRouter("oracle", loop)
+	var cap capture
+	r.AddTarget(captureTarget("rib", &cap, xif.RIBSpec))
+	r.AddTarget(captureTarget("fea", &cap, xif.FTISpec))
+
+	ribStub := xif.NewRIBClient(r, "rib")
+	ftiStub := xif.NewFTIClient(r, "fea")
+
+	e1 := route.Entry{
+		Net:     netip.MustParsePrefix("10.0.1.0/24"),
+		NextHop: netip.MustParseAddr("192.168.1.254"),
+		Metric:  5,
+	}
+	e2 := route.Entry{Net: netip.MustParsePrefix("10.0.2.0/24"), Metric: 1, IfName: "eth0"}
+	es := []route.Entry{e1, e2}
+	nets := []netip.Prefix{e1.Net, e2.Net}
+
+	type want struct {
+		cmd  string
+		args xrl.Args
+	}
+	var wants []want
+
+	// rib/1.0 add_route4 — legacy: rtrmgr xrlRIBClient.send (protocol,
+	// network, metric, then optional nexthop; BGP entries carry no
+	// ifname) and cmd/xorp_rip xrlRIB.AddRoute (ifname before nexthop).
+	ribStub.AddRoute4("ebgp", e1, nil)
+	wants = append(wants, want{"rib/1.0/add_route4", xrl.Args{
+		xrl.Text("protocol", "ebgp"),
+		xrl.Net("network", e1.Net),
+		xrl.U32("metric", e1.Metric),
+		xrl.Addr("nexthop", e1.NextHop),
+	}})
+	ribStub.AddRoute4("rip", e2, nil)
+	wants = append(wants, want{"rib/1.0/add_route4", xrl.Args{
+		xrl.Text("protocol", "rip"),
+		xrl.Net("network", e2.Net),
+		xrl.U32("metric", e2.Metric),
+		xrl.Text("ifname", e2.IfName),
+	}})
+
+	ribStub.ReplaceRoute4("ibgp", e1, nil)
+	wants = append(wants, want{"rib/1.0/replace_route4", xrl.Args{
+		xrl.Text("protocol", "ibgp"),
+		xrl.Net("network", e1.Net),
+		xrl.U32("metric", e1.Metric),
+		xrl.Addr("nexthop", e1.NextHop),
+	}})
+
+	ribStub.DeleteRoute4("ebgp", e1.Net, nil)
+	wants = append(wants, want{"rib/1.0/delete_route4", xrl.Args{
+		xrl.Text("protocol", "ebgp"),
+		xrl.Net("network", e1.Net),
+	}})
+
+	// rib/1.0 add_routes4 / delete_routes4 — the hot batch path.
+	ribStub.AddRoutes4("ebgp", es, nil)
+	wants = append(wants, want{"rib/1.0/add_routes4", xrl.Args{
+		xrl.Text("protocol", "ebgp"),
+		xrl.List("routes", legacyRouteAtom(e1), legacyRouteAtom(e2)),
+	}})
+	ribStub.DeleteRoutes4("ospf", nets, nil)
+	wants = append(wants, want{"rib/1.0/delete_routes4", xrl.Args{
+		xrl.Text("protocol", "ospf"),
+		xrl.List("networks", xrl.Text("", nets[0].String()), xrl.Text("", nets[1].String())),
+	}})
+
+	// fti/0.2 — legacy: rtrmgr xrlFIBClient (network, ifname, optional
+	// nexthop; batches as lists).
+	ftiStub.AddEntry4(e1, nil)
+	wants = append(wants, want{"fti/0.2/add_entry4", xrl.Args{
+		xrl.Net("network", e1.Net),
+		xrl.Text("ifname", e1.IfName),
+		xrl.Addr("nexthop", e1.NextHop),
+	}})
+	ftiStub.DeleteEntry4(e1.Net, nil)
+	wants = append(wants, want{"fti/0.2/delete_entry4", xrl.Args{
+		xrl.Net("network", e1.Net),
+	}})
+	ftiStub.AddEntries4(es, nil)
+	wants = append(wants, want{"fti/0.2/add_entries4", xrl.Args{
+		xrl.List("entries", legacyRouteAtom(e1), legacyRouteAtom(e2)),
+	}})
+	ftiStub.DeleteEntries4(nets, nil)
+	wants = append(wants, want{"fti/0.2/delete_entries4", xrl.Args{
+		xrl.List("networks", xrl.Text("", nets[0].String()), xrl.Text("", nets[1].String())),
+	}})
+
+	loop.RunPending()
+
+	if len(cap.cmds) != len(wants) {
+		t.Fatalf("captured %d calls, want %d", len(cap.cmds), len(wants))
+	}
+	for i, w := range wants {
+		target := "rib"
+		if strings.HasPrefix(w.cmd, "fti/") {
+			target = "fea"
+		}
+		got := encodeCall(t, target, cap.cmds[i], cap.args[i])
+		legacy := encodeCall(t, target, w.cmd, w.args)
+		if !bytes.Equal(got, legacy) {
+			t.Errorf("call %d (%s): stub encoding diverges from legacy\n stub:   %x\n legacy: %x",
+				i, w.cmd, got, legacy)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Spec conformance: every Bind registration round-trips every method
+// through encode -> dispatch -> decode. Sample arguments come from the
+// spec; replies are validated against the declared return atoms.
+// ---------------------------------------------------------------------
+
+// confServer trivially implements every xif server interface with
+// plausible success values.
+type confServer struct{}
+
+var confEntry = route.Entry{
+	Net:     netip.MustParsePrefix("192.0.2.0/24"),
+	NextHop: netip.MustParseAddr("192.0.2.1"),
+	Metric:  5,
+	IfName:  "eth0",
+}
+
+func (confServer) AddRoute4(route.Protocol, route.Entry) error        { return nil }
+func (confServer) ReplaceRoute4(route.Protocol, route.Entry) error    { return nil }
+func (confServer) DeleteRoute4(route.Protocol, netip.Prefix) error    { return nil }
+func (confServer) AddRoutes4(route.Protocol, []route.Entry) error     { return nil }
+func (confServer) DeleteRoutes4(route.Protocol, []netip.Prefix) error { return nil }
+func (confServer) RegisterInterest4(string, netip.Addr) (xif.RIBInterest, error) {
+	return xif.RIBInterest{Resolves: true, Covering: confEntry.Net, Route: confEntry}, nil
+}
+func (confServer) DeregisterInterest4(string, netip.Prefix) error { return nil }
+func (confServer) LookupRouteByDest4(netip.Addr) (xif.RIBLookup, error) {
+	return xif.RIBLookup{Found: true, Entry: confEntry}, nil
+}
+
+func (confServer) RouteInfoInvalid(netip.Prefix) error { return nil }
+
+func (confServer) AddEntry4(route.Entry) error         { return nil }
+func (confServer) DeleteEntry4(netip.Prefix) error     { return nil }
+func (confServer) AddEntries4([]route.Entry) error     { return nil }
+func (confServer) DeleteEntries4([]netip.Prefix) error { return nil }
+func (confServer) LookupEntry4(netip.Addr) (xif.FTILookup, error) {
+	return xif.FTILookup{Found: true, Entry: confEntry}, nil
+}
+
+func (confServer) GetInterfaces() ([]string, error) { return []string{"eth0 192.0.2.1 1500 true"}, nil }
+
+func (confServer) UDPBind(uint16, string) error                 { return nil }
+func (confServer) UDPJoinGroup(netip.Addr) error                { return nil }
+func (confServer) UDPLeaveGroup(netip.Addr) error               { return nil }
+func (confServer) UDPSend(uint16, netip.AddrPort, []byte) error { return nil }
+func (confServer) UDPBroadcast(uint16, uint16, []byte) error    { return nil }
+func (confServer) Recv(netip.AddrPort, []byte) error            { return nil }
+
+func (confServer) RegisterTarget(string, string, bool, []string) error { return nil }
+func (confServer) RegisterMethods(_ string, commands []string) ([]string, error) {
+	return make([]string, len(commands)), nil
+}
+func (confServer) UnregisterTarget(string) error { return nil }
+func (confServer) Resolve(string, string, string, []string) (xif.FinderResolution, error) {
+	return xif.FinderResolution{Instance: "x", Command: "common/0.1/get_status"}, nil
+}
+func (confServer) Watch(string, string) error                 { return nil }
+func (confServer) Targets() ([]string, error)                 { return []string{"x:x"}, nil }
+func (confServer) AddPermission(string, string, string) error { return nil }
+func (confServer) SetStrict(bool) error                       { return nil }
+
+func (confServer) ProfileEnable(string) error  { return nil }
+func (confServer) ProfileDisable(string) error { return nil }
+func (confServer) ProfileClear(string) error   { return nil }
+func (confServer) ProfileList() (string, error) {
+	return "route_ribin", nil
+}
+func (confServer) ProfileEntries(string) ([]string, error) { return []string{"x 0 0 add"}, nil }
+
+func (confServer) GetBGPVersion() (uint32, error) { return 4, nil }
+func (confServer) LocalConfig() (uint32, netip.Addr, error) {
+	return 65000, netip.MustParseAddr("192.0.2.1"), nil
+}
+func (confServer) AddPeer(xif.BGPPeerConfig) error                        { return nil }
+func (confServer) EnablePeer(string) error                                { return nil }
+func (confServer) DisablePeer(string) error                               { return nil }
+func (confServer) PeerState(string) (string, error)                       { return "Established", nil }
+func (confServer) OriginateRoute4(netip.Prefix, netip.Addr, uint32) error { return nil }
+func (confServer) WithdrawRoute4(netip.Prefix) error                      { return nil }
+
+func (confServer) Originate(netip.Prefix, uint32) error { return nil }
+func (confServer) Withdraw(netip.Prefix) error          { return nil }
+
+func (confServer) AddStaticRoute(netip.Prefix, uint32) error { return nil }
+func (confServer) DeleteStaticRoute(netip.Prefix) error      { return nil }
+
+func (confServer) Sink(args xrl.Args) (xrl.Args, error) { return nil, nil }
+
+func TestSpecConformance(t *testing.T) {
+	loop := eventloop.New(nil)
+	r := xipc.NewRouter("conformance", loop)
+	target := xif.NewTarget("conf", "conf")
+	srv := confServer{}
+	xif.BindRIB(target, srv)
+	xif.BindRIBNotify(target, srv)
+	xif.BindFTI(target, srv)
+	xif.BindIfMgr(target, srv)
+	xif.BindFEAUDP(target, srv)
+	xif.BindFEAUDPRecv(target, srv)
+	xif.BindFinder(target, srv)
+	xif.BindProfile(target, srv)
+	xif.BindBGP(target, srv)
+	xif.BindOSPF(target, srv)
+	xif.BindRIP(target, srv)
+	xif.BindBench(target, srv)
+	r.AddTarget(target)
+
+	bound := make(map[string]bool)
+	for _, cmd := range target.Commands() {
+		bound[cmd] = true
+	}
+
+	for _, spec := range xif.All() {
+		for i := range spec.Methods {
+			m := &spec.Methods[i]
+			cmd := spec.Command(m.Name)
+			if !bound[cmd] {
+				// finder_client/1.0 is implemented inside xipc routers,
+				// not via a Bind; everything else must be bound here.
+				if spec.Name != "finder_client" {
+					t.Errorf("spec method %s has no binding under test", cmd)
+				}
+				continue
+			}
+			sample, err := m.SampleArgs()
+			if err != nil {
+				t.Errorf("%s: no sample args: %v", cmd, err)
+				continue
+			}
+			// The sample call must satisfy the spec's own checker.
+			if cerr := spec.Check(m.Name, sample); cerr != nil {
+				t.Errorf("%s: sample args fail spec check: %v", cmd, cerr)
+				continue
+			}
+			// Encode -> decode through the real wire codec, then dispatch
+			// the decoded form, like any byte transport would.
+			buf, eerr := xrl.AppendRequest(nil, &xrl.Request{
+				Seq: 7, Target: "conf", Command: cmd, Args: sample,
+			})
+			if eerr != nil {
+				t.Errorf("%s: encode: %v", cmd, eerr)
+				continue
+			}
+			req, _, derr := xrl.DecodeFrame(buf)
+			if derr != nil || req == nil {
+				t.Errorf("%s: decode: %v", cmd, derr)
+				continue
+			}
+			var (
+				out   xrl.Args
+				xerr  *xrl.Error
+				cbRan bool
+			)
+			r.SendFromLoop(xrl.XRL{
+				Protocol: xrl.ProtoFinder, Target: "conf",
+				Interface: spec.Name, Version: spec.Version, Method: m.Name,
+				Args: req.Args,
+			}, func(args xrl.Args, err *xrl.Error) {
+				out, xerr, cbRan = args, err, true
+			})
+			loop.RunPending()
+			if !cbRan {
+				t.Errorf("%s: dispatch never completed", cmd)
+				continue
+			}
+			if xerr != nil {
+				t.Errorf("%s: dispatch failed: %v", cmd, xerr)
+				continue
+			}
+			// Reply must satisfy the declared return atoms.
+			for j := range m.Rets {
+				ret := &m.Rets[j]
+				a, ok := out.Get(ret.Name)
+				if !ok {
+					if !ret.Optional {
+						t.Errorf("%s: reply missing return atom %s:%v", cmd, ret.Name, ret.Type)
+					}
+					continue
+				}
+				if a.Type != ret.Type {
+					t.Errorf("%s: return atom %s has type %v, want %v", cmd, ret.Name, a.Type, ret.Type)
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchErrorCodes pins the standardized dispatch outcomes: an
+// unknown command is NO_SUCH_METHOD, an argument decode failure in a
+// bound handler is BAD_ARGS (never a generic COMMAND_FAILED).
+func TestDispatchErrorCodes(t *testing.T) {
+	loop := eventloop.New(nil)
+	r := xipc.NewRouter("codes", loop)
+	target := xif.NewTarget("conf", "conf")
+	xif.BindRIB(target, confServer{})
+	r.AddTarget(target)
+
+	call := func(method string, args ...xrl.Atom) *xrl.Error {
+		var got *xrl.Error
+		r.SendFromLoop(xrl.XRL{
+			Protocol: xrl.ProtoFinder, Target: "conf",
+			Interface: "rib", Version: "1.0", Method: method, Args: args,
+		}, func(_ xrl.Args, err *xrl.Error) { got = err })
+		loop.RunPending()
+		return got
+	}
+
+	if err := call("no_such_method"); err == nil || err.Code != xrl.CodeNoSuchMethod {
+		t.Fatalf("unknown method: %v, want NO_SUCH_METHOD", err)
+	}
+	// Missing required argument.
+	if err := call("add_route4"); err == nil || err.Code != xrl.CodeBadArgs {
+		t.Fatalf("missing args: %v, want BAD_ARGS", err)
+	}
+	// Mistyped argument.
+	if err := call("add_route4",
+		xrl.Text("protocol", "rip"),
+		xrl.Text("network", "10.0.0.0/8")); err == nil || err.Code != xrl.CodeBadArgs {
+		t.Fatalf("mistyped args: %v, want BAD_ARGS", err)
+	}
+	// Semantically invalid argument (unparseable protocol name).
+	if err := call("add_route4",
+		xrl.Text("protocol", "nonsense"),
+		xrl.Net("network", confEntry.Net)); err == nil || err.Code != xrl.CodeBadArgs {
+		t.Fatalf("bad protocol: %v, want BAD_ARGS", err)
+	}
+	// Malformed batch atom.
+	if err := call("add_routes4",
+		xrl.Text("protocol", "rip"),
+		xrl.List("routes", xrl.Text("", "garbage"))); err == nil || err.Code != xrl.CodeBadArgs {
+		t.Fatalf("bad batch atom: %v, want BAD_ARGS", err)
+	}
+	// A well-formed call succeeds.
+	if err := call("add_route4",
+		xrl.Text("protocol", "rip"),
+		xrl.Net("network", confEntry.Net)); err != nil {
+		t.Fatalf("valid call: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Registry and checker unit tests.
+// ---------------------------------------------------------------------
+
+func TestRegistryLookup(t *testing.T) {
+	for _, want := range []string{"rib/1.0", "fti/0.2", "fea_udp/0.1", "fea_udp_client/0.1",
+		"ifmgr/0.1", "finder/1.0", "finder_client/1.0", "rib_client/0.1",
+		"profile/0.1", "bgp/1.0", "ospf/0.1", "rip/0.1", "bench/1.0", "common/0.1"} {
+		name, ver, _ := strings.Cut(want, "/")
+		if _, ok := xif.Lookup(name, ver); !ok {
+			t.Errorf("registry is missing %s", want)
+		}
+	}
+	all := xif.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name > all[i].Name {
+			t.Fatalf("All() not sorted: %s before %s", all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestCheckArgsRejectsMistakes(t *testing.T) {
+	m, _ := xif.RIBSpec.Method("add_route4")
+
+	// Missing required argument.
+	err := m.CheckArgs(xrl.Args{xrl.Text("protocol", "rip")})
+	if err == nil || !strings.Contains(err.Error(), "network") {
+		t.Fatalf("missing-arg check: %v", err)
+	}
+	// Wrong type.
+	err = m.CheckArgs(xrl.Args{
+		xrl.Text("protocol", "rip"),
+		xrl.Text("network", "10.0.0.0/8"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "type") {
+		t.Fatalf("type check: %v", err)
+	}
+	// Undeclared argument (the call_xrl typo case).
+	err = m.CheckArgs(xrl.Args{
+		xrl.Text("protocol", "rip"),
+		xrl.Net("network", netip.MustParsePrefix("10.0.0.0/8")),
+		xrl.U32("metrc", 1),
+	})
+	if err == nil || !strings.Contains(err.Error(), "metrc") {
+		t.Fatalf("unknown-arg check: %v", err)
+	}
+	// Valid call (optional args absent).
+	err = m.CheckArgs(xrl.Args{
+		xrl.Text("protocol", "rip"),
+		xrl.Net("network", netip.MustParsePrefix("10.0.0.0/8")),
+	})
+	if err != nil {
+		t.Fatalf("valid call rejected: %v", err)
+	}
+
+	if _, ok := xif.RIBSpec.Method("no_such"); ok {
+		t.Fatal("phantom method")
+	}
+}
+
+func TestNewXRLPanicsOnSpecViolation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewXRL accepted an undeclared method")
+		}
+	}()
+	xif.RIBSpec.NewXRL("rib", "no_such_method")
+}
+
+func TestCompareVersions(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int // sign
+	}{
+		{"1.0", "1.0", 0},
+		{"1.0", "1.1", -1},
+		{"2.0", "1.9", 1},
+		{"0.2", "0.10", -1},
+		{"1.0", "1.0.1", -1},
+	}
+	for _, c := range cases {
+		got := xif.CompareVersions(c.a, c.b)
+		if (got < 0) != (c.want < 0) || (got > 0) != (c.want > 0) {
+			t.Errorf("CompareVersions(%q, %q) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTargetInterfaces(t *testing.T) {
+	target := xif.NewTarget("x", "x")
+	xif.BindRIP(target, confServer{})
+	got := xif.TargetInterfaces(target)
+	want := []string{"common/0.1", "rip/0.1"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("TargetInterfaces = %v, want %v", got, want)
+	}
+}
+
+func TestRouteAtomRoundTrip(t *testing.T) {
+	for _, e := range []route.Entry{
+		confEntry,
+		{Net: netip.MustParsePrefix("10.0.0.0/8")},
+		{Net: netip.MustParsePrefix("10.1.0.0/16"), IfName: "eth1"},
+	} {
+		back, err := xif.DecodeRouteAtom(xif.EncodeRouteAtom(e))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", e, err)
+		}
+		// The atom carries net/nexthop/metric/ifname; compare those.
+		if back.Net != e.Net || back.NextHop != e.NextHop ||
+			back.Metric != e.Metric || back.IfName != e.IfName {
+			t.Fatalf("round trip %v -> %v", e, back)
+		}
+	}
+	if _, err := xif.DecodeRouteAtom(xrl.Text("", "not a route")); err == nil {
+		t.Fatal("malformed atom accepted")
+	}
+}

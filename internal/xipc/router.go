@@ -24,6 +24,11 @@ type resolved struct {
 	addr     string // hub id or host:port
 	instance string // concrete component instance name
 	key      string // method key
+	// cmd is the negotiated command. It differs from the requested
+	// command when the Finder picked a higher mutually supported
+	// interface version (the caller advertised it via AdvertiseVersions).
+	// Empty means "use the requested command".
+	cmd string
 }
 
 // cacheKey identifies one cached resolution. A comparable struct key means
@@ -52,6 +57,10 @@ type Router struct {
 	finderEp      string // "proto|addr" of the Finder ("" = hub lookup)
 	timeout       time.Duration
 	onFinderEvent func(event, class, instance string)
+	// advertised maps interface name -> versions this process's client
+	// stubs can speak, preferred first; sent as the resolve accept list
+	// so the Finder can negotiate (§6 rolling-upgrade scenario).
+	advertised map[string][]string
 
 	// pendingSends holds, per target, sends queued behind an in-flight
 	// Finder resolution so the per-target send order survives a cold
@@ -96,6 +105,44 @@ func (r *Router) SetTimeout(d time.Duration) { r.timeout = d }
 // birth/death events delivered to this router.
 func (r *Router) SetFinderEvent(fn func(event, class, instance string)) {
 	r.onFinderEvent = fn
+}
+
+// AdvertiseVersions records the interface versions this process's client
+// stubs speak for iface, preferred (highest) first. They ride along in
+// Finder resolutions as the accept list, letting the Finder pick the
+// highest version both sides support. Typed stub constructors
+// (internal/xif) call this; duplicates are merged preserving order.
+func (r *Router) AdvertiseVersions(iface string, versions ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.advertised == nil {
+		r.advertised = make(map[string][]string)
+	}
+	have := r.advertised[iface]
+	for _, v := range versions {
+		dup := false
+		for _, h := range have {
+			if h == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			have = append(have, v)
+		}
+	}
+	r.advertised[iface] = have
+}
+
+// advertisedFor returns the accept list for a command's interface.
+func (r *Router) advertisedFor(cmd string) []string {
+	iface, _, ok := strings.Cut(cmd, "/")
+	if !ok {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.advertised[iface]
 }
 
 // AddTarget makes t reachable through this router. It does not register t
@@ -337,11 +384,26 @@ func (r *Router) drainPending(target string) {
 }
 
 // resolve asks the Finder for the concrete endpoint of (target, command).
+// This is the IPC bootstrap: the one XRL composed below the typed stub
+// layer (xif stubs ride on it, so it cannot use them).
 func (r *Router) resolve(target, cmd string, done func(resolved, *xrl.Error)) {
-	q := xrl.New(FinderTargetName, "finder", "1.0", "resolve",
+	qargs := xrl.Args{
 		xrl.Text("caller", r.name),
 		xrl.Text("target", target),
-		xrl.Text("command", cmd))
+		xrl.Text("command", cmd),
+	}
+	if accept := r.advertisedFor(cmd); len(accept) > 0 {
+		items := make([]xrl.Atom, len(accept))
+		for i, v := range accept {
+			items[i] = xrl.Text("", v)
+		}
+		qargs = append(qargs, xrl.List("accept", items...))
+	}
+	q := xrl.XRL{
+		Protocol: xrl.ProtoFinder, Target: FinderTargetName,
+		Interface: "finder", Version: "1.0", Method: "resolve",
+		Args: qargs,
+	}
 	r.sendInLoop(q, func(args xrl.Args, err *xrl.Error) {
 		if err != nil {
 			if err.Code == xrl.CodeReplyTimeout || err.Code == xrl.CodeSendFailed {
@@ -362,6 +424,11 @@ func (r *Router) resolve(target, cmd string, done func(resolved, *xrl.Error)) {
 			done(resolved{}, &xrl.Error{Code: xrl.CodeResolveFailed,
 				Note: "no usable transport to " + instance})
 			return
+		}
+		// A version-negotiating Finder returns the chosen command, which
+		// may be a different interface version than we asked for.
+		if chosen, cerr := args.TextArg("command"); cerr == nil && chosen != cmd {
+			res.cmd = chosen
 		}
 		done(res, nil)
 	}, false)
@@ -426,7 +493,12 @@ func (r *Router) dispatchLocal(t *Target, x xrl.XRL, cb Callback) {
 }
 
 // transportSend routes a resolved request through the matching sender.
+// A negotiated resolution carries the command to put on the wire (which
+// may name a different interface version than the caller composed).
 func (r *Router) transportSend(res resolved, targetName, cmd string, args xrl.Args, cb Callback) {
+	if res.cmd != "" {
+		cmd = res.cmd
+	}
 	// Reply timeout, driven by the loop clock so simulated time works.
 	done := false
 	var timer *eventloop.Timer

@@ -11,6 +11,7 @@ package xipc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"xorp/internal/xrl"
@@ -67,7 +68,8 @@ func (t *Target) Register(iface, version, method string, h Handler) {
 	t.byIVM[ivmKey{iface, version, method}] = h
 }
 
-// Commands returns all registered commands.
+// Commands returns all registered commands, sorted, so Finder
+// registration order, logs and tests are deterministic.
 func (t *Target) Commands() []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -75,6 +77,7 @@ func (t *Target) Commands() []string {
 	for c := range t.methods {
 		out = append(out, c)
 	}
+	sort.Strings(out)
 	return out
 }
 
