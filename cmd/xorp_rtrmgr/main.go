@@ -23,6 +23,7 @@ func main() {
 	configPath := flag.String("config", "", "configuration file")
 	finderListen := flag.String("finder-listen", "", "expose the Finder on this TCP address")
 	bgpListen := flag.String("bgp-listen", "", "accept BGP sessions on this address")
+	supervise := flag.Bool("supervise", true, "respawn crashed protocol processes")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: xorp_rtrmgr -config <file>")
@@ -48,6 +49,18 @@ func main() {
 	}
 	if err := r.Start(); err != nil {
 		fatal(err)
+	}
+	if *supervise {
+		_, err := r.EnableSupervision(rtrmgr.SupervisorConfig{
+			Alarm: func(class string, deaths int) {
+				fmt.Fprintf(os.Stderr,
+					"xorp_rtrmgr: ALARM: %s crashed %d times in quick succession; giving up\n",
+					class, deaths)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Println("xorp_rtrmgr: router running; configuration:")
 	fmt.Print(rtrmgr.Render(r.Config, 1))

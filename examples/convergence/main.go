@@ -1,4 +1,4 @@
-// Convergence: two experiments on the simulated clock.
+// Convergence: routing-disturbance experiments on the simulated clock.
 //
 // The default mode replays the Figure 13 experiment: 255 routes are
 // introduced at one-second intervals through four router models; the
@@ -7,45 +7,45 @@
 // seconds.
 //
 // With -protocol, the two IGPs are compared on the same topology and
-// the same failure: three routers share a LAN, r1 and r3 both originate
-// 172.16.0.0/16 (r1 preferred), and the r1—r2 link is cut. The time
-// until r2 installs the alternate route is the protocol's
-// reconvergence time — RIP waits out its 180 s route timeout, while
-// OSPF detects the dead adjacency within its 40 s dead interval and
-// reroutes via SPF. 255 simulated seconds replay in milliseconds of
-// wall time.
+// the same failure (the chaos harness's lan3 link-loss scenario):
+// three routers share a LAN, r1 and r3 both originate 172.16.0.0/16
+// (r1 preferred), and the r1—r2 link is cut. RIP waits out its 180 s
+// route timeout before believing the backup origin, while OSPF detects
+// the dead adjacency within its 40 s dead interval and reroutes via
+// SPF. Hundreds of simulated seconds replay in milliseconds.
+//
+// With -matrix, the full chaos matrix runs: every topology × failure ×
+// IGP scenario plus the real-time BGP kill/respawn acceptance run,
+// printed as one table.
 //
 //	go run ./examples/convergence                  # Figure 13 demo
 //	go run ./examples/convergence -protocol both   # RIP vs OSPF failover
-//	go run ./examples/convergence -protocol ospf
+//	go run ./examples/convergence -matrix          # full chaos matrix
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/netip"
 	"os"
 	"time"
 
 	"xorp/internal/bench"
-	"xorp/internal/eventloop"
-	"xorp/internal/fea"
-	"xorp/internal/kernel"
-	"xorp/internal/ospf"
-	"xorp/internal/rip"
-	"xorp/internal/route"
+	"xorp/internal/chaos"
 )
 
 func main() {
 	protocol := flag.String("protocol", "", "run the link-failure experiment for rip, ospf, or both (default: the Figure 13 demo)")
+	matrix := flag.Bool("matrix", false, "run the full chaos matrix (topologies x failures x protocols)")
 	flag.Parse()
 
-	switch *protocol {
-	case "":
+	switch {
+	case *matrix:
+		runMatrix()
+	case *protocol == "":
 		fig13()
-	case "rip", "ospf":
+	case *protocol == "rip" || *protocol == "ospf":
 		linkFailure(*protocol)
-	case "both":
+	case *protocol == "both":
 		linkFailure("rip")
 		fmt.Println()
 		linkFailure("ospf")
@@ -59,120 +59,41 @@ func main() {
 	}
 }
 
-// ribRec records a protocol's RIB pushes (both rip.RIBClient and
-// ospf.RIBClient have this shape).
-type ribRec struct {
-	routes map[netip.Prefix]route.Entry
-}
-
-func (r *ribRec) AddRoute(e route.Entry)       { r.routes[e.Net] = e }
-func (r *ribRec) DeleteRoute(net netip.Prefix) { delete(r.routes, net) }
-
-func attach(loop *eventloop.Loop, netw *kernel.Network, addr netip.Addr) (*fea.Process, *ribRec) {
-	host, err := netw.Attach(addr)
-	if err != nil {
-		panic(err)
-	}
-	return fea.New(loop, kernel.NewFIB(), host, nil), &ribRec{routes: make(map[netip.Prefix]route.Entry)}
-}
-
-// linkFailure measures r2's failover time for one IGP: bring the
-// three-router LAN up, cut r1—r2, and wait for the alternate route.
+// linkFailure is the chaos harness's lan3 link-loss scenario: cut the
+// origin—observer link and wait for the failover to the backup origin.
 func linkFailure(proto string) {
-	loop := eventloop.New(eventloop.NewSimClock(time.Unix(0, 0)))
-	netw := kernel.NewNetwork()
-	r1, r2, r3 := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), netip.MustParseAddr("10.0.0.3")
-	pfx := netip.MustParsePrefix("172.16.0.0/16")
-
-	rec := make(map[netip.Addr]*ribRec, 3)
-	switch proto {
-	case "rip":
-		procs := make(map[netip.Addr]*rip.Process, 3)
-		for _, a := range []netip.Addr{r1, r2, r3} {
-			feaProc, rr := attach(loop, netw, a)
-			rec[a] = rr
-			tr := &rip.FEATransport{
-				BindFn: func(port uint16, recv func(src netip.AddrPort, payload []byte)) error {
-					return feaProc.UDPBind(port, "rip", recv)
-				},
-				SendFn:      feaProc.UDPSend,
-				BroadcastFn: feaProc.UDPBroadcast,
-			}
-			procs[a] = rip.NewProcess(loop, rip.Config{LocalAddr: a, IfName: "eth0"}, tr, rr)
-			if err := procs[a].Start(); err != nil {
-				panic(err)
-			}
-		}
-		loop.Dispatch(func() {
-			procs[r1].InjectLocal(pfx, 1, 0) // preferred origin
-			procs[r3].InjectLocal(pfx, 5, 0) // backup origin
-		})
-	case "ospf":
-		procs := make(map[netip.Addr]*ospf.Process, 3)
-		for _, a := range []netip.Addr{r1, r2, r3} {
-			feaProc, rr := attach(loop, netw, a)
-			rec[a] = rr
-			tr := &ospf.FEATransport{
-				BindFn: func(group netip.Addr, port uint16, recv func(src netip.AddrPort, payload []byte)) error {
-					if err := feaProc.UDPJoinGroup(group); err != nil {
-						return err
-					}
-					return feaProc.UDPBind(port, "ospf", recv)
-				},
-				SendFn: feaProc.UDPSend,
-			}
-			procs[a] = ospf.NewProcess(loop, ospf.Config{LocalAddr: a, IfName: "eth0"}, tr, rr)
-			if err := procs[a].Start(); err != nil {
-				panic(err)
-			}
-		}
-		loop.Dispatch(func() {
-			procs[r1].OriginatePrefix(pfx, 1) // preferred origin
-			procs[r3].OriginatePrefix(pfx, 5) // backup origin
-		})
-	}
-
-	initial, ok := stepUntil(loop, 2*time.Minute, func() bool {
-		e, ok := rec[r2].routes[pfx]
-		return ok && e.NextHop == r1
-	})
-	if !ok {
-		fmt.Printf("%-4s: never converged initially\n", proto)
-		return
-	}
-
-	// Cut the r1—r2 link (both directions); the rest of the LAN stays.
-	netw.SetDropFunc(func(src, dst netip.AddrPort) bool {
-		a, b := src.Addr(), dst.Addr()
-		return a == r1 && b == r2 || a == r2 && b == r1
-	})
-	reconv, ok := stepUntil(loop, 10*time.Minute, func() bool {
-		e, ok := rec[r2].routes[pfx]
-		return ok && e.NextHop == r3
-	})
+	res := chaos.Run(chaos.Spec{Topology: chaos.LAN3(), Protocol: proto, Failure: chaos.LinkLoss})
 	fmt.Printf("%s:\n", proto)
-	fmt.Printf("  initial convergence:     %8.1fs (r2 routes %v via r1)\n", initial.Seconds(), pfx)
-	if !ok {
-		fmt.Printf("  reconvergence:           never (within 10 min)\n")
+	if !res.Converged {
+		fmt.Printf("  never converged initially (%s)\n", res.Note)
 		return
 	}
-	e := rec[r2].routes[pfx]
-	fmt.Printf("  reconverged after cut:   %8.1fs (now via r3, metric %d)\n", reconv.Seconds(), e.Metric)
+	fmt.Printf("  initial convergence:     %8.1fs (r2 routes 172.16.0.0/16 via r1)\n", res.Initial.Seconds())
+	if !res.Recovered {
+		fmt.Printf("  reconvergence:           never\n")
+		return
+	}
+	fmt.Printf("  reconverged after cut:   %8.1fs (now via r3)\n", res.Recovery.Seconds())
+	fmt.Printf("  forwarding blackhole:    %8.1fs\n", res.Blackhole.Seconds())
 }
 
-// stepUntil advances the simulated clock in 100 ms steps until cond
-// holds or limit elapses, returning the simulated time consumed.
-func stepUntil(loop *eventloop.Loop, limit time.Duration, cond func() bool) (time.Duration, bool) {
-	start := loop.Now()
-	for {
-		if cond() {
-			return loop.Now().Sub(start), true
-		}
-		if loop.Now().Sub(start) >= limit {
-			return loop.Now().Sub(start), false
-		}
-		loop.RunFor(100 * time.Millisecond)
+// runMatrix prints the full scenario grid, then the real-time BGP
+// kill/respawn acceptance run on the complete rtrmgr assembly.
+func runMatrix() {
+	results := chaos.RunMatrix(chaos.DefaultMatrix())
+	fmt.Print(chaos.FormatTable(results))
+
+	fmt.Println("\nBGP graceful restart (full rtrmgr assembly, real time):")
+	res, err := chaos.RunBGPKillRespawn()
+	if err != nil {
+		fmt.Printf("  failed: %v\n", err)
+		os.Exit(1)
 	}
+	fmt.Printf("  routes before kill:      %d (stale at death: %d)\n", res.Routes, res.Stale)
+	fmt.Printf("  forwarding loss samples: %d during the grace window\n", res.LossSamples)
+	fmt.Printf("  swept at resync:         %d (peers replayed the full table)\n", res.Swept)
+	fmt.Printf("  kill -> reconverged:     %v\n", res.Recovery.Round(time.Millisecond))
+	fmt.Printf("  tables vs control:       identical=%v\n", res.TablesIdentical)
 }
 
 func fig13() {

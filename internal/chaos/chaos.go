@@ -1,0 +1,366 @@
+package chaos
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/kernel"
+)
+
+// Failure is one way to hurt the network.
+type Failure string
+
+const (
+	// LinkLoss cuts the topology's FailLink permanently; recovery is
+	// rerouting around it.
+	LinkLoss Failure = "link-loss"
+	// LinkFlap cuts and restores FailLink repeatedly, then leaves it
+	// up: protocols whose timers outlast the down phase ride through.
+	LinkFlap Failure = "link-flap"
+	// Partition cuts every link between the topology's halves for
+	// partitionHold, then heals; recovery is measured from the heal.
+	Partition Failure = "partition"
+	// ProcessKill crashes the origin's routing process and respawns
+	// it after respawnDelay. Forwarding state is retained while the
+	// process is down (graceful restart), so the expected blackhole
+	// is zero.
+	ProcessKill Failure = "process-kill"
+)
+
+// Spec is one cell of the chaos matrix.
+type Spec struct {
+	Topology *Topology
+	Protocol string // "rip" or "ospf" (BGP runs via RunBGPKillRespawn)
+	Failure  Failure
+}
+
+// Result is what one scenario measured. Blackhole is the headline
+// number: simulated time during which the observer's forwarding path to
+// the target prefix was missing, looped, or crossed a dead link — the
+// interval real traffic would have been dropped (§8.2).
+type Result struct {
+	Topology string
+	Protocol string
+	Failure  Failure
+	Nodes    int
+
+	Converged bool          // initial convergence reached
+	Initial   time.Duration // start -> first preferred-path convergence
+	Recovered bool          // reconverged after the failure
+	Recovery  time.Duration // repair (or failure, for link-loss) -> reconverged
+	Blackhole time.Duration // total forwarding outage after the failure hit
+	Note      string        // why a scenario was skipped or failed
+}
+
+// Scenario timing. Sim-clock scenarios replay hundreds of simulated
+// seconds in milliseconds, so the limits are generous.
+const (
+	stepQuantum   = 100 * time.Millisecond
+	initialLimit  = 10 * time.Minute
+	recoveryLimit = 30 * time.Minute
+
+	// flapDown sits between OSPF's 40 s dead interval and RIP's 180 s
+	// route timeout: OSPF reroutes during every down phase, RIP rides
+	// the flaps out on its stale route.
+	flapDown   = 60 * time.Second
+	flapUp     = 60 * time.Second
+	flapCycles = 2
+
+	// partitionHold likewise: long enough for OSPF to tear down the
+	// cross-partition adjacencies, short enough that RIP's routes
+	// survive to the heal.
+	partitionHold = 60 * time.Second
+
+	// respawnDelay is well inside every protocol's failure-detection
+	// timer, so a supervised respawn is invisible to neighbours.
+	respawnDelay = 2 * time.Second
+	// killSoak keeps sampling after the respawn for longer than any
+	// protocol hold timer: if the respawned origin failed to
+	// re-announce, routes expire during the soak and the scenario
+	// reports the outage instead of a false pass.
+	killSoak = 240 * time.Second
+)
+
+// runner drives one scenario on the simulated clock. Everything runs
+// on the driving goroutine (the loop is advanced with RunFor), so no
+// locking is needed.
+type runner struct {
+	spec     Spec
+	loop     *eventloop.Loop
+	nodes    []*node
+	nodeOf   map[netip.Addr]int
+	prefix   netip.Prefix
+	failed   map[[2]int]bool
+	sampling bool
+	black    time.Duration
+}
+
+func newRunner(spec Spec) (*runner, error) {
+	t := spec.Topology
+	r := &runner{
+		spec:   spec,
+		loop:   eventloop.New(eventloop.NewSimClock(time.Unix(0, 0))),
+		nodeOf: make(map[netip.Addr]int, t.N),
+		prefix: netip.MustParsePrefix("172.16.0.0/16"),
+		failed: make(map[[2]int]bool),
+	}
+	netw := kernel.NewNetwork()
+	netw.SetDropFunc(r.drop)
+	for i := 0; i < t.N; i++ {
+		addr := t.Addr(i)
+		n, err := newNode(r.loop, netw, i, addr)
+		if err != nil {
+			return nil, err
+		}
+		r.nodes = append(r.nodes, n)
+		r.nodeOf[addr] = i
+	}
+	for i, n := range r.nodes {
+		if err := n.startProto(r.loop, spec.Protocol, r.originates(i)); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// originates returns the prefixes node i announces: the target at the
+// origin (metric 1) and, when the topology is multi-homed, at the
+// backup (metric 5).
+func (r *runner) originates(i int) map[netip.Prefix]uint32 {
+	t := r.spec.Topology
+	switch i {
+	case t.Origin:
+		return map[netip.Prefix]uint32{r.prefix: 1}
+	case t.Backup:
+		return map[netip.Prefix]uint32{r.prefix: 5}
+	}
+	return nil
+}
+
+// drop is the Network's shaping predicate: only datagrams between
+// linked, un-failed pairs get through.
+func (r *runner) drop(src, dst netip.AddrPort) bool {
+	a, aok := r.nodeOf[src.Addr()]
+	b, bok := r.nodeOf[dst.Addr()]
+	if !aok || !bok {
+		return true
+	}
+	return !r.linkUp(a, b)
+}
+
+func (r *runner) linkUp(a, b int) bool {
+	return r.spec.Topology.Linked(a, b) && !r.failed[linkKey(a, b)]
+}
+
+// pathEnd follows forwarding entries hop by hop from the observer,
+// returning the origin it reaches, or -1 if the path is missing, loops,
+// or crosses a dead link — the data-plane truth behind "converged".
+func (r *runner) pathEnd() int {
+	t := r.spec.Topology
+	cur := t.Observer
+	seen := make(map[int]bool, t.N)
+	for !seen[cur] {
+		if cur == t.Origin || cur == t.Backup {
+			return cur
+		}
+		seen[cur] = true
+		e, ok := r.nodes[cur].rec.routes[r.prefix]
+		if !ok {
+			return -1
+		}
+		nxt, ok := r.nodeOf[e.NextHop]
+		if !ok || !r.linkUp(cur, nxt) {
+			return -1
+		}
+		cur = nxt
+	}
+	return -1
+}
+
+func (r *runner) pathOK() bool { return r.pathEnd() >= 0 }
+
+// converged: every non-origin node holds the route and the observer's
+// forwarding path actually reaches an origin.
+func (r *runner) converged() bool {
+	t := r.spec.Topology
+	for i, n := range r.nodes {
+		if i == t.Origin || i == t.Backup {
+			continue
+		}
+		if _, ok := n.rec.routes[r.prefix]; !ok {
+			return false
+		}
+	}
+	return r.pathOK()
+}
+
+// initialConverged additionally demands the preferred origin won, so a
+// multi-homed scenario starts from the route the failure will break.
+func (r *runner) initialConverged() bool {
+	return r.converged() && r.pathEnd() == r.spec.Topology.Origin
+}
+
+// step advances simulated time by one quantum, accruing blackhole time
+// whenever the observer's forwarding path is broken.
+func (r *runner) step() {
+	r.loop.RunFor(stepQuantum)
+	if r.sampling && !r.pathOK() {
+		r.black += stepQuantum
+	}
+}
+
+func (r *runner) runFor(d time.Duration) {
+	end := r.loop.Now().Add(d)
+	for r.loop.Now().Before(end) {
+		r.step()
+	}
+}
+
+func (r *runner) until(limit time.Duration, cond func() bool) (time.Duration, bool) {
+	start := r.loop.Now()
+	for {
+		if cond() {
+			return r.loop.Now().Sub(start), true
+		}
+		if r.loop.Now().Sub(start) >= limit {
+			return r.loop.Now().Sub(start), false
+		}
+		r.step()
+	}
+}
+
+func (r *runner) cut(l [2]int)     { r.failed[linkKey(l[0], l[1])] = true }
+func (r *runner) restore(l [2]int) { delete(r.failed, linkKey(l[0], l[1])) }
+
+func (r *runner) partitionCut() {
+	for _, l := range r.spec.Topology.Links() {
+		if r.spec.Topology.crossesHalves(l) {
+			r.cut(l)
+		}
+	}
+}
+
+func (r *runner) heal() { r.failed = make(map[[2]int]bool) }
+
+// Run executes one scenario and reports what it measured.
+func Run(spec Spec) Result {
+	t := spec.Topology
+	res := Result{
+		Topology: t.Name,
+		Protocol: spec.Protocol,
+		Failure:  spec.Failure,
+		Nodes:    t.N,
+	}
+	if spec.Protocol == "rip" && !t.Broadcast {
+		res.Note = "skipped: RIP split horizon is per broadcast domain"
+		return res
+	}
+	r, err := newRunner(spec)
+	if err != nil {
+		res.Note = err.Error()
+		return res
+	}
+	res.Initial, res.Converged = r.until(initialLimit, r.initialConverged)
+	if !res.Converged {
+		res.Note = "never converged"
+		return res
+	}
+
+	r.sampling = true
+	switch spec.Failure {
+	case LinkLoss:
+		r.cut(t.FailLink)
+		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+	case LinkFlap:
+		for i := 0; i < flapCycles; i++ {
+			r.cut(t.FailLink)
+			r.runFor(flapDown)
+			r.restore(t.FailLink)
+			r.runFor(flapUp)
+		}
+		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+	case Partition:
+		r.partitionCut()
+		r.runFor(partitionHold)
+		r.heal()
+		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+	case ProcessKill:
+		r.nodes[t.Origin].killProto()
+		r.runFor(respawnDelay)
+		if err := r.nodes[t.Origin].startProto(r.loop, spec.Protocol, r.originates(t.Origin)); err != nil {
+			res.Note = fmt.Sprintf("respawn: %v", err)
+			return res
+		}
+		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+		if res.Recovered {
+			// Prove the respawned origin really re-announced: ride
+			// out every protocol hold timer and re-check.
+			r.runFor(killSoak)
+			res.Recovered = r.converged()
+		}
+	default:
+		res.Note = fmt.Sprintf("unknown failure %q", spec.Failure)
+		return res
+	}
+	res.Blackhole = r.black
+	return res
+}
+
+// DefaultMatrix is the standard scenario grid: every failure on every
+// topology, RIP restricted to broadcast-domain topologies (its split
+// horizon poisons learned routes, so it propagates one hop).
+func DefaultMatrix() []Spec {
+	topos := []*Topology{LAN3(), Ring(6), Grid(3, 3), ASHierarchy()}
+	var specs []Spec
+	for _, t := range topos {
+		for _, proto := range []string{"rip", "ospf"} {
+			if proto == "rip" && !t.Broadcast {
+				continue
+			}
+			for _, f := range []Failure{LinkLoss, LinkFlap, Partition, ProcessKill} {
+				specs = append(specs, Spec{Topology: t, Protocol: proto, Failure: f})
+			}
+		}
+	}
+	return specs
+}
+
+// RunMatrix runs every spec in order.
+func RunMatrix(specs []Spec) []Result {
+	out := make([]Result, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, Run(s))
+	}
+	return out
+}
+
+// FormatTable renders results as an aligned text table (simulated
+// seconds; "blackhole" is the forwarding outage the failure caused).
+func FormatTable(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %5s  %-5s %-12s %9s %9s %10s  %s\n",
+		"topology", "nodes", "proto", "failure", "initial", "recovery", "blackhole", "status")
+	for _, r := range results {
+		status := "ok"
+		switch {
+		case r.Note != "":
+			status = r.Note
+		case !r.Recovered:
+			status = "did not reconverge"
+		}
+		fmt.Fprintf(&b, "%-9s %5d  %-5s %-12s %9s %9s %10s  %s\n",
+			r.Topology, r.Nodes, r.Protocol, r.Failure,
+			fmtDur(r.Initial, r.Converged), fmtDur(r.Recovery, r.Recovered), fmtDur(r.Blackhole, r.Converged), status)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration, valid bool) string {
+	if !valid {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The headline survivability acceptance: kill and respawn BGP under
+// load. Zero forwarding loss during the grace window, nothing swept at
+// resync_complete, and the restarted router's tables byte-identical to
+// a control router that never crashed.
+func TestBGPKillRespawnAcceptance(t *testing.T) {
+	res, err := RunBGPKillRespawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossSamples != 0 {
+		t.Errorf("forwarding loss during grace window: %d samples missing pre-kill routes", res.LossSamples)
+	}
+	if res.Stale != res.Routes {
+		t.Errorf("stale at death = %d, want %d (every pre-kill BGP route retained as stale)", res.Stale, res.Routes)
+	}
+	if res.Swept != 0 {
+		t.Errorf("resync_complete swept %d routes; the replay should have un-staled all", res.Swept)
+	}
+	if !res.Recovered {
+		t.Error("router did not reconverge after respawn")
+	}
+	if !res.TablesIdentical {
+		t.Errorf("tables differ from never-killed control: %s", res.Diff)
+	}
+}
+
+// The full simulated matrix: every topology × failure × IGP cell must
+// converge, survive its failure, and reconverge. Deterministic: the
+// whole grid runs on the simulated clock.
+func TestDefaultMatrix(t *testing.T) {
+	results := RunMatrix(DefaultMatrix())
+	t.Logf("\n%s", FormatTable(results))
+	for _, r := range results {
+		if r.Note != "" && strings.HasPrefix(r.Note, "skipped") {
+			continue
+		}
+		if !r.Converged {
+			t.Errorf("%s/%s/%s: never converged (%s)", r.Topology, r.Protocol, r.Failure, r.Note)
+			continue
+		}
+		if !r.Recovered {
+			t.Errorf("%s/%s/%s: did not reconverge after failure", r.Topology, r.Protocol, r.Failure)
+		}
+	}
+}
+
+// The graceful-restart contrast on the LAN topology: a supervised
+// process crash is invisible to the data plane (retained forwarding
+// state, respawn inside every protocol timer), while an equivalent
+// link loss blackholes traffic for the protocol's detection time —
+// 180 s route timeout for RIP, 40 s dead interval for OSPF.
+func TestProcessKillIsHitless(t *testing.T) {
+	for _, proto := range []string{"rip", "ospf"} {
+		kill := Run(Spec{Topology: LAN3(), Protocol: proto, Failure: ProcessKill})
+		if !kill.Converged || !kill.Recovered {
+			t.Fatalf("%s process-kill: %+v", proto, kill)
+		}
+		if kill.Blackhole != 0 {
+			t.Errorf("%s process-kill blackholed for %v; graceful restart should be hitless", proto, kill.Blackhole)
+		}
+
+		loss := Run(Spec{Topology: LAN3(), Protocol: proto, Failure: LinkLoss})
+		if !loss.Converged || !loss.Recovered {
+			t.Fatalf("%s link-loss: %+v", proto, loss)
+		}
+		if loss.Blackhole == 0 {
+			t.Errorf("%s link-loss reported no blackhole; cutting the active link must hurt", proto)
+		}
+	}
+}
+
+// RIP waits out its 180 s route timeout before believing the backup
+// origin; OSPF detects the dead adjacency at its 40 s dead interval.
+// The chaos harness must reproduce the convergence example's numbers.
+func TestIGPFailoverTimes(t *testing.T) {
+	rip := Run(Spec{Topology: LAN3(), Protocol: "rip", Failure: LinkLoss})
+	if !rip.Recovered {
+		t.Fatalf("rip: %+v", rip)
+	}
+	if rip.Recovery < 150*time.Second || rip.Recovery > 250*time.Second {
+		t.Errorf("rip failover took %v, want ~180s (route timeout)", rip.Recovery)
+	}
+	ospf := Run(Spec{Topology: LAN3(), Protocol: "ospf", Failure: LinkLoss})
+	if !ospf.Recovered {
+		t.Fatalf("ospf: %+v", ospf)
+	}
+	if ospf.Recovery < 20*time.Second || ospf.Recovery > 60*time.Second {
+		t.Errorf("ospf failover took %v, want ~40s (dead interval)", ospf.Recovery)
+	}
+	if ospf.Recovery >= rip.Recovery {
+		t.Errorf("ospf (%v) should beat rip (%v)", ospf.Recovery, rip.Recovery)
+	}
+}
+
+// RIP on a multi-hop topology is meaningless under this model's
+// broadcast-domain split horizon; the matrix must say so rather than
+// report a bogus non-convergence.
+func TestRIPMultiHopSkipped(t *testing.T) {
+	r := Run(Spec{Topology: Ring(6), Protocol: "rip", Failure: LinkLoss})
+	if !strings.HasPrefix(r.Note, "skipped") {
+		t.Fatalf("rip/ring should be skipped, got %+v", r)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]Result{{
+		Topology: "ring6", Protocol: "ospf", Failure: LinkLoss, Nodes: 6,
+		Converged: true, Recovered: true,
+		Initial: 30 * time.Second, Recovery: 42 * time.Second, Blackhole: 40 * time.Second,
+	}})
+	for _, want := range []string{"topology", "ring6", "42.0s", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"fmt"
+	"net/netip"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/fea"
+	"xorp/internal/kernel"
+	"xorp/internal/ospf"
+	"xorp/internal/rip"
+	"xorp/internal/route"
+)
+
+// ribRec stands in for a node's RIB+FIB: it records the protocol's
+// route pushes (both rip.RIBClient and ospf.RIBClient have this shape).
+// It deliberately survives a process kill — the forwarding table keeps
+// forwarding while the control process is down, which is exactly the
+// graceful-restart property the process-kill scenario measures.
+type ribRec struct {
+	routes map[netip.Prefix]route.Entry
+}
+
+func (r *ribRec) AddRoute(e route.Entry)       { r.routes[e.Net] = e }
+func (r *ribRec) DeleteRoute(net netip.Prefix) { delete(r.routes, net) }
+
+// node is one light router: an FEA attached to the simulated subnet, a
+// recording RIB, and a single IGP process that can be killed and
+// respawned.
+type node struct {
+	idx  int
+	addr netip.Addr
+	fea  *fea.Process
+	rec  *ribRec
+	rip  *rip.Process
+	ospf *ospf.Process
+}
+
+// newNode attaches a light router to the network. The FEA keeps the
+// node's network attachment and FIB across protocol restarts, like the
+// real assembly.
+func newNode(loop *eventloop.Loop, netw *kernel.Network, idx int, addr netip.Addr) (*node, error) {
+	host, err := netw.Attach(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &node{
+		idx:  idx,
+		addr: addr,
+		fea:  fea.New(loop, kernel.NewFIB(), host, nil),
+		rec:  &ribRec{routes: make(map[netip.Prefix]route.Entry)},
+	}, nil
+}
+
+// startProto (re)creates the node's protocol process and starts it,
+// re-announcing its originated prefixes — the respawn path re-runs it
+// from scratch, as the supervisor re-applies a config slice.
+func (n *node) startProto(loop *eventloop.Loop, proto string, originate map[netip.Prefix]uint32) error {
+	switch proto {
+	case "rip":
+		tr := &rip.FEATransport{
+			BindFn: func(port uint16, recv func(src netip.AddrPort, payload []byte)) error {
+				return n.fea.UDPBind(port, "rip", recv)
+			},
+			SendFn:      n.fea.UDPSend,
+			BroadcastFn: n.fea.UDPBroadcast,
+		}
+		p := rip.NewProcess(loop, rip.Config{LocalAddr: n.addr, IfName: "eth0"}, tr, n.rec)
+		if err := p.Start(); err != nil {
+			return err
+		}
+		for pfx, metric := range originate {
+			p.InjectLocal(pfx, metric, 0)
+		}
+		n.rip = p
+	case "ospf":
+		tr := &ospf.FEATransport{
+			BindFn: func(group netip.Addr, port uint16, recv func(src netip.AddrPort, payload []byte)) error {
+				if err := n.fea.UDPJoinGroup(group); err != nil {
+					return err
+				}
+				return n.fea.UDPBind(port, "ospf", recv)
+			},
+			SendFn: n.fea.UDPSend,
+		}
+		p := ospf.NewProcess(loop, ospf.Config{LocalAddr: n.addr, IfName: "eth0"}, tr, n.rec)
+		if err := p.Start(); err != nil {
+			return err
+		}
+		for pfx, metric := range originate {
+			p.OriginatePrefix(pfx, uint16(metric))
+		}
+		n.ospf = p
+	default:
+		return fmt.Errorf("chaos: unknown protocol %q", proto)
+	}
+	return nil
+}
+
+// killProto models a process crash: timers stop, the FEA releases the
+// dead incarnation's port bindings (so a respawn can re-bind), and the
+// process pointer is dropped. The node's rec — its FIB — is retained.
+func (n *node) killProto() {
+	if n.rip != nil {
+		n.rip.Stop()
+		n.fea.UDPUnbind("rip")
+		n.rip = nil
+	}
+	if n.ospf != nil {
+		n.ospf.Stop()
+		n.fea.UDPUnbind("ospf")
+		n.ospf = nil
+	}
+}

@@ -10,6 +10,7 @@ package fea
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"xorp/internal/eventloop"
 	"xorp/internal/kernel"
@@ -27,7 +28,10 @@ type Process struct {
 	host *kernel.Host // attachment to the simulated datagram network
 
 	// udpClients maps bound port -> client target to push received
-	// datagrams to (the RIP relay path).
+	// datagrams to (the RIP relay path). Guarded by udpMu: protocols
+	// bind from their own loops, and the rtrmgr supervisor unbinds a
+	// dead protocol's ports from yet another loop before respawning it.
+	udpMu      sync.Mutex
 	udpClients map[uint16]string
 	router     *xipc.Router
 	recvPush   *xif.FEAUDPRecvClient // fea_udp_client/0.1 stub over router
@@ -153,8 +157,28 @@ func (p *Process) UDPBind(port uint16, client string, recv func(src netip.AddrPo
 	if err := p.host.Bind(port, handler); err != nil {
 		return err
 	}
+	p.udpMu.Lock()
 	p.udpClients[port] = client
+	p.udpMu.Unlock()
 	return nil
+}
+
+// UDPUnbind releases every UDP port bound on behalf of client. A
+// respawned protocol process re-runs its setup from scratch, so its
+// previous incarnation's bindings must be gone or the re-bind fails
+// with a duplicate-port error.
+func (p *Process) UDPUnbind(client string) {
+	if p.host == nil {
+		return
+	}
+	p.udpMu.Lock()
+	defer p.udpMu.Unlock()
+	for port, c := range p.udpClients {
+		if c == client {
+			p.host.Unbind(port)
+			delete(p.udpClients, port)
+		}
+	}
 }
 
 // UDPJoinGroup subscribes the router to a multicast group on behalf of

@@ -30,6 +30,14 @@ type instanceInfo struct {
 	// resolution negotiates against it (§6 rolling-upgrade scenario).
 	ifaces   map[string]map[string]bool
 	lastSeen time.Time
+	// Liveness bookkeeping (pingAll): missed counts consecutive ping
+	// rounds that began with no reply yet processed; a reply (whenever it
+	// lands) resets it. pinging marks a probe still in flight, so a slow
+	// round never stacks a second probe — and crucially a reply in flight
+	// across a round boundary costs one counted miss, not an expiry-time
+	// double-count.
+	missed  int
+	pinging bool
 }
 
 // aclRule allows caller to invoke command on target. "*" wildcards any
@@ -154,7 +162,7 @@ func (f *Finder) EnableLiveness(period time.Duration) {
 		if f.pingTimer != nil {
 			f.pingTimer.Cancel()
 		}
-		f.pingTimer = f.loop.Periodic(period, func() { f.pingAll(period) })
+		f.pingTimer = f.loop.Periodic(period, f.pingAll)
 	})
 }
 
@@ -400,17 +408,31 @@ func (f *Finder) broadcastInvalidate(instance string) {
 	}
 }
 
-// pingAll checks component liveness and expires the silent.
-func (f *Finder) pingAll(period time.Duration) {
-	now := f.loop.Now()
+// pingAll checks component liveness and expires the silent. Misses are
+// counted per round, not inferred from reply timestamps: the old
+// elapsed-time check double-counted a reply still in flight when the
+// next round fired and could expire a live component one round early
+// (or instantly, when liveness was enabled long after registration).
+// A component is expired only once two full rounds have begun with no
+// reply processed since.
+func (f *Finder) pingAll() {
 	for name, info := range f.instances {
-		if now.Sub(info.lastSeen) > 2*period {
+		if info.missed >= 2 {
 			f.removeInstance(name)
 			continue
 		}
+		info.missed++
+		if info.pinging {
+			// Previous probe still in flight; its reply (if the component
+			// lives) clears the miss count. Don't stack another probe.
+			continue
+		}
+		info.pinging = true
 		info := info
 		f.events.Ping(name, func(_ xrl.Args, err *xrl.Error) {
+			info.pinging = false
 			if err == nil {
+				info.missed = 0
 				info.lastSeen = f.loop.Now()
 			}
 		})

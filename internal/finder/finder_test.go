@@ -533,3 +533,201 @@ func TestColdMethodKeepsSendOrder(t *testing.T) {
 		}
 	}
 }
+
+// simNode is a hand-driven component for liveness tests: no goroutine, no
+// real clock — the test pumps its loop explicitly so ping replies can be
+// held "in flight" across round boundaries.
+type simNode struct {
+	loop   *eventloop.Loop
+	router *xipc.Router
+	target *xipc.Target
+}
+
+func newSimNode(clock eventloop.Clock, hub *xipc.Hub, name string) *simNode {
+	n := &simNode{loop: eventloop.New(clock)}
+	n.router = xipc.NewRouter(name+"_process", n.loop)
+	n.target = xipc.NewTarget(name, name)
+	n.target.Register("test", "1.0", "echo", func(a xrl.Args) (xrl.Args, error) { return a, nil })
+	n.router.AddTarget(n.target)
+	n.router.AttachHub(hub)
+	return n
+}
+
+// TestLivenessSurvivesInFlightReply pins the pingAll fix: a ping reply
+// still in flight when the next round fires must cost one counted miss,
+// not an expiry. The old elapsed-time check (now - lastSeen > 2*period)
+// double-counted it and expired a live component one round early whenever
+// liveness was enabled at a phase offset from registration.
+func TestLivenessSurvivesInFlightReply(t *testing.T) {
+	clock := eventloop.NewSimClock(time.Unix(1000, 0))
+	hub := xipc.NewHub()
+	floop := eventloop.New(clock)
+	f := New(floop)
+	f.AttachHub(hub)
+
+	comp := newSimNode(clock, hub, "comp")
+	watch := newSimNode(clock, hub, "watch")
+
+	// Pump every loop until quiescent (single-threaded: nothing runs
+	// outside these RunPending calls).
+	settle := func() {
+		for i := 0; i < 1000; i++ {
+			if floop.RunPending()+comp.loop.RunPending()+watch.loop.RunPending() == 0 {
+				return
+			}
+		}
+		t.Fatal("loops did not settle")
+	}
+
+	reg := func(n *simNode) {
+		var err error
+		done := false
+		RegisterTarget(n.router, n.target, true, func(e error) { err = e; done = true })
+		settle()
+		if !done || err != nil {
+			t.Fatalf("register %s: done=%v err=%v", n.target.Name, done, err)
+		}
+	}
+	reg(comp)
+	reg(watch)
+
+	var events []string
+	watch.router.SetFinderEvent(func(event, class, instance string) {
+		events = append(events, event+":"+class+":"+instance)
+	})
+	watchErr, watchDone := error(nil), false
+	Watch(watch.router, "watch", "*", func(e error) { watchErr = e; watchDone = true })
+	settle()
+	if !watchDone || watchErr != nil {
+		t.Fatalf("watch: done=%v err=%v", watchDone, watchErr)
+	}
+
+	registered := func() bool {
+		ok := false
+		floop.Dispatch(func() { _, ok = f.instances["comp"] })
+		floop.RunPending()
+		return ok
+	}
+
+	// Enable liveness half a period after registration: rounds fire at
+	// 1.5P, 2.5P, ... while comp's lastSeen is ~0.
+	const period = time.Second
+	clock.Advance(period / 2)
+	settle()
+	f.EnableLiveness(period)
+	floop.RunPending()
+
+	// Round 1 (t=1.5P): pump only the finder loop, so the ping reaches
+	// comp's queue but the reply never comes back — in flight.
+	clock.Advance(period)
+	floop.RunPending()
+	// Round 2 (t=2.5P): reply still in flight. Old code: expired here
+	// (elapsed 2.5P > 2P). New code: one miss counted, probe not stacked.
+	clock.Advance(period)
+	floop.RunPending()
+	if !registered() {
+		t.Fatal("component expired with ping reply in flight")
+	}
+
+	// Deliver the held reply: miss count resets, component stays alive
+	// through many more rounds.
+	settle()
+	for i := 0; i < 5; i++ {
+		clock.Advance(period)
+		settle()
+	}
+	if !registered() {
+		t.Fatal("live component expired under normal ping rounds")
+	}
+	for _, ev := range events {
+		if strings.HasPrefix(ev, "death:") {
+			t.Fatalf("spurious death event: %v", events)
+		}
+	}
+
+	// A genuinely dead component still expires: detach comp so pings fail,
+	// and expect removal within three rounds plus a death notification.
+	comp.router.Close()
+	settle()
+	for i := 0; i < 4; i++ {
+		clock.Advance(period)
+		settle()
+	}
+	if registered() {
+		t.Fatal("dead component not expired after four silent rounds")
+	}
+	found := false
+	for _, ev := range events {
+		if ev == "death:comp:comp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no death event for expired component: %v", events)
+	}
+}
+
+// TestDeathThenRebirthOrdered: unregistering an instance and immediately
+// re-registering the same name must deliver watchers exactly one death
+// and one birth, in that order — reordering or coalescing would leave a
+// supervisor believing the process is down (or never restarted).
+func TestDeathThenRebirthOrdered(t *testing.T) {
+	_, hub, nodes := setupHub(t, "alpha")
+	a := nodes["alpha"]
+	events := make(chan string, 10)
+	a.router.SetFinderEvent(func(event, class, instance string) {
+		events <- event + ":" + class + ":" + instance
+	})
+	done := make(chan error, 1)
+	Watch(a.router, "alpha", "*", func(err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	b := newTestNode("beta")
+	defer b.stop()
+	b.router.AttachHub(hub)
+	if err := RegisterTargetSync(b.router, b.target, true); err != nil {
+		t.Fatalf("register beta: %v", err)
+	}
+	select {
+	case ev := <-events:
+		if ev != "birth:beta:beta" {
+			t.Fatalf("event = %q, want birth:beta:beta", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no initial birth event")
+	}
+
+	// Death and re-birth queued back to back: the unregister and the
+	// re-register ride the same per-target FIFO to the finder.
+	reDone := make(chan error, 2)
+	UnregisterTarget(b.router, "beta", func(err error) { reDone <- err })
+	RegisterTarget(b.router, b.target, true, func(err error) { reDone <- err })
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-reDone:
+			if err != nil {
+				t.Fatalf("unregister/re-register: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("unregister/re-register wedged")
+		}
+	}
+
+	for _, want := range []string{"death:beta:beta", "birth:beta:beta"} {
+		select {
+		case ev := <-events:
+			if ev != want {
+				t.Fatalf("event = %q, want %q", ev, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("missing %q", want)
+		}
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("extra lifetime event %q", ev)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -3,6 +3,7 @@ package rib
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"xorp/internal/eventloop"
 	"xorp/internal/profiler"
@@ -34,6 +35,11 @@ type Process struct {
 
 	router *xipc.Router         // for invalidation pushes; may be nil
 	notify *xif.RIBNotifyClient // rib_client/0.1 stub over router
+
+	// Graceful restart (graceful.go): retention bound and the armed
+	// per-protocol sweep timers.
+	gracePeriod time.Duration
+	graceTimers map[route.Protocol]*eventloop.Timer
 
 	prof       *profiler.Profiler
 	profArrive *profiler.Point
@@ -367,6 +373,10 @@ func (s ribServer) DeregisterInterest4(client string, covering netip.Prefix) err
 func (s ribServer) LookupRouteByDest4(addr netip.Addr) (xif.RIBLookup, error) {
 	e, ok := s.p.LookupBest(addr)
 	return xif.RIBLookup{Found: ok, Entry: e}, nil
+}
+
+func (s ribServer) ResyncComplete4(proto route.Protocol) (uint32, error) {
+	return uint32(s.p.ResyncComplete(proto)), nil
 }
 
 // RegisterXRLs exposes the rib/1.0 and profile/0.1 interfaces on target t

@@ -199,6 +199,17 @@ type OriginTable struct {
 	ad    uint8
 	tbl   *trie.Trie[route.Entry]
 
+	// stale marks routes retained across their protocol's death (BGP
+	// graceful-restart semantics, §3's survivability claim): when the
+	// Finder reports the origin's process dead, the stored routes stay
+	// resolvable and stay in the FIB but are flagged here; a re-learned
+	// route clears its flag (an identical re-announcement short-circuits
+	// in AddRoute with zero downstream emission), and SweepStale removes
+	// whatever the respawned process no longer announces. Staleness lives
+	// beside route.Entry, not in it, precisely so Entry.Equal still
+	// detects the identical re-announcement. Nil when nothing is stale.
+	stale map[netip.Prefix]bool
+
 	// batchGate, when set, vets batch operations: batching upserts the
 	// table ahead of the downstream flush, so a downstream stage that
 	// reads this table mid-flush (the extint stage re-resolving dependent
@@ -236,6 +247,55 @@ func (o *OriginTable) batchOK() bool { return o.batchGate == nil || o.batchGate(
 // Len returns the number of stored routes.
 func (o *OriginTable) Len() int { return o.tbl.Len() }
 
+// MarkAllStale flags every stored route stale without emitting anything
+// downstream: the routes remain announced and installed. Returns the
+// number of routes marked.
+func (o *OriginTable) MarkAllStale() int {
+	if o.tbl.Len() == 0 {
+		return 0
+	}
+	if o.stale == nil {
+		o.stale = make(map[netip.Prefix]bool, o.tbl.Len())
+	}
+	n := 0
+	o.tbl.Walk(func(net netip.Prefix, _ route.Entry) bool {
+		if !o.stale[net] {
+			o.stale[net] = true
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// StaleCount returns the number of routes currently marked stale.
+func (o *OriginTable) StaleCount() int { return len(o.stale) }
+
+// clearStale un-flags one prefix (route re-learned or withdrawn).
+func (o *OriginTable) clearStale(net netip.Prefix) {
+	if o.stale != nil {
+		delete(o.stale, net)
+	}
+}
+
+// SweepStale deletes every route still marked stale, shipping the
+// deletions downstream as coalesced runs (the grace window closed: the
+// respawned process finished resyncing, or the grace timer expired).
+// Returns the number of routes swept.
+func (o *OriginTable) SweepStale() int {
+	if len(o.stale) == 0 {
+		return 0
+	}
+	// Collect first: DeleteBatch mutates o.stale via clearStale.
+	nets := make([]netip.Prefix, 0, len(o.stale))
+	for net := range o.stale {
+		nets = append(nets, net)
+	}
+	swept := o.DeleteBatch(nets)
+	o.stale = nil
+	return swept
+}
+
 // AddRoute stores a route from the protocol, stamping protocol and
 // administrative distance, and emits Add or Replace. The store and the
 // previous-value fetch are one trie traversal (Upsert).
@@ -244,11 +304,14 @@ func (o *OriginTable) AddRoute(e route.Entry) {
 	e.Protocol = o.proto
 	e.AdminDistance = o.ad
 	old, existed := o.tbl.Upsert(e.Net, e)
+	o.clearStale(e.Net)
 	if o.next == nil {
 		return
 	}
 	if existed {
 		if old.Equal(e) {
+			// Re-learned identical route: already un-staled above with
+			// zero downstream (and zero FIB) churn.
 			return
 		}
 		o.next.Replace(old, e)
@@ -273,6 +336,7 @@ func (o *OriginTable) LoadBatch(es []route.Entry) {
 		e.Protocol = o.proto
 		e.AdminDistance = o.ad
 		old, existed := o.tbl.Upsert(e.Net, e)
+		o.clearStale(e.Net)
 		if o.next == nil {
 			continue
 		}
@@ -291,6 +355,7 @@ func (o *OriginTable) LoadBatch(es []route.Entry) {
 // DeleteRoute removes a route and emits Delete.
 func (o *OriginTable) DeleteRoute(net netip.Prefix) bool {
 	old, existed := o.tbl.Delete(net.Masked())
+	o.clearStale(net.Masked())
 	if existed && o.next != nil {
 		o.next.Delete(old)
 	}
@@ -313,6 +378,7 @@ func (o *OriginTable) DeleteBatch(nets []netip.Prefix) int {
 	em := runEmitter{next: o.next}
 	for _, net := range nets {
 		old, existed := o.tbl.Delete(net.Masked())
+		o.clearStale(net.Masked())
 		if !existed {
 			continue
 		}
@@ -328,6 +394,7 @@ func (o *OriginTable) DeleteBatch(nets []netip.Prefix) int {
 // step ships its deletions downstream as one coalesced run instead of
 // per-route stage plumbing.
 func (o *OriginTable) DeleteAll() *eventloop.Task {
+	o.stale = nil // everything is going away; no marks to retain
 	it := o.tbl.Iterate()
 	return o.loop.AddTask("delete-all("+o.name+")", func() bool {
 		batched := o.batchOK()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/netip"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xorp/internal/bgp"
@@ -54,16 +56,40 @@ type Router struct {
 	OSPF   *ospf.Process
 
 	// Routers (one per process) and their loops.
-	FEARouter *xipc.Router
-	RIBRouter *xipc.Router
-	BGPRouter *xipc.Router
+	FEARouter  *xipc.Router
+	RIBRouter  *xipc.Router
+	BGPRouter  *xipc.Router
+	RIPRouter  *xipc.Router
+	OSPFRouter *xipc.Router
 
 	MetricSource *bgp.MetricSource
 	loops        []*eventloop.Loop
+	bgpLoop      *eventloop.Loop
 	ripLoop      *eventloop.Loop
 	ospfLoop     *eventloop.Loop
 	opts         Options
 	running      bool
+
+	// Finder targets for the supervised protocol processes, kept so a
+	// respawn can re-register them.
+	bgpTarget  *xipc.Target
+	ripTarget  *xipc.Target
+	ospfTarget *xipc.Target
+
+	// Names of the RIB redistribution stages each protocol spliced in,
+	// removed on teardown so a respawn re-splices them cleanly.
+	bgpRedists  []string
+	ospfRedists []string
+
+	// procMu guards the swappable process fields (BGP/RIP/OSPF, their
+	// routers, loops, targets, redist names): the supervisor replaces
+	// them on respawn while tests and chaos harnesses read them.
+	procMu sync.Mutex
+	// respawning marks that setup code is running on the shared loop
+	// itself (supervisor respawn); syncDo must not dispatch-and-wait.
+	respawning atomic.Bool
+
+	sup *Supervisor
 }
 
 // simulated reports whether the assembly runs on a simulated clock.
@@ -79,7 +105,9 @@ func (r *Router) loopFor() *eventloop.Loop {
 		return r.loops[0]
 	}
 	l := eventloop.New(r.opts.Clock)
+	r.procMu.Lock()
 	r.loops = append(r.loops, l)
+	r.procMu.Unlock()
 	if !r.simulated() {
 		go l.Run()
 	}
@@ -89,6 +117,13 @@ func (r *Router) loopFor() *eventloop.Loop {
 // syncDo runs fn on loop and waits for completion, driving simulated
 // loops as needed.
 func (r *Router) syncDo(loop *eventloop.Loop, fn func()) {
+	if r.respawning.Load() && r.opts.SharedLoop {
+		// Respawn runs on the shared loop itself: dispatching to it and
+		// waiting would deadlock (real clock) or wedge (sim clock), and
+		// being on the loop already makes the direct call safe.
+		fn()
+		return
+	}
 	if !r.simulated() {
 		loop.DispatchAndWait(fn)
 		return
@@ -126,6 +161,31 @@ func (r *Router) registerTarget(xr *xipc.Router, t *xipc.Target) error {
 	}
 	if !done {
 		return fmt.Errorf("rtrmgr: finder registration wedged")
+	}
+	return err
+}
+
+// watch subscribes watcherTarget (hosted by xr) to Finder lifetime
+// events for class, driving simulated loops as needed.
+func (r *Router) watch(xr *xipc.Router, watcherTarget, class string) error {
+	if !r.simulated() {
+		ch := make(chan error, 1)
+		finder.Watch(xr, watcherTarget, class, func(e error) { ch <- e })
+		return <-ch
+	}
+	var err error
+	done := false
+	finder.Watch(xr, watcherTarget, class, func(e error) {
+		err = e
+		done = true
+	})
+	for i := 0; !done && i < 10000; i++ {
+		for _, l := range r.loops {
+			l.RunPending()
+		}
+	}
+	if !done {
+		return fmt.Errorf("rtrmgr: finder watch wedged")
 	}
 	return err
 }
@@ -182,6 +242,12 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 	r.RIBRouter.AddTarget(ribTarget)
 	if err := r.registerTarget(r.RIBRouter, ribTarget); err != nil {
 		return nil, fmt.Errorf("rtrmgr: register rib: %w", err)
+	}
+	// Graceful restart: the RIB watches component lifetimes so a protocol
+	// death marks its routes stale instead of stranding them (rib/graceful.go).
+	r.RIBRouter.SetFinderEvent(r.RIB.HandleFinderEvent)
+	if err := r.watch(r.RIBRouter, "rib", "*"); err != nil {
+		return nil, fmt.Errorf("rtrmgr: rib lifetime watch: %w", err)
 	}
 
 	// Interfaces and connected routes.
@@ -242,24 +308,31 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 
 	protos := cfg.Child("protocols")
 
-	// BGP process.
+	// Protocol processes. Each setup builds the process and its XRL
+	// router; registration with the Finder happens here so the respawn
+	// path (which must register asynchronously) can reuse the setups.
 	if protos != nil && protos.Child("bgp") != nil {
 		if err := r.setupBGP(protos.Child("bgp")); err != nil {
 			return nil, err
 		}
+		if err := r.registerTarget(r.BGPRouter, r.bgpTarget); err != nil {
+			return nil, fmt.Errorf("rtrmgr: register bgp: %w", err)
+		}
 	}
-
-	// RIP process.
 	if protos != nil && protos.Child("rip") != nil {
 		if err := r.setupRIP(protos.Child("rip")); err != nil {
 			return nil, err
 		}
+		if err := r.registerTarget(r.RIPRouter, r.ripTarget); err != nil {
+			return nil, fmt.Errorf("rtrmgr: register rip: %w", err)
+		}
 	}
-
-	// OSPF process.
 	if protos != nil && protos.Child("ospf") != nil {
 		if err := r.setupOSPF(protos.Child("ospf")); err != nil {
 			return nil, err
+		}
+		if err := r.registerTarget(r.OSPFRouter, r.ospfTarget); err != nil {
+			return nil, fmt.Errorf("rtrmgr: register ospf: %w", err)
 		}
 	}
 
@@ -280,15 +353,16 @@ func (r *Router) setupBGP(cfg *Node) error {
 		return err
 	}
 
+	// Build into locals; publish the swappable fields under procMu at
+	// the end so respawn-time readers never see a half-built process.
 	bgpLoop := r.loopFor()
-	r.BGPRouter = xipc.NewRouter("bgp_process", bgpLoop)
-	r.BGPRouter.AttachHub(r.Hub)
+	xr := xipc.NewRouter("bgp_process", bgpLoop)
+	xr.AttachHub(r.Hub)
 
-	ms := &xrlMetricSource{stub: xif.NewRIBClient(r.BGPRouter, "rib"), bgpTarget: "bgp"}
+	ms := &xrlMetricSource{stub: xif.NewRIBClient(xr, "rib"), bgpTarget: "bgp"}
 	var metricSrc bgp.MetricSource = ms
-	r.MetricSource = &metricSrc
-	ribClient := &xrlRIBClient{stub: xif.NewRIBClient(r.BGPRouter, "rib"), loop: bgpLoop}
-	r.BGP = bgp.NewProcess(bgpLoop, bgp.Config{
+	ribClient := &xrlRIBClient{stub: xif.NewRIBClient(xr, "rib"), loop: bgpLoop}
+	proc := bgp.NewProcess(bgpLoop, bgp.Config{
 		AS:                uint16(as),
 		BGPID:             id,
 		ListenAddr:        r.opts.BGPListen,
@@ -297,11 +371,8 @@ func (r *Router) setupBGP(cfg *Node) error {
 	}, ribClient, metricSrc)
 
 	bgpTarget := xif.NewTarget("bgp", "bgp")
-	r.BGP.RegisterXRLs(bgpTarget)
-	r.BGPRouter.AddTarget(bgpTarget)
-	if err := r.registerTarget(r.BGPRouter, bgpTarget); err != nil {
-		return fmt.Errorf("rtrmgr: register bgp: %w", err)
-	}
+	proc.RegisterXRLs(bgpTarget)
+	xr.AddTarget(bgpTarget)
 
 	// Peers (created on the BGP loop; enabled at Start).
 	for _, p := range cfg.ChildrenNamed("peer") {
@@ -338,7 +409,7 @@ func (r *Router) setupBGP(cfg *Node) error {
 			pc.Name = "peer-" + peerAddr.String()
 		}
 		var aerr error
-		r.syncDo(bgpLoop, func() { _, aerr = r.BGP.AddPeer(pc) })
+		r.syncDo(bgpLoop, func() { _, aerr = proc.AddPeer(pc) })
 		if aerr != nil {
 			return aerr
 		}
@@ -346,19 +417,27 @@ func (r *Router) setupBGP(cfg *Node) error {
 
 	// Redistribution into BGP, optionally policy-filtered:
 	//   bgp { redistribute static policy-name; }
+	var redists []string
 	for _, rd := range cfg.ChildrenNamed("redistribute") {
 		proto, filter, err := r.redistFilter(rd)
 		if err != nil {
 			return err
 		}
+		name := "to-bgp-" + proto
 		var rerr error
 		r.syncDo(r.RIB.Loop(), func() {
-			_, rerr = r.RIB.AddRedist("to-bgp-"+proto, filter, directRedist{bgp: r.BGP})
+			_, rerr = r.RIB.AddRedist(name, filter, directRedist{bgp: proc})
 		})
 		if rerr != nil {
 			return rerr
 		}
+		redists = append(redists, name)
 	}
+
+	r.procMu.Lock()
+	r.bgpLoop, r.BGPRouter, r.BGP = bgpLoop, xr, proc
+	r.MetricSource, r.bgpTarget, r.bgpRedists = &metricSrc, bgpTarget, redists
+	r.procMu.Unlock()
 	return nil
 }
 
@@ -402,7 +481,13 @@ func (r *Router) setupRIP(cfg *Node) error {
 		return fmt.Errorf("rtrmgr: rip requires Options.Network and LocalAddr")
 	}
 	ripLoop := r.loopFor()
-	r.ripLoop = ripLoop
+	// RIP feeds the RIB through a direct adapter, but it still registers
+	// a Finder target: lifetime events are what drive the RIB's stale-
+	// route retention and the supervisor's respawn on its death.
+	xr := xipc.NewRouter("rip_process", ripLoop)
+	xr.AttachHub(r.Hub)
+	tgt := xif.NewTarget("rip", "rip")
+	xr.AddTarget(tgt)
 	tr := &rip.FEATransport{
 		BindFn: func(port uint16, recv func(src netip.AddrPort, payload []byte)) error {
 			// Receive on the FEA, hop to the RIP loop.
@@ -421,7 +506,10 @@ func (r *Router) setupRIP(cfg *Node) error {
 		}
 		rcfg.UpdateInterval = time.Duration(sec) * time.Second
 	}
-	r.RIP = rip.NewProcess(ripLoop, rcfg, tr, ripRIBAdapter{r.RIB})
+	proc := rip.NewProcess(ripLoop, rcfg, tr, ripRIBAdapter{r.RIB})
+	r.procMu.Lock()
+	r.ripLoop, r.RIPRouter, r.RIP, r.ripTarget = ripLoop, xr, proc, tgt
+	r.procMu.Unlock()
 	return nil
 }
 
@@ -440,7 +528,11 @@ func (r *Router) setupOSPF(cfg *Node) error {
 		return fmt.Errorf("rtrmgr: ospf requires Options.Network and LocalAddr")
 	}
 	ospfLoop := r.loopFor()
-	r.ospfLoop = ospfLoop
+	// Finder presence for lifetime events, as for RIP above.
+	xr := xipc.NewRouter("ospf_process", ospfLoop)
+	xr.AttachHub(r.Hub)
+	tgt := xif.NewTarget("ospf", "ospf")
+	xr.AddTarget(tgt)
 	tr := &ospf.FEATransport{
 		BindFn: func(group netip.Addr, port uint16, recv func(src netip.AddrPort, payload []byte)) error {
 			if err := r.FEA.UDPJoinGroup(group); err != nil {
@@ -480,7 +572,7 @@ func (r *Router) setupOSPF(cfg *Node) error {
 		}
 		ocfg.Cost = uint16(c)
 	}
-	r.OSPF = ospf.NewProcess(ospfLoop, ocfg, tr, ospfRIBAdapter{r.RIB})
+	proc := ospf.NewProcess(ospfLoop, ocfg, tr, ospfRIBAdapter{r.RIB})
 
 	if polName := cfg.Leaf("export"); polName != "" {
 		pol, err := r.compilePolicy(polName)
@@ -488,25 +580,33 @@ func (r *Router) setupOSPF(cfg *Node) error {
 			return err
 		}
 		filter := policy.OSPFExportFilter(pol)
-		r.syncDo(ospfLoop, func() { r.OSPF.SetExportFilter(filter) })
+		r.syncDo(ospfLoop, func() { proc.SetExportFilter(filter) })
 	}
 
 	// Redistribution into OSPF, optionally policy-filtered:
 	//   ospf { redistribute static policy-name; }
+	var redists []string
 	for _, rd := range cfg.ChildrenNamed("redistribute") {
 		proto, filter, err := r.redistFilter(rd)
 		if err != nil {
 			return err
 		}
-		out := ospfRedistAdapter{loop: ospfLoop, p: r.OSPF}
+		out := ospfRedistAdapter{loop: ospfLoop, p: proc}
+		name := "to-ospf-" + proto
 		var rerr error
 		r.syncDo(r.RIB.Loop(), func() {
-			_, rerr = r.RIB.AddRedist("to-ospf-"+proto, filter, out)
+			_, rerr = r.RIB.AddRedist(name, filter, out)
 		})
 		if rerr != nil {
 			return rerr
 		}
+		redists = append(redists, name)
 	}
+
+	r.procMu.Lock()
+	r.ospfLoop, r.OSPFRouter, r.OSPF = ospfLoop, xr, proc
+	r.ospfTarget, r.ospfRedists = tgt, redists
+	r.procMu.Unlock()
 	return nil
 }
 
@@ -578,8 +678,11 @@ func (r *Router) Start() error {
 		return nil
 	}
 	r.running = true
-	if r.BGP != nil {
-		if err := r.BGP.Listen(); err != nil {
+	// Snapshot the process pointers: the closures below run later on
+	// the protocol loops, possibly after a supervisor teardown nils the
+	// fields.
+	if bgpProc := r.BGP; bgpProc != nil {
+		if err := bgpProc.Listen(); err != nil {
 			return err
 		}
 		protos := r.Config.Child("protocols")
@@ -588,26 +691,26 @@ func (r *Router) Start() error {
 			if name == "" {
 				name = "peer-" + p.Leaf("peer-addr")
 			}
-			r.BGP.Loop().Dispatch(func() { r.BGP.EnablePeer(name) })
+			bgpProc.Loop().Dispatch(func() { bgpProc.EnablePeer(name) })
 		}
 	}
-	if r.RIP != nil {
+	if ripProc := r.RIP; ripProc != nil {
 		var err error
-		r.syncDo(r.ripLoop, func() { err = r.RIP.Start() })
+		r.syncDo(r.ripLoop, func() { err = ripProc.Start() })
 		if err != nil {
 			return err
 		}
 	}
-	if r.OSPF != nil {
+	if ospfProc := r.OSPF; ospfProc != nil {
 		ifaces := r.FIB.Interfaces()
 		var err error
 		r.syncDo(r.ospfLoop, func() {
-			if err = r.OSPF.Start(); err != nil {
+			if err = ospfProc.Start(); err != nil {
 				return
 			}
 			// Connected networks become stub prefixes.
 			for _, ifc := range ifaces {
-				r.OSPF.OriginatePrefix(ifc.Addr.Masked(), 1)
+				ospfProc.OriginatePrefix(ifc.Addr.Masked(), 1)
 			}
 		})
 		if err != nil {
@@ -617,28 +720,34 @@ func (r *Router) Start() error {
 	return nil
 }
 
-// Stop shuts everything down.
+// Stop shuts everything down. Snapshot the swappable process fields
+// under procMu: the supervisor may have replaced them since Start.
 func (r *Router) Stop() {
-	if r.BGP != nil && !r.simulated() {
-		r.BGP.Loop().DispatchAndWait(r.BGP.Close)
+	r.procMu.Lock()
+	bgpProc, ripProc, ospfProc := r.BGP, r.RIP, r.OSPF
+	ripLoop, ospfLoop := r.ripLoop, r.ospfLoop
+	loops := append([]*eventloop.Loop(nil), r.loops...)
+	r.procMu.Unlock()
+	if bgpProc != nil && !r.simulated() {
+		bgpProc.Loop().DispatchAndWait(bgpProc.Close)
 	}
 	// Protocol timers are loop-owned state: cancel them on their own
 	// loops (real-clock loops are still running here).
-	if r.RIP != nil {
+	if ripProc != nil {
 		if r.simulated() {
-			r.RIP.Stop()
+			ripProc.Stop()
 		} else {
-			r.ripLoop.DispatchAndWait(r.RIP.Stop)
+			ripLoop.DispatchAndWait(ripProc.Stop)
 		}
 	}
-	if r.OSPF != nil {
+	if ospfProc != nil {
 		if r.simulated() {
-			r.OSPF.Stop()
+			ospfProc.Stop()
 		} else {
-			r.ospfLoop.DispatchAndWait(r.OSPF.Stop)
+			ospfLoop.DispatchAndWait(ospfProc.Stop)
 		}
 	}
-	for _, l := range r.loops {
+	for _, l := range loops {
 		l.Stop()
 	}
 	r.running = false

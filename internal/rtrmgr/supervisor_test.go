@@ -1,0 +1,328 @@
+package rtrmgr
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"xorp/internal/bgp"
+	"xorp/internal/eventloop"
+	"xorp/internal/kernel"
+	"xorp/internal/route"
+	"xorp/internal/workload"
+)
+
+// fastSup is a supervision config tuned for tests: quick respawns, a
+// window wide enough that every test kill counts as rapid.
+func fastSup() SupervisorConfig {
+	return SupervisorConfig{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+		RapidWindow:    time.Minute,
+		MaxRapidDeaths: 10,
+	}
+}
+
+func (r *Router) staleCount(t *testing.T, proto route.Protocol) int {
+	t.Helper()
+	var n int
+	r.RIB.Loop().DispatchAndWait(func() { n = r.RIB.StaleCount(proto) })
+	return n
+}
+
+// Kill the BGP process under an installed route: the route must survive
+// in FIB and RIB (stale retention), the supervisor must respawn BGP
+// from its config slice, and a re-announcement plus resync_complete
+// must leave the table as if nothing happened.
+func TestSupervisorRespawnsKilledBGP(t *testing.T) {
+	r, err := NewRouter(baseConfig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EnableSupervision(fastSup()); err != nil {
+		t.Fatal(err)
+	}
+
+	net1 := mustP("20.1.0.0/16")
+	u := &bgp.UpdateMsg{
+		Attrs: workload.TestAttrs(mustA("10.0.0.1"), 65002),
+		NLRI:  []netip.Prefix{net1},
+	}
+	old := r.CurrentBGP()
+	old.Loop().Dispatch(func() { old.InjectUpdate("p1", u) })
+	waitCond(t, "BGP route in FIB", func() bool {
+		e, ok := r.FIB.Lookup(mustA("20.1.2.3"))
+		return ok && e.Net == net1
+	})
+
+	if err := r.KillProcess("bgp"); err != nil {
+		t.Fatal(err)
+	}
+	// Graceful restart: the dead process's route is marked stale but
+	// keeps forwarding.
+	waitCond(t, "route marked stale after death", func() bool {
+		return r.staleCount(t, route.ProtoEBGP) == 1
+	})
+	if _, ok := r.FIB.Lookup(mustA("20.1.2.3")); !ok {
+		t.Fatal("FIB lost the route during the grace window")
+	}
+
+	waitCond(t, "BGP respawned", func() bool {
+		p := r.CurrentBGP()
+		return p != nil && p != old
+	})
+	deaths, respawns, givenUp := r.Supervisor().Stats("bgp")
+	if deaths != 1 || respawns != 1 || givenUp {
+		t.Fatalf("stats = %d deaths, %d respawns, givenUp=%v", deaths, respawns, givenUp)
+	}
+
+	// The respawned process re-learns the same route; it un-stales in
+	// place, and resync_complete closes the window with nothing to sweep.
+	nu := r.CurrentBGP()
+	nu.Loop().Dispatch(func() { nu.InjectUpdate("p1", u) })
+	waitCond(t, "re-learned route un-staled", func() bool {
+		return r.staleCount(t, route.ProtoEBGP) == 0
+	})
+	var swept int
+	r.RIB.Loop().DispatchAndWait(func() {
+		swept = r.RIB.ResyncComplete(route.ProtoEBGP) + r.RIB.ResyncComplete(route.ProtoIBGP)
+	})
+	if swept != 0 {
+		t.Fatalf("resync swept %d routes; re-learned route should have un-staled", swept)
+	}
+	e, ok := r.FIB.Lookup(mustA("20.1.2.3"))
+	if !ok || e.Net != net1 {
+		t.Fatalf("FIB after restart: %+v %v", e, ok)
+	}
+}
+
+// A process that dies faster than RapidWindow over and over is
+// abandoned with an alarm instead of respawned forever.
+func TestSupervisorCrashLoopGivesUp(t *testing.T) {
+	r, err := NewRouter(baseConfig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	alarms := make(chan string, 1)
+	cfg := fastSup()
+	cfg.MaxRapidDeaths = 2
+	cfg.Alarm = func(class string, deaths int) { alarms <- class }
+	sup, err := r.EnableSupervision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deaths 1 and 2 are tolerated (respawned); death 3 exceeds
+	// MaxRapidDeaths and trips the alarm.
+	prev := r.CurrentBGP()
+	for kill := 1; kill <= 3; kill++ {
+		waitCond(t, "bgp alive before kill", func() bool {
+			p := r.CurrentBGP()
+			if p == nil || p == prev && kill > 1 {
+				return false
+			}
+			prev = p
+			return true
+		})
+		if err := r.KillProcess("bgp"); err != nil {
+			t.Fatalf("kill %d: %v", kill, err)
+		}
+	}
+
+	select {
+	case class := <-alarms:
+		if class != "bgp" {
+			t.Fatalf("alarm for %q, want bgp", class)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no alarm after crash loop")
+	}
+	deaths, respawns, givenUp := sup.Stats("bgp")
+	if !givenUp || deaths != 3 || respawns != 2 {
+		t.Fatalf("stats = %d deaths, %d respawns, givenUp=%v", deaths, respawns, givenUp)
+	}
+	// Abandoned: no further respawns.
+	time.Sleep(100 * time.Millisecond)
+	if r.CurrentBGP() != nil {
+		t.Fatal("abandoned process was respawned")
+	}
+}
+
+// Kill RIP on one of two peered routers: the respawn must re-bind the
+// RIP port through the FEA (the previous incarnation's binding is
+// released) and re-learn the neighbour's routes from its periodic
+// updates.
+func TestSupervisorRespawnsKilledRIP(t *testing.T) {
+	netw := kernel.NewNetwork()
+	mk := func(addr string) *Router {
+		r, err := NewRouter(`
+interfaces { eth0 { address `+addr+`/24; } }
+protocols { rip { update-interval 1 } }
+`, Options{Network: netw, LocalAddr: mustA(addr)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := mk("192.168.1.1")
+	defer a.Stop()
+	b := mk("192.168.1.2")
+	defer b.Stop()
+	if _, err := b.EnableSupervision(fastSup()); err != nil {
+		t.Fatal(err)
+	}
+
+	target := mustP("172.30.0.0/16")
+	a.RIP.RedistAdd(route.Entry{Net: target})
+	waitCond(t, "RIP route in b's FIB", func() bool {
+		e, ok := b.FIB.Lookup(mustA("172.30.1.1"))
+		return ok && e.Net == target
+	})
+
+	killed := b.CurrentRIP()
+	if err := b.KillProcess("rip"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.FIB.Lookup(mustA("172.30.1.1")); !ok {
+		t.Fatal("FIB lost RIP route during grace window")
+	}
+	waitCond(t, "RIP respawned", func() bool {
+		p := b.CurrentRIP()
+		return p != nil && p != killed
+	})
+	// The neighbour's next periodic update re-teaches the route, which
+	// un-stales in place.
+	waitCond(t, "RIP route re-learned after respawn", func() bool {
+		e, ok := b.FIB.Lookup(mustA("172.30.1.1"))
+		return ok && e.Net == target && b.staleCount(t, route.ProtoRIP) == 0
+	})
+}
+
+// Same for OSPF: respawn re-joins the multicast group, re-binds the
+// port, re-forms the adjacency, and SPF re-learns the topology.
+func TestSupervisorRespawnsKilledOSPF(t *testing.T) {
+	netw := kernel.NewNetwork()
+	a, err := NewRouter(`
+interfaces { eth0 { address 192.168.1.1/24; } }
+static { route 172.31.0.0/16 next-hop 192.168.1.200; }
+protocols { ospf { hello-interval 1; dead-interval 3; redistribute static; } }
+`, Options{Network: netw, LocalAddr: mustA("192.168.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := NewRouter(`
+interfaces { eth0 { address 192.168.1.2/24; } }
+protocols { ospf { hello-interval 1; dead-interval 3; } }
+`, Options{Network: netw, LocalAddr: mustA("192.168.1.2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.EnableSupervision(fastSup()); err != nil {
+		t.Fatal(err)
+	}
+
+	target := mustP("172.31.0.0/16")
+	waitCond(t, "OSPF route in b's FIB", func() bool {
+		e, ok := b.FIB.Lookup(mustA("172.31.1.1"))
+		return ok && e.Net == target
+	})
+
+	killed := b.CurrentOSPF()
+	if err := b.KillProcess("ospf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.FIB.Lookup(mustA("172.31.1.1")); !ok {
+		t.Fatal("FIB lost OSPF route during grace window")
+	}
+	waitCond(t, "OSPF respawned", func() bool {
+		p := b.CurrentOSPF()
+		return p != nil && p != killed
+	})
+	// Adjacency re-forms (the neighbour may need a dead-interval to
+	// notice the restart), flooding re-teaches the route, stale clears.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		e, ok := b.FIB.Lookup(mustA("172.31.1.1"))
+		if ok && e.Net == target && b.staleCount(t, route.ProtoOSPF) == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("OSPF route not re-learned after respawn")
+}
+
+// The whole kill/respawn cycle in deterministic simulated time: the
+// supervisor's backoff timer, the Finder death broadcast, and the
+// respawn's re-registration all driven from the shared loop.
+func TestSupervisorSimMode(t *testing.T) {
+	clock := eventloop.NewSimClock(time.Unix(1000, 0))
+	r, err := NewRouter(baseConfig, Options{Clock: clock, SharedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.SettleAll()
+	if _, err := r.EnableSupervision(fastSup()); err != nil {
+		t.Fatal(err)
+	}
+	loop := r.Loops()[0]
+
+	net1 := mustP("20.1.0.0/16")
+	u := &bgp.UpdateMsg{
+		Attrs: workload.TestAttrs(mustA("10.0.0.1"), 65002),
+		NLRI:  []netip.Prefix{net1},
+	}
+	old := r.CurrentBGP()
+	old.Loop().Dispatch(func() { old.InjectUpdate("p1", u) })
+	r.SettleAll()
+	if e, ok := r.FIB.Lookup(mustA("20.1.2.3")); !ok || e.Net != net1 {
+		t.Fatalf("route not installed: %+v %v", e, ok)
+	}
+
+	if err := r.KillProcess("bgp"); err != nil {
+		t.Fatal(err)
+	}
+	r.SettleAll() // deliver the death event
+	if n := r.RIB.StaleCount(route.ProtoEBGP); n != 1 {
+		t.Fatalf("stale count after death = %d", n)
+	}
+	if _, ok := r.FIB.Lookup(mustA("20.1.2.3")); !ok {
+		t.Fatal("FIB lost route during grace window")
+	}
+
+	loop.RunFor(time.Second) // fire the respawn backoff timer
+	r.SettleAll()
+	nu := r.CurrentBGP()
+	if nu == nil || nu == old {
+		t.Fatal("BGP not respawned in sim mode")
+	}
+	nu.Loop().Dispatch(func() { nu.InjectUpdate("p1", u) })
+	r.SettleAll()
+	if n := r.RIB.StaleCount(route.ProtoEBGP); n != 0 {
+		t.Fatalf("stale count after re-learn = %d", n)
+	}
+	if e, ok := r.FIB.Lookup(mustA("20.1.2.3")); !ok || e.Net != net1 {
+		t.Fatalf("route lost after respawn: %+v %v", e, ok)
+	}
+}

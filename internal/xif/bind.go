@@ -63,9 +63,17 @@ func newClient(r *xipc.Router, target string, s *Spec) client {
 	return client{r: r, target: target, spec: s}
 }
 
-// call sends a spec-checked XRL for method to the stub's target.
+// call sends a spec-checked XRL for method to the stub's target. Methods
+// the spec marks Idempotent ride the retrying send path: a transient
+// resolve/send failure (a crashed process mid-respawn, a torn connection)
+// is retried with backoff instead of surfacing immediately.
 func (c *client) call(method string, cb xipc.Callback, args ...xrl.Atom) {
-	c.r.Send(c.spec.NewXRL(c.target, method, args...), cb)
+	x := c.spec.NewXRL(c.target, method, args...)
+	if m, ok := c.spec.Method(method); ok && m.Idempotent {
+		c.r.SendIdempotent(x, cb)
+		return
+	}
+	c.r.Send(x, cb)
 }
 
 // anycast is the base of stubs whose destination target varies per call
@@ -81,9 +89,15 @@ func newAnycast(r *xipc.Router, s *Spec) anycast {
 	return anycast{r: r, spec: s}
 }
 
-// call sends a spec-checked XRL for method to an explicit target.
+// call sends a spec-checked XRL for method to an explicit target,
+// selecting the retrying path for Idempotent methods as client.call does.
 func (c *anycast) call(target, method string, cb xipc.Callback, args ...xrl.Atom) {
-	c.r.Send(c.spec.NewXRL(target, method, args...), cb)
+	x := c.spec.NewXRL(target, method, args...)
+	if m, ok := c.spec.Method(method); ok && m.Idempotent {
+		c.r.SendIdempotent(x, cb)
+		return
+	}
+	c.r.Send(x, cb)
 }
 
 // Done adapts a plain error callback to an xipc.Callback, for stub

@@ -18,13 +18,17 @@ var CommonSpec = Define(Spec{
 	Name:    "common",
 	Version: "0.1",
 	Methods: []Method{
-		{Name: "get_target_name", Rets: []Arg{{Name: "name", Type: xrl.TypeText}}},
-		{Name: "get_version", Rets: []Arg{{Name: "version", Type: xrl.TypeText}}},
-		{Name: "get_status", Rets: []Arg{
+		// Pure introspection reads: always safe to retry.
+		{Name: "get_target_name", Idempotent: true,
+			Rets: []Arg{{Name: "name", Type: xrl.TypeText}}},
+		{Name: "get_version", Idempotent: true,
+			Rets: []Arg{{Name: "version", Type: xrl.TypeText}}},
+		{Name: "get_status", Idempotent: true, Rets: []Arg{
 			{Name: "status", Type: xrl.TypeText},
 			{Name: "reason", Type: xrl.TypeText},
 		}},
-		{Name: "get_interfaces", Rets: []Arg{{Name: "interfaces", Type: xrl.TypeList}}},
+		{Name: "get_interfaces", Idempotent: true,
+			Rets: []Arg{{Name: "interfaces", Type: xrl.TypeList}}},
 	},
 })
 

@@ -14,17 +14,20 @@ var FTISpec = Define(Spec{
 	Name:    "fti",
 	Version: "0.2",
 	Methods: []Method{
+		// Installs are upserts and lookups are reads, so both survive
+		// duplicate delivery; deletes error on a missing entry and must
+		// not be blindly retried.
 		{Name: "add_entry4", Args: []Arg{
 			{Name: "network", Type: xrl.TypeIPv4Net},
 			{Name: "nexthop", Type: xrl.TypeIPv4, Optional: true},
 			{Name: "ifname", Type: xrl.TypeText, Optional: true},
-		}},
+		}, Idempotent: true},
 		{Name: "delete_entry4", Args: []Arg{
 			{Name: "network", Type: xrl.TypeIPv4Net},
 		}},
 		{Name: "add_entries4", Args: []Arg{
 			{Name: "entries", Type: xrl.TypeList, Sample: "192.0.2.0/24 192.0.2.1 5 eth0"},
-		}},
+		}, Idempotent: true},
 		{Name: "delete_entries4", Args: []Arg{
 			{Name: "networks", Type: xrl.TypeList, Sample: "192.0.2.0/24"},
 		}},
@@ -35,7 +38,7 @@ var FTISpec = Define(Spec{
 			{Name: "network", Type: xrl.TypeIPv4Net, Optional: true},
 			{Name: "ifname", Type: xrl.TypeText, Optional: true},
 			{Name: "nexthop", Type: xrl.TypeIPv4, Optional: true},
-		}},
+		}, Idempotent: true},
 	},
 })
 

@@ -22,15 +22,18 @@ var FinderSpec = Define(Spec{
 			{Name: "sole", Type: xrl.TypeBool},
 			{Name: "endpoints", Type: xrl.TypeList},
 		}},
+		// register_methods re-issues the same keys on duplicate delivery
+		// and unregistering a gone instance is a no-op, so both retry
+		// safely; register_target rejects duplicates and must not.
 		{Name: "register_methods", Args: []Arg{
 			{Name: "instance", Type: xrl.TypeText, Sample: "sample"},
 			{Name: "commands", Type: xrl.TypeList},
 		}, Rets: []Arg{
 			{Name: "keys", Type: xrl.TypeList},
-		}},
+		}, Idempotent: true},
 		{Name: "unregister_target", Args: []Arg{
 			{Name: "instance", Type: xrl.TypeText},
-		}},
+		}, Idempotent: true},
 		{Name: "resolve", Args: []Arg{
 			{Name: "caller", Type: xrl.TypeText},
 			{Name: "target", Type: xrl.TypeText, Sample: "sample"},
@@ -41,14 +44,14 @@ var FinderSpec = Define(Spec{
 			{Name: "key", Type: xrl.TypeText},
 			{Name: "endpoints", Type: xrl.TypeList},
 			{Name: "command", Type: xrl.TypeText},
-		}},
+		}, Idempotent: true},
 		{Name: "watch", Args: []Arg{
 			{Name: "watcher", Type: xrl.TypeText},
 			{Name: "class", Type: xrl.TypeText},
-		}},
+		}, Idempotent: true},
 		{Name: "targets", Rets: []Arg{
 			{Name: "targets", Type: xrl.TypeList},
-		}},
+		}, Idempotent: true},
 		{Name: "add_permission", Args: []Arg{
 			{Name: "caller", Type: xrl.TypeText},
 			{Name: "target", Type: xrl.TypeText},

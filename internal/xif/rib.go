@@ -15,8 +15,8 @@ var RIBSpec = Define(Spec{
 	Name:    "rib",
 	Version: "1.0",
 	Methods: []Method{
-		{Name: "add_route4", Args: ribRouteArgs},
-		{Name: "replace_route4", Args: ribRouteArgs},
+		{Name: "add_route4", Args: ribRouteArgs, Idempotent: true},
+		{Name: "replace_route4", Args: ribRouteArgs, Idempotent: true},
 		{Name: "delete_route4", Args: []Arg{
 			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
 			{Name: "network", Type: xrl.TypeIPv4Net},
@@ -24,11 +24,16 @@ var RIBSpec = Define(Spec{
 		{Name: "add_routes4", Args: []Arg{
 			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
 			{Name: "routes", Type: xrl.TypeList, Sample: "192.0.2.0/24 192.0.2.1 5 eth0"},
-		}},
+		}, Idempotent: true},
 		{Name: "delete_routes4", Args: []Arg{
 			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
 			{Name: "networks", Type: xrl.TypeList, Sample: "192.0.2.0/24"},
-		}},
+		}, Idempotent: true},
+		{Name: "resync_complete", Args: []Arg{
+			{Name: "protocol", Type: xrl.TypeText, Sample: "static"},
+		}, Rets: []Arg{
+			{Name: "swept", Type: xrl.TypeU32},
+		}, Idempotent: true},
 		{Name: "register_interest4", Args: []Arg{
 			{Name: "target", Type: xrl.TypeText},
 			{Name: "addr", Type: xrl.TypeIPv4},
@@ -52,7 +57,7 @@ var RIBSpec = Define(Spec{
 			{Name: "protocol", Type: xrl.TypeText, Optional: true},
 			{Name: "ifname", Type: xrl.TypeText, Optional: true},
 			{Name: "nexthop", Type: xrl.TypeIPv4, Optional: true},
-		}},
+		}, Idempotent: true},
 	},
 })
 
@@ -89,6 +94,11 @@ type RIBServer interface {
 	RegisterInterest4(client string, addr netip.Addr) (RIBInterest, error)
 	DeregisterInterest4(client string, covering netip.Prefix) error
 	LookupRouteByDest4(addr netip.Addr) (RIBLookup, error)
+	// ResyncComplete4 is the graceful-restart end-of-resync signal: a
+	// respawned protocol has re-announced everything it still knows, so
+	// routes of proto still marked stale are swept. Returns the number of
+	// routes swept.
+	ResyncComplete4(proto route.Protocol) (uint32, error)
 }
 
 // parseRouteArgs decodes the shared add/replace argument shape.
@@ -234,6 +244,17 @@ func BindRIB(t *xipc.Target, s RIBServer) {
 		}
 		return nil, s.DeregisterInterest4(client, covering)
 	})
+	b.handle("resync_complete", func(args xrl.Args) (xrl.Args, error) {
+		proto, err := parseProtoArg(args)
+		if err != nil {
+			return nil, err
+		}
+		swept, err := s.ResyncComplete4(proto)
+		if err != nil {
+			return nil, err
+		}
+		return xrl.Args{xrl.U32("swept", swept)}, nil
+	})
 	b.handle("lookup_route_by_dest4", func(args xrl.Args) (xrl.Args, error) {
 		addr, err := args.AddrArg("addr")
 		if err != nil {
@@ -326,6 +347,22 @@ func (c *RIBClient) DeleteRoutes4(proto string, nets []netip.Prefix, done func(e
 	c.call("delete_routes4", Done(done),
 		xrl.Text("protocol", proto),
 		xrl.List("networks", EncodeNetAtoms(nets)...))
+}
+
+// ResyncComplete4 signals end-of-resync for proto after a graceful
+// restart; cb receives the number of stale routes the RIB swept.
+func (c *RIBClient) ResyncComplete4(proto string, cb func(swept uint32, err *xrl.Error)) {
+	c.call("resync_complete", func(args xrl.Args, err *xrl.Error) {
+		if cb == nil {
+			return
+		}
+		if err != nil {
+			cb(0, err)
+			return
+		}
+		swept, _ := args.U32Arg("swept")
+		cb(swept, nil)
+	}, xrl.Text("protocol", proto))
 }
 
 // RegisterInterest4 registers client for resolvability of addr (§5.2.1).

@@ -34,6 +34,12 @@ type Method struct {
 	// AnyArgs marks a method taking an arbitrary argument list (the
 	// bench sink); its calls are not arg-checked.
 	AnyArgs bool
+	// Idempotent marks a method safe to retry after a transport-level
+	// failure (resolve or send): re-delivering the call cannot corrupt
+	// state. Client stubs send idempotent calls through the router's
+	// bounded-retry path, so callers of a restarting target recover
+	// instead of erroring (graceful-restart window).
+	Idempotent bool
 }
 
 // Spec is the declarative definition of one XRL interface: the Go

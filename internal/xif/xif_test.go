@@ -210,6 +210,7 @@ func (confServer) DeregisterInterest4(string, netip.Prefix) error { return nil }
 func (confServer) LookupRouteByDest4(netip.Addr) (xif.RIBLookup, error) {
 	return xif.RIBLookup{Found: true, Entry: confEntry}, nil
 }
+func (confServer) ResyncComplete4(route.Protocol) (uint32, error) { return 0, nil }
 
 func (confServer) RouteInfoInvalid(netip.Prefix) error { return nil }
 

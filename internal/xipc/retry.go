@@ -1,0 +1,126 @@
+package xipc
+
+import (
+	"math/rand"
+	"time"
+
+	"xorp/internal/xrl"
+)
+
+// Transient-failure retry for idempotent XRLs. A crashed protocol process
+// leaves a window — death observed, respawn not yet re-registered — where
+// calls fail with CodeResolveFailed; a torn connection surfaces as
+// CodeSendFailed. For calls whose re-delivery is harmless (marked
+// Idempotent in their internal/xif spec), riding out that window with a
+// few jittered retries turns a restart into a non-event for callers.
+// Non-idempotent calls must keep failing fast: re-delivering them can
+// double-apply.
+
+// RetryPolicy bounds SendIdempotent's retry behaviour.
+type RetryPolicy struct {
+	Attempts int           // total tries, including the first (min 1)
+	Base     time.Duration // backoff before the first retry
+	Max      time.Duration // backoff cap
+}
+
+// DefaultRetryPolicy retries three times over roughly a third of a
+// second — enough to ride out a Finder re-registration, short enough
+// that a genuinely missing target still fails promptly.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts: 4,
+	Base:     50 * time.Millisecond,
+	Max:      2 * time.Second,
+}
+
+// SetRetryPolicy replaces the router's policy for SendIdempotent. Call
+// during process setup, before traffic.
+func (r *Router) SetRetryPolicy(p RetryPolicy) {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetryPolicy.Base
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	r.mu.Lock()
+	r.retry = p
+	r.mu.Unlock()
+}
+
+// retryable reports whether a failure is transient at the transport
+// layer: the target did not (and cannot have) executed the call.
+func retryable(code xrl.ErrorCode) bool {
+	return code == xrl.CodeResolveFailed || code == xrl.CodeSendFailed
+}
+
+// backoff returns the jittered delay before retry number attempt (1 = the
+// first retry): exponential from Base, capped at Max, drawn uniformly
+// from [d/2, d] so synchronized callers (every client noticing the same
+// death) do not retry in lockstep.
+func backoff(p RetryPolicy, attempt int) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// SendIdempotent dispatches x like Send, but transient transport
+// failures (CodeResolveFailed, CodeSendFailed) are retried with bounded
+// jittered exponential backoff before the error reaches cb. Use only for
+// calls that are safe to deliver more than once — the typed stub layer
+// (internal/xif) selects this path from the spec's Idempotent flag.
+// Safe to call from any goroutine.
+func (r *Router) SendIdempotent(x xrl.XRL, cb Callback) {
+	if cb == nil {
+		cb = func(xrl.Args, *xrl.Error) {}
+	}
+	r.loop.Dispatch(func() { r.sendIdemInLoop(x, cb) })
+}
+
+// SendIdempotentFromLoop is SendIdempotent for callers already on the
+// router's event loop.
+func (r *Router) SendIdempotentFromLoop(x xrl.XRL, cb Callback) {
+	if cb == nil {
+		cb = func(xrl.Args, *xrl.Error) {}
+	}
+	r.sendIdemInLoop(x, cb)
+}
+
+// sendIdemInLoop starts the retrying send. Local targets dispatch
+// directly and cannot fail with a transport error, so they skip the
+// retry wrapper — keeping the intra-process hot path (e.g. batched RIB
+// loads through the typed stubs) allocation-identical to plain Send.
+func (r *Router) sendIdemInLoop(x xrl.XRL, cb Callback) {
+	r.mu.Lock()
+	_, isLocal := r.targets[x.Target]
+	r.mu.Unlock()
+	if isLocal && !x.IsResolved() {
+		r.sendInLoop(x, cb, true)
+		return
+	}
+	r.sendWithRetry(x, cb, 1)
+}
+
+// sendWithRetry runs one attempt and re-arms on transient failure. Runs
+// on the loop.
+func (r *Router) sendWithRetry(x xrl.XRL, cb Callback, attempt int) {
+	r.mu.Lock()
+	pol := r.retry
+	r.mu.Unlock()
+	r.sendInLoop(x, func(args xrl.Args, err *xrl.Error) {
+		if err == nil || !retryable(err.Code) || attempt >= pol.Attempts {
+			cb(args, err)
+			return
+		}
+		r.loop.OneShot(backoff(pol, attempt), func() {
+			r.sendWithRetry(x, cb, attempt+1)
+		})
+	}, true)
+}

@@ -1,0 +1,89 @@
+package xipc
+
+import (
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+	"xorp/internal/xrl"
+)
+
+// A target that registers only after the first attempts fail: Send
+// surfaces the resolve failure, SendIdempotent rides it out. Uses a sim
+// clock so the backoff timers are driven deterministically.
+func TestSendIdempotentRetriesResolveFailure(t *testing.T) {
+	clock := eventloop.NewSimClock(time.Unix(0, 0))
+	loop := eventloop.New(clock)
+	hub := NewHub()
+
+	// A bare-bones in-loop finder stand-in: resolution fails while the
+	// target is absent, succeeds once present. Easiest real setup is the
+	// actual finder package, but that would import-cycle the test; instead
+	// run both routers on one hub with a finder target implemented here.
+	fr := NewRouter("finder_process", loop)
+	present := false
+	ft := NewTarget(FinderTargetName, "finder")
+	ft.Register("finder", "1.0", "resolve", func(args xrl.Args) (xrl.Args, error) {
+		if !present {
+			return nil, &xrl.Error{Code: xrl.CodeResolveFailed, Note: "no target"}
+		}
+		return xrl.Args{
+			xrl.Text("instance", "peer"),
+			xrl.Text("key", ""),
+			xrl.List("endpoints", xrl.Text("", xrl.ProtoIntra+"|"+hub.ID())),
+		}, nil
+	})
+	fr.AddTarget(ft)
+	fr.AttachHub(hub)
+
+	pr := NewRouter("peer_process", loop)
+	pt := NewTarget("peer", "peer")
+	pt.Register("test", "1.0", "echo", func(a xrl.Args) (xrl.Args, error) { return a, nil })
+	pr.AttachHub(hub)
+
+	cr := NewRouter("caller_process", loop)
+	cr.AttachHub(hub)
+	cr.SetRetryPolicy(RetryPolicy{Attempts: 4, Base: 50 * time.Millisecond, Max: time.Second})
+
+	// Plain Send fails immediately.
+	var sendErr *xrl.Error
+	sendDone := false
+	cr.Send(xrl.New("peer", "test", "1.0", "echo"), func(_ xrl.Args, err *xrl.Error) {
+		sendErr, sendDone = err, true
+	})
+	loop.RunPending()
+	if !sendDone || sendErr == nil || sendErr.Code != xrl.CodeResolveFailed {
+		t.Fatalf("Send: done=%v err=%v, want immediate RESOLVE_FAILED", sendDone, sendErr)
+	}
+
+	// SendIdempotent keeps trying; the target appears during the backoff
+	// window and the call lands.
+	var idemErr *xrl.Error
+	idemDone := false
+	cr.SendIdempotent(xrl.New("peer", "test", "1.0", "echo"), func(_ xrl.Args, err *xrl.Error) {
+		idemErr, idemDone = err, true
+	})
+	loop.RunPending()
+	if idemDone {
+		t.Fatalf("SendIdempotent reported %v before retries ran", idemErr)
+	}
+	present = true
+	pr.AddTarget(pt)
+	loop.RunFor(3 * time.Second) // covers every jittered backoff
+	if !idemDone || idemErr != nil {
+		t.Fatalf("SendIdempotent: done=%v err=%v, want success after retry", idemDone, idemErr)
+	}
+
+	// With the target gone for good, retries are bounded: the failure
+	// surfaces after the policy's attempts, not never.
+	present = false
+	pr.RemoveTarget("peer")
+	idemDone, idemErr = false, nil
+	cr.SendIdempotent(xrl.New("peer", "test", "1.0", "missing"), func(_ xrl.Args, err *xrl.Error) {
+		idemErr, idemDone = err, true
+	})
+	loop.RunFor(10 * time.Second)
+	if !idemDone || idemErr == nil || idemErr.Code != xrl.CodeResolveFailed {
+		t.Fatalf("bounded retry: done=%v err=%v, want RESOLVE_FAILED", idemDone, idemErr)
+	}
+}

@@ -56,6 +56,7 @@ type Router struct {
 	udpLn         *udpListener
 	finderEp      string // "proto|addr" of the Finder ("" = hub lookup)
 	timeout       time.Duration
+	retry         RetryPolicy // SendIdempotent backoff (retry.go)
 	onFinderEvent func(event, class, instance string)
 	// advertised maps interface name -> versions this process's client
 	// stubs can speak, preferred first; sent as the resolve accept list
@@ -89,6 +90,7 @@ func NewRouter(name string, loop *eventloop.Loop) *Router {
 		senders:      make(map[epKey]sender),
 		pendingSends: make(map[string][]orderedSend),
 		timeout:      30 * time.Second,
+		retry:        DefaultRetryPolicy,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Write coalescing (the batching half of the Figure-9 fast path). Every
@@ -21,6 +22,14 @@ import (
 // blocks the caller until the writer drains, restoring the backpressure a
 // direct blocking Write used to provide.
 const maxPendingWrite = 4 << 20
+
+// writeTimeout bounds one coalesced flush write. A wedged peer — socket
+// open but never reading — otherwise blocks the flush goroutine forever
+// once the kernel send buffer fills, and callers learn of the dead
+// endpoint only through the much slower per-request reply timeout. A
+// missed deadline fails the writer, which fails the sender: every pending
+// request gets a prompt CodeSendFailed. A var so tests can shrink it.
+var writeTimeout = 30 * time.Second
 
 // I/O op counters, package-wide, for the Figure-9 syscall column. Each
 // counted op corresponds to one read/write syscall on a transport socket
@@ -120,6 +129,9 @@ func (w *frameWriter) flushLoop() {
 		w.mu.Unlock()
 		w.cond.Broadcast() // wake writers blocked on the backpressure bound
 
+		if writeTimeout > 0 {
+			w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
 		_, err := w.conn.Write(out)
 		ioWrites.Add(1)
 
