@@ -13,6 +13,7 @@
 //	xorp_bench -experiment memory       # §5.1 memory footprint
 //	xorp_bench -experiment spf          # OSPF SPF full vs incremental
 //	xorp_bench -experiment tableload    # full-table RIB load, single vs batch
+//	xorp_bench -experiment forward      # forwarding lookups/sec vs workers, idle + churn
 //	xorp_bench -quick                   # scaled-down table sizes
 package main
 
@@ -176,6 +177,32 @@ func main() {
 		}
 		fmt.Print(bench.FormatTableLoad(single, batch))
 		fmt.Println(`(recorded baselines: BENCH_fig9.json "tableload")`)
+		return nil
+	})
+
+	run("forward", func() error {
+		n := preload
+		dur := 2 * time.Second
+		if *quick {
+			dur = 300 * time.Millisecond
+		}
+		fmt.Printf("Forwarding-plane lookups/sec, %d routes, %v per cell (zipf dst, 5%% misses)\n", n, dur)
+		fmt.Println("churn column runs concurrently with continuous withdraw/re-add RIB transactions")
+		var idle, active []bench.ForwardResult
+		for _, w := range []int{1, 2, 4, 8} {
+			ri, err := bench.RunForward(n, w, false, dur)
+			if err != nil {
+				return err
+			}
+			ra, err := bench.RunForward(n, w, true, dur)
+			if err != nil {
+				return err
+			}
+			idle = append(idle, ri)
+			active = append(active, ra)
+		}
+		fmt.Print(bench.FormatForward(idle, active))
+		fmt.Println(`(recorded baselines: BENCH_fig9.json "forward")`)
 		return nil
 	})
 

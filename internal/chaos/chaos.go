@@ -167,7 +167,9 @@ func (r *runner) pathEnd() int {
 			return cur
 		}
 		seen[cur] = true
-		e, ok := r.nodes[cur].rec.routes[r.prefix]
+		// Forward the way a packet would: longest-prefix match against
+		// the node's published snapshot, not the control plane's state.
+		e, ok := r.nodes[cur].rec.Snapshot().Lookup(r.prefix.Addr())
 		if !ok {
 			return -1
 		}
@@ -190,7 +192,7 @@ func (r *runner) converged() bool {
 		if i == t.Origin || i == t.Backup {
 			continue
 		}
-		if _, ok := n.rec.routes[r.prefix]; !ok {
+		if _, ok := n.rec.Snapshot().Get(r.prefix); !ok {
 			return false
 		}
 	}

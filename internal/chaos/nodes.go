@@ -6,23 +6,30 @@ import (
 
 	"xorp/internal/eventloop"
 	"xorp/internal/fea"
+	"xorp/internal/fwd"
 	"xorp/internal/kernel"
 	"xorp/internal/ospf"
 	"xorp/internal/rip"
 	"xorp/internal/route"
 )
 
-// ribRec stands in for a node's RIB+FIB: it records the protocol's
-// route pushes (both rip.RIBClient and ospf.RIBClient have this shape).
-// It deliberately survives a process kill — the forwarding table keeps
-// forwarding while the control process is down, which is exactly the
-// graceful-restart property the process-kill scenario measures.
+// ribRec stands in for a node's RIB+FIB: it publishes the protocol's
+// route pushes (both rip.RIBClient and ospf.RIBClient have this shape)
+// as immutable fwd snapshots — the same data-plane read path the
+// forwarding workers use, so the chaos matrix's hop-by-hop walk probes
+// what a packet would actually see, not the control plane's map. The
+// publisher deliberately survives a process kill: the forwarding table
+// keeps forwarding while the control process is down, which is exactly
+// the graceful-restart property the process-kill scenario measures.
 type ribRec struct {
-	routes map[netip.Prefix]route.Entry
+	pub *fwd.Publisher
 }
 
-func (r *ribRec) AddRoute(e route.Entry)       { r.routes[e.Net] = e }
-func (r *ribRec) DeleteRoute(net netip.Prefix) { delete(r.routes, net) }
+func (r *ribRec) AddRoute(e route.Entry)       { r.pub.FIBAdd(e) }
+func (r *ribRec) DeleteRoute(net netip.Prefix) { r.pub.FIBDelete(route.Entry{Net: net}) }
+
+// Snapshot returns the node's current published forwarding table.
+func (r *ribRec) Snapshot() *fwd.Snapshot { return r.pub.Current() }
 
 // node is one light router: an FEA attached to the simulated subnet, a
 // recording RIB, and a single IGP process that can be killed and
@@ -48,7 +55,7 @@ func newNode(loop *eventloop.Loop, netw *kernel.Network, idx int, addr netip.Add
 		idx:  idx,
 		addr: addr,
 		fea:  fea.New(loop, kernel.NewFIB(), host, nil),
-		rec:  &ribRec{routes: make(map[netip.Prefix]route.Entry)},
+		rec:  &ribRec{pub: fwd.NewPublisher()},
 	}, nil
 }
 

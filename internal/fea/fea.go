@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"xorp/internal/eventloop"
+	"xorp/internal/fwd"
 	"xorp/internal/kernel"
 	"xorp/internal/profiler"
 	"xorp/internal/rib"
@@ -23,9 +24,10 @@ import (
 
 // Process is the FEA process.
 type Process struct {
-	loop *eventloop.Loop
-	fib  *kernel.FIB
-	host *kernel.Host // attachment to the simulated datagram network
+	loop    *eventloop.Loop
+	fib     *kernel.FIB
+	backend fwd.Backend  // forwarding-plane sink + snapshot publisher
+	host    *kernel.Host // attachment to the simulated datagram network
 
 	// udpClients maps bound port -> client target to push received
 	// datagrams to (the RIP relay path). Guarded by udpMu: protocols
@@ -52,6 +54,7 @@ func New(loop *eventloop.Loop, fib *kernel.FIB, host *kernel.Host, router *xipc.
 		router:     router,
 		prof:       profiler.New(loop.Clock()),
 	}
+	p.backend = fwd.NewSimBackend(fib)
 	p.profArrive = p.prof.Point("route_arrive_fea")
 	p.profKernel = p.prof.Point("route_enter_kernel")
 	if router != nil {
@@ -69,6 +72,18 @@ func (p *Process) Profiler() *profiler.Profiler { return p.prof }
 // FIB returns the underlying forwarding table.
 func (p *Process) FIB() *kernel.FIB { return p.fib }
 
+// Backend returns the forwarding-plane backend every entry write goes
+// through (a fwd.SimBackend over FIB() by default).
+func (p *Process) Backend() fwd.Backend { return p.backend }
+
+// SetBackend swaps the forwarding-plane backend (e.g. for a
+// netlink-shaped one). Call before any routes are installed.
+func (p *Process) SetBackend(b fwd.Backend) { p.backend = b }
+
+// Snapshots returns the published-snapshot source forwarding workers
+// (and any other data-plane reader) should chase.
+func (p *Process) Snapshots() fwd.Source { return p.backend }
+
 // AddEntry installs a forwarding entry ("the FEA will unconditionally
 // install the route in the kernel", §8.2). The profile points are
 // checked before formatting so disabled points cost no per-route
@@ -77,7 +92,7 @@ func (p *Process) AddEntry(e route.Entry) error {
 	if p.profArrive.Enabled() {
 		p.profArrive.Logf("add %v", e.Net)
 	}
-	err := p.fib.Install(kernel.FIBEntry{Net: e.Net, NextHop: e.NextHop, IfName: e.IfName})
+	err := p.backend.ApplyEntry(e)
 	if err == nil && p.profKernel.Enabled() {
 		p.profKernel.Logf("add %v", e.Net)
 	}
@@ -89,7 +104,7 @@ func (p *Process) DeleteEntry(net netip.Prefix) error {
 	if p.profArrive.Enabled() {
 		p.profArrive.Logf("delete %v", net)
 	}
-	if !p.fib.Remove(net) {
+	if !p.backend.RemoveEntry(net) {
 		return fmt.Errorf("fea: no FIB entry %v", net)
 	}
 	if p.profKernel.Enabled() {
@@ -99,24 +114,34 @@ func (p *Process) DeleteEntry(net netip.Prefix) error {
 }
 
 // ApplyBatch installs a coalesced forwarding update set in one pass —
-// the receiving end of the RIB's FIB push coalescing. Individual entry
-// failures don't abort the rest of the transaction; the first error is
-// returned.
+// the receiving end of the RIB's FIB push coalescing. The whole batch
+// lands in the backend as one transaction and publishes as one
+// snapshot generation, so a forwarding worker sees either the table
+// before the batch or after it, never between. Individual entry
+// failures don't abort the rest; the first error is returned.
 func (p *Process) ApplyBatch(b *rib.FIBBatch) error {
-	var firstErr error
-	b.Ops(func(op rib.FIBOp) {
-		var err error
-		switch op.Kind {
-		case rib.FIBOpAdd, rib.FIBOpReplace:
-			err = p.AddEntry(op.New)
-		case rib.FIBOpDelete:
-			err = p.DeleteEntry(op.Old.Net)
-		}
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-	})
-	return firstErr
+	if p.profArrive.Enabled() {
+		b.Ops(func(op rib.FIBOp) {
+			switch op.Kind {
+			case rib.FIBOpAdd, rib.FIBOpReplace:
+				p.profArrive.Logf("add %v", op.New.Net)
+			case rib.FIBOpDelete:
+				p.profArrive.Logf("delete %v", op.Old.Net)
+			}
+		})
+	}
+	err := p.backend.Apply(b)
+	if p.profKernel.Enabled() {
+		b.Ops(func(op rib.FIBOp) {
+			switch op.Kind {
+			case rib.FIBOpAdd, rib.FIBOpReplace:
+				p.profKernel.Logf("add %v", op.New.Net)
+			case rib.FIBOpDelete:
+				p.profKernel.Logf("delete %v", op.Old.Net)
+			}
+		})
+	}
+	return err
 }
 
 // RIBClient adapts the FEA as the RIB's FIBClient (rib.FIBClient and
@@ -249,14 +274,15 @@ func (s feaServer) DeleteEntries4(nets []netip.Prefix) error {
 	return firstErr
 }
 
+// LookupEntry4 answers from the published snapshot — the same immutable
+// table the forwarding workers read — so an XRL lookup and a concurrent
+// data-plane lookup can never disagree.
 func (s feaServer) LookupEntry4(addr netip.Addr) (xif.FTILookup, error) {
-	e, ok := s.p.fib.Lookup(addr)
+	e, ok := s.p.backend.Current().Lookup(addr)
 	if !ok {
 		return xif.FTILookup{}, nil
 	}
-	return xif.FTILookup{Found: true, Entry: route.Entry{
-		Net: e.Net, NextHop: e.NextHop, IfName: e.IfName,
-	}}, nil
+	return xif.FTILookup{Found: true, Entry: e}, nil
 }
 
 func (s feaServer) GetInterfaces() ([]string, error) {

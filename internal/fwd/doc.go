@@ -1,0 +1,31 @@
+// Package fwd is the sharded forwarding plane: the data-plane half the
+// paper's evaluation never measured. The control plane (RIB → FEA)
+// produces coalesced rib.FIBBatch transactions; this package turns each
+// applied batch into a new immutable FIB snapshot — a copy-on-write
+// longest-prefix-match table (trie.Persistent) published with a single
+// atomic pointer flip — and forwards a synthetic packet stream against
+// it from N shared-nothing lookup workers.
+//
+// The shape follows NDN-DPDK's FwFwd design (one forwarding thread per
+// core, per-worker counters and a latency RunningStat, no shared mutable
+// state) and Harmonia's snapshot isolation for read scaling: readers run
+// against consistent immutable versions, so route churn never takes a
+// lock a lookup can observe, lookups never see a half-applied batch, and
+// lookup throughput scales with cores by construction.
+//
+//	RIB stage network
+//	      │  rib.FIBBatch (coalesced adds/replaces/deletes)
+//	      ▼
+//	 fwd.Backend ── sim kernel (kernel.FIB mirror) or netlink-shaped
+//	      │
+//	 Publisher.Apply: derive snapshot n+1 from n (path-copying trie)
+//	      │  one atomic pointer flip
+//	      ▼
+//	 ┌─────────┬─────────┬─────────┐
+//	 │ worker 0│ worker 1│ worker N│  lock-free LongestMatch loops,
+//	 └─────────┴─────────┴─────────┘  per-worker hit/drop counters
+//
+// xorp_bench -experiment forward drives the workers concurrently with a
+// full-table churn run; the fwd/0.1 XRL interface exposes the live
+// counters.
+package fwd

@@ -1,0 +1,279 @@
+package fwd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+
+	"xorp/internal/rib"
+	"xorp/internal/route"
+)
+
+// NetlinkBackend serializes the same batches the SimBackend applies into
+// rtnetlink-shaped RTM_NEWROUTE/RTM_DELROUTE messages — the wire format
+// a Linux kernel FIB write actually takes — while publishing identical
+// snapshots. It exists to keep the Backend seam honest: the day a real
+// netlink socket replaces the sink writer, nothing above the seam
+// changes, and the message framing has already been exercised by tests.
+//
+// The framing follows struct nlmsghdr / struct rtmsg / struct rtattr
+// (all native-endian little-endian here, 4-byte aligned): enough of the
+// real layout that a decoder has to do real netlink parsing, without
+// pretending to cover every rtnetlink feature.
+type NetlinkBackend struct {
+	mu   sync.Mutex
+	w    io.Writer
+	pub  *Publisher
+	seq  uint32
+	ifix map[string]uint32 // interface name -> synthetic ifindex
+	msgs uint64
+}
+
+// Netlink message constants (values as in <linux/rtnetlink.h>).
+const (
+	nlmsgHdrLen = 16
+	rtmsgLen    = 12
+
+	RTM_NEWROUTE = 24
+	RTM_DELROUTE = 25
+
+	NLM_F_REQUEST = 0x1
+	NLM_F_CREATE  = 0x400
+	NLM_F_REPLACE = 0x100
+
+	RTA_DST     = 1
+	RTA_OIF     = 4
+	RTA_GATEWAY = 5
+
+	afInet  = 2
+	afInet6 = 10
+)
+
+// NewNetlinkBackend returns a backend writing route messages to w (nil
+// discards them, keeping only counters and snapshots).
+func NewNetlinkBackend(w io.Writer) *NetlinkBackend {
+	return &NetlinkBackend{w: w, pub: NewPublisher(), ifix: make(map[string]uint32)}
+}
+
+// Name implements Backend.
+func (b *NetlinkBackend) Name() string { return "netlink" }
+
+// Current implements Source.
+func (b *NetlinkBackend) Current() *Snapshot { return b.pub.Current() }
+
+// Publisher returns the backend's snapshot publisher.
+func (b *NetlinkBackend) Publisher() *Publisher { return b.pub }
+
+// Messages returns the number of route messages serialized so far.
+func (b *NetlinkBackend) Messages() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.msgs
+}
+
+// Apply implements Backend: each net op serializes as one RTM message;
+// the snapshot publishes once for the whole batch, exactly like the sim
+// kernel.
+func (b *NetlinkBackend) Apply(batch *rib.FIBBatch) error {
+	b.mu.Lock()
+	var firstErr error
+	batch.Ops(func(op rib.FIBOp) {
+		var err error
+		switch op.Kind {
+		case rib.FIBOpAdd, rib.FIBOpReplace:
+			err = b.writeRoute(RTM_NEWROUTE, op.New)
+		case rib.FIBOpDelete:
+			err = b.writeRoute(RTM_DELROUTE, op.Old)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	b.mu.Unlock()
+	b.pub.Apply(batch)
+	return firstErr
+}
+
+// ApplyEntry implements Backend.
+func (b *NetlinkBackend) ApplyEntry(e route.Entry) error {
+	b.mu.Lock()
+	err := b.writeRoute(RTM_NEWROUTE, e)
+	b.mu.Unlock()
+	if err == nil {
+		b.pub.FIBAdd(e)
+	}
+	return err
+}
+
+// RemoveEntry implements Backend.
+func (b *NetlinkBackend) RemoveEntry(net netip.Prefix) bool {
+	before := b.pub.Current().Len()
+	b.mu.Lock()
+	b.writeRoute(RTM_DELROUTE, route.Entry{Net: net})
+	b.mu.Unlock()
+	b.pub.FIBDelete(route.Entry{Net: net})
+	return b.pub.Current().Len() < before
+}
+
+// ifindex maps an interface name to a stable synthetic index (allocated
+// on first use, like a kernel assigns ifindexes at link creation).
+func (b *NetlinkBackend) ifindex(name string) uint32 {
+	if name == "" {
+		return 0
+	}
+	if ix, ok := b.ifix[name]; ok {
+		return ix
+	}
+	ix := uint32(len(b.ifix) + 1)
+	b.ifix[name] = ix
+	return ix
+}
+
+// writeRoute serializes one route message. Caller holds b.mu.
+func (b *NetlinkBackend) writeRoute(msgType uint16, e route.Entry) error {
+	b.seq++
+	b.msgs++
+	if b.w == nil {
+		return nil
+	}
+	buf, err := AppendRouteMsg(nil, msgType, b.seq, e, b.ifindex(e.IfName))
+	if err != nil {
+		return err
+	}
+	_, err = b.w.Write(buf)
+	return err
+}
+
+// rtaAppend appends one rtattr (4-byte aligned, as NLA_ALIGN does).
+func rtaAppend(buf []byte, typ uint16, payload []byte) []byte {
+	l := 4 + len(payload)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(l))
+	buf = binary.LittleEndian.AppendUint16(buf, typ)
+	buf = append(buf, payload...)
+	for len(buf)%4 != 0 {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// AppendRouteMsg appends one netlink-framed route message for e to buf.
+// Exported so tests (and a future real-socket writer) can share the
+// encoder.
+func AppendRouteMsg(buf []byte, msgType uint16, seq uint32, e route.Entry, oif uint32) ([]byte, error) {
+	if !e.Net.IsValid() {
+		return buf, fmt.Errorf("fwd: invalid prefix %v", e.Net)
+	}
+	start := len(buf)
+	// nlmsghdr: len(u32) type(u16) flags(u16) seq(u32) pid(u32); length
+	// backfilled once attributes are known.
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint16(buf, msgType)
+	flags := uint16(NLM_F_REQUEST)
+	if msgType == RTM_NEWROUTE {
+		flags |= NLM_F_CREATE | NLM_F_REPLACE
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // pid: kernel-bound
+
+	// rtmsg: family, dst_len, src_len, tos, table, protocol, scope,
+	// type, flags(u32).
+	family := byte(afInet)
+	if e.Net.Addr().Is6() {
+		family = afInet6
+	}
+	buf = append(buf, family, byte(e.Net.Bits()), 0, 0, 254 /* RT_TABLE_MAIN */, 3 /* RTPROT_BOOT */, 0, 1 /* RTN_UNICAST */)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+
+	addrBytes := func(a netip.Addr) []byte {
+		if a.Is4() {
+			b4 := a.As4()
+			return b4[:]
+		}
+		b16 := a.As16()
+		return b16[:]
+	}
+	buf = rtaAppend(buf, RTA_DST, addrBytes(e.Net.Addr()))
+	if e.NextHop.IsValid() {
+		buf = rtaAppend(buf, RTA_GATEWAY, addrBytes(e.NextHop))
+	}
+	if oif != 0 {
+		buf = rtaAppend(buf, RTA_OIF, binary.LittleEndian.AppendUint32(nil, oif))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start))
+	return buf, nil
+}
+
+// RouteMsg is one decoded netlink route message (the test-side decoder).
+type RouteMsg struct {
+	Type    uint16
+	Seq     uint32
+	Net     netip.Prefix
+	Gateway netip.Addr
+	OIF     uint32
+}
+
+// DecodeRouteMsgs parses a concatenation of route messages, as the
+// NetlinkBackend writes them.
+func DecodeRouteMsgs(buf []byte) ([]RouteMsg, error) {
+	var out []RouteMsg
+	for len(buf) > 0 {
+		if len(buf) < nlmsgHdrLen+rtmsgLen {
+			return out, fmt.Errorf("fwd: truncated netlink header (%d bytes left)", len(buf))
+		}
+		total := binary.LittleEndian.Uint32(buf)
+		if int(total) < nlmsgHdrLen+rtmsgLen || int(total) > len(buf) {
+			return out, fmt.Errorf("fwd: bad netlink length %d", total)
+		}
+		m := RouteMsg{
+			Type: binary.LittleEndian.Uint16(buf[4:]),
+			Seq:  binary.LittleEndian.Uint32(buf[8:]),
+		}
+		family := buf[nlmsgHdrLen]
+		dstLen := int(buf[nlmsgHdrLen+1])
+		attrs := buf[nlmsgHdrLen+rtmsgLen : total]
+		var dst netip.Addr
+		for len(attrs) >= 4 {
+			al := int(binary.LittleEndian.Uint16(attrs))
+			at := binary.LittleEndian.Uint16(attrs[2:])
+			if al < 4 || al > len(attrs) {
+				return out, fmt.Errorf("fwd: bad rtattr length %d", al)
+			}
+			payload := attrs[4:al]
+			switch at {
+			case RTA_DST, RTA_GATEWAY:
+				var a netip.Addr
+				var ok bool
+				if family == afInet {
+					a, ok = netip.AddrFromSlice(payload[:4])
+				} else {
+					a, ok = netip.AddrFromSlice(payload[:16])
+				}
+				if !ok {
+					return out, fmt.Errorf("fwd: bad address attr")
+				}
+				if at == RTA_DST {
+					dst = a
+				} else {
+					m.Gateway = a
+				}
+			case RTA_OIF:
+				m.OIF = binary.LittleEndian.Uint32(payload)
+			}
+			// Advance past the 4-aligned attribute.
+			adv := (al + 3) &^ 3
+			if adv > len(attrs) {
+				adv = len(attrs)
+			}
+			attrs = attrs[adv:]
+		}
+		if dst.IsValid() {
+			m.Net = netip.PrefixFrom(dst, dstLen)
+		}
+		out = append(out, m)
+		buf = buf[total:]
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package fwd
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"xorp/internal/rib"
+	"xorp/internal/route"
+	"xorp/internal/trie"
+)
+
+// Snapshot is one immutable FIB version: a generation number and a
+// copy-on-write LPM table. A Snapshot never changes after publication;
+// readers may hold one for any length of time and see a consistent
+// forwarding table — exactly the route set after some whole number of
+// applied batches, never a half-applied one.
+type Snapshot struct {
+	gen uint64
+	tbl *trie.Persistent[route.Entry]
+}
+
+var emptySnapshot = &Snapshot{tbl: trie.NewPersistent[route.Entry]()}
+
+// Gen returns the snapshot's generation: the number of publications that
+// produced it (the empty table is generation 0).
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// Len returns the number of installed entries.
+func (s *Snapshot) Len() int { return s.tbl.Len() }
+
+// Lookup returns the longest-prefix-match entry for dst. This is the
+// forwarding hot path: a pure pointer walk, no locks, no allocation.
+func (s *Snapshot) Lookup(dst netip.Addr) (route.Entry, bool) {
+	_, e, ok := s.tbl.LongestMatch(dst)
+	return e, ok
+}
+
+// Get returns the entry installed exactly at net.
+func (s *Snapshot) Get(net netip.Prefix) (route.Entry, bool) {
+	return s.tbl.Get(net)
+}
+
+// Walk visits every installed entry in lexicographic order.
+func (s *Snapshot) Walk(fn func(route.Entry) bool) {
+	s.tbl.Walk(func(_ netip.Prefix, e route.Entry) bool { return fn(e) })
+}
+
+// Source is anything that exposes a current forwarding snapshot: the
+// Publisher itself, or a Backend wrapping one.
+type Source interface {
+	Current() *Snapshot
+}
+
+// Publisher owns the write side of the RCU-style snapshot chain: each
+// applied rib.FIBBatch derives the next version from the current one by
+// path copying and publishes it with one atomic pointer store. Writers
+// serialize among themselves on an internal mutex that no reader ever
+// touches; Current is a single atomic load.
+//
+// Publisher implements rib.FIBClient and rib.FIBBatchClient, so it can
+// sit directly below a RIB's fib sink, and Source, so workers can chase
+// its snapshots.
+type Publisher struct {
+	cur atomic.Pointer[Snapshot]
+
+	mu sync.Mutex // serializes Apply/FIB* writers
+}
+
+// NewPublisher returns a publisher holding the empty generation-0
+// snapshot.
+func NewPublisher() *Publisher {
+	p := &Publisher{}
+	p.cur.Store(emptySnapshot)
+	return p
+}
+
+// Current returns the latest published snapshot. Safe from any
+// goroutine; the result is immutable.
+func (p *Publisher) Current() *Snapshot { return p.cur.Load() }
+
+// Apply derives the next snapshot from the current one by applying the
+// batch's net operations and publishes it. The whole batch becomes
+// visible in one pointer flip. Returns the published snapshot.
+func (p *Publisher) Apply(b *rib.FIBBatch) *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.cur.Load()
+	tbl := old.tbl
+	b.Ops(func(op rib.FIBOp) {
+		switch op.Kind {
+		case rib.FIBOpAdd, rib.FIBOpReplace:
+			tbl = tbl.Insert(op.New.Net, op.New)
+		case rib.FIBOpDelete:
+			tbl, _ = tbl.Delete(op.Old.Net)
+		}
+	})
+	next := &Snapshot{gen: old.gen + 1, tbl: tbl}
+	p.cur.Store(next)
+	return next
+}
+
+// publish1 applies a single-entry mutation as its own generation.
+func (p *Publisher) publish1(mutate func(*trie.Persistent[route.Entry]) *trie.Persistent[route.Entry]) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.cur.Load()
+	p.cur.Store(&Snapshot{gen: old.gen + 1, tbl: mutate(old.tbl)})
+}
+
+// FIBAdd implements rib.FIBClient.
+func (p *Publisher) FIBAdd(e route.Entry) {
+	p.publish1(func(t *trie.Persistent[route.Entry]) *trie.Persistent[route.Entry] {
+		return t.Insert(e.Net, e)
+	})
+}
+
+// FIBReplace implements rib.FIBClient.
+func (p *Publisher) FIBReplace(_, new route.Entry) {
+	p.publish1(func(t *trie.Persistent[route.Entry]) *trie.Persistent[route.Entry] {
+		return t.Insert(new.Net, new)
+	})
+}
+
+// FIBDelete implements rib.FIBClient.
+func (p *Publisher) FIBDelete(e route.Entry) {
+	p.publish1(func(t *trie.Persistent[route.Entry]) *trie.Persistent[route.Entry] {
+		t, _ = t.Delete(e.Net)
+		return t
+	})
+}
+
+// FIBApplyBatch implements rib.FIBBatchClient.
+func (p *Publisher) FIBApplyBatch(b *rib.FIBBatch) { p.Apply(b) }

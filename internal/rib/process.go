@@ -32,6 +32,7 @@ type Process struct {
 	redists  map[string]*RedistStage
 	chain    []Stage // extint ... redists ... register, fibSink
 	fib      FIBClient
+	fibSink  *fibSinkStage
 
 	router *xipc.Router         // for invalidation pushes; may be nil
 	notify *xif.RIBNotifyClient // rib_client/0.1 stub over router
@@ -86,6 +87,7 @@ func NewProcess(loop *eventloop.Loop, fib FIBClient, router *xipc.Router) *Proce
 	p.extint = NewExtIntStage("extint", mb, m3)
 	p.register = NewRegisterStage("register", p.notifyInvalid)
 	fibSink := &fibSinkStage{base: base{name: "fib"}, proc: p}
+	p.fibSink = fibSink
 	p.chain = []Stage{p.extint, p.register, fibSink}
 	Plumb(p.chain...)
 
@@ -102,6 +104,25 @@ func NewProcess(loop *eventloop.Loop, fib FIBClient, router *xipc.Router) *Proce
 
 // Loop returns the process event loop.
 func (p *Process) Loop() *eventloop.Loop { return p.loop }
+
+// SetFIBCoalesce enables FIB-push coalescing: pushes fold into one
+// pending FIBBatch that flushes at the event loop's drain boundary
+// (window 0) or after window (window > 0) — added install latency
+// bounded by the knob, in exchange for cross-XRL churn reaching the
+// forwarding plane as one transaction. Call from the loop (or before it
+// runs); a negative window disables coalescing again after flushing
+// anything pending.
+func (p *Process) SetFIBCoalesce(window time.Duration) {
+	s := p.fibSink
+	if window < 0 {
+		s.flush()
+		s.coalesce = false
+		s.window = 0
+		return
+	}
+	s.coalesce = true
+	s.window = window
+}
 
 // Profiler returns the process profiler.
 func (p *Process) Profiler() *profiler.Profiler { return p.prof }
@@ -241,10 +262,23 @@ func (p *Process) notifyInvalid(client string, covering netip.Prefix) {
 // profile points. Disabled points are checked before formatting so the
 // hot path never pays variadic boxing; batch runs ship to batch-capable
 // clients as one coalesced FIBBatch.
+//
+// With coalescing enabled (SetFIBCoalesce), individual pushes fold into
+// a pending FIBBatch instead of shipping immediately; the batch flushes
+// once the event loop drains its current work (window 0) or a latency
+// window expires (window > 0). Churn that spans several XRL deliveries —
+// a withdraw and its replacement arriving as separate events — then
+// reaches the forwarding plane as one transaction and one snapshot
+// publish, at the price of that much added install latency.
 type fibSinkStage struct {
 	base
 	proc  *Process
 	batch *FIBBatch // reused across batch shipments
+
+	coalesce   bool
+	window     time.Duration
+	pending    *FIBBatch // folds pushes between flushes; reused
+	flushArmed bool
 }
 
 func (s *fibSinkStage) Add(e route.Entry) {
@@ -252,12 +286,17 @@ func (s *fibSinkStage) Add(e route.Entry) {
 	if p.profQueue.Enabled() {
 		p.profQueue.Logf("add %v", e.Net)
 	}
-	if p.fib != nil {
-		if p.profSent.Enabled() {
-			p.profSent.Logf("add %v", e.Net)
-		}
-		p.fib.FIBAdd(e)
+	if p.fib == nil {
+		return
 	}
+	if s.coalesce {
+		s.queue(func(b *FIBBatch) { b.Add(e) })
+		return
+	}
+	if p.profSent.Enabled() {
+		p.profSent.Logf("add %v", e.Net)
+	}
+	p.fib.FIBAdd(e)
 }
 
 func (s *fibSinkStage) Replace(old, new route.Entry) {
@@ -265,12 +304,17 @@ func (s *fibSinkStage) Replace(old, new route.Entry) {
 	if p.profQueue.Enabled() {
 		p.profQueue.Logf("replace %v", new.Net)
 	}
-	if p.fib != nil {
-		if p.profSent.Enabled() {
-			p.profSent.Logf("replace %v", new.Net)
-		}
-		p.fib.FIBReplace(old, new)
+	if p.fib == nil {
+		return
 	}
+	if s.coalesce {
+		s.queue(func(b *FIBBatch) { b.Replace(old, new) })
+		return
+	}
+	if p.profSent.Enabled() {
+		p.profSent.Logf("replace %v", new.Net)
+	}
+	p.fib.FIBReplace(old, new)
 }
 
 func (s *fibSinkStage) Delete(e route.Entry) {
@@ -278,12 +322,74 @@ func (s *fibSinkStage) Delete(e route.Entry) {
 	if p.profQueue.Enabled() {
 		p.profQueue.Logf("delete %v", e.Net)
 	}
-	if p.fib != nil {
-		if p.profSent.Enabled() {
-			p.profSent.Logf("delete %v", e.Net)
-		}
-		p.fib.FIBDelete(e)
+	if p.fib == nil {
+		return
 	}
+	if s.coalesce {
+		s.queue(func(b *FIBBatch) { b.Delete(e) })
+		return
+	}
+	if p.profSent.Enabled() {
+		p.profSent.Logf("delete %v", e.Net)
+	}
+	p.fib.FIBDelete(e)
+}
+
+// queue folds one push into the pending batch and arms a flush: at the
+// loop's drain boundary (window 0, via Dispatch — runs after every
+// event already queued, so a churn burst folds completely) or after the
+// latency window.
+func (s *fibSinkStage) queue(record func(*FIBBatch)) {
+	if s.pending == nil {
+		s.pending = NewFIBBatch()
+	}
+	record(s.pending)
+	if s.flushArmed {
+		return
+	}
+	s.flushArmed = true
+	if s.window > 0 {
+		s.proc.loop.OneShot(s.window, s.flush)
+	} else {
+		s.proc.loop.Dispatch(s.flush)
+	}
+}
+
+// flush ships the pending batch. Runs on the loop.
+func (s *fibSinkStage) flush() {
+	s.flushArmed = false
+	b := s.pending
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	p := s.proc
+	if p.profSent.Enabled() {
+		b.Ops(func(op FIBOp) {
+			switch op.Kind {
+			case FIBOpAdd:
+				p.profSent.Logf("add %v", op.New.Net)
+			case FIBOpReplace:
+				p.profSent.Logf("replace %v", op.New.Net)
+			case FIBOpDelete:
+				p.profSent.Logf("delete %v", op.Old.Net)
+			}
+		})
+	}
+	if bc, ok := p.fib.(FIBBatchClient); ok {
+		bc.FIBApplyBatch(b)
+	} else {
+		b.Ops(func(op FIBOp) {
+			switch op.Kind {
+			case FIBOpAdd:
+				p.fib.FIBAdd(op.New)
+			case FIBOpReplace:
+				p.fib.FIBReplace(op.Old, op.New)
+			case FIBOpDelete:
+				p.fib.FIBDelete(op.Old)
+			}
+		})
+	}
+	b.Reset()
 }
 
 // AddBatch ships a run of Adds in one coalesced FIB transaction when the
@@ -308,6 +414,14 @@ func (s *fibSinkStage) shipBatch(es []route.Entry, verb string,
 		}
 	}
 	if p.fib == nil {
+		return
+	}
+	if s.coalesce {
+		s.queue(func(b *FIBBatch) {
+			for i := range es {
+				record(b, es[i])
+			}
+		})
 		return
 	}
 	if p.profSent.Enabled() {

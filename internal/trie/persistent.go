@@ -1,0 +1,287 @@
+// Persistent is the copy-on-write sibling of Trie: an immutable
+// longest-prefix-match table where every mutation returns a new version
+// sharing all untouched structure with its predecessor. One route change
+// copies only the nodes on the path from the root to the changed prefix
+// (≤ 33 nodes for IPv4, ≤ 129 for IPv6), so a published version can be
+// read forever — lock-free, from any goroutine — while arbitrarily many
+// successors are built beside it.
+//
+// This is the structure underneath internal/fwd's RCU-style FIB
+// snapshots: the forwarding workers chase an atomic pointer to the
+// current version; the write side derives version n+1 from n and flips
+// the pointer. Readers never observe a half-applied batch because no
+// reachable node is ever mutated.
+
+package trie
+
+import "net/netip"
+
+// pnode is one immutable node of a Persistent table. Like Trie's node it
+// is either valued or structural glue, and carries its prefix bits
+// precomputed as a 128-bit word key so traversal never touches address
+// bytes. Unlike Trie's node it has no parent pointer (paths are copied
+// root-down) and is never mutated once reachable from a published root.
+type pnode[T any] struct {
+	key    key128
+	child  [2]*pnode[T]
+	bits   uint8
+	hasVal bool
+	prefix netip.Prefix
+	val    T
+}
+
+// covers reports whether n's prefix covers (k, kb).
+func (n *pnode[T]) covers(k key128, kb uint8) bool {
+	return n.bits <= kb && k.hasPrefix(n.key, n.bits)
+}
+
+// Persistent is an immutable LPM table version. The zero value is the
+// usable empty table; Insert and Delete return new versions and never
+// modify the receiver. Methods on a *Persistent are safe for concurrent
+// use by any number of readers while writers build successors.
+type Persistent[T any] struct {
+	root4 *pnode[T]
+	root6 *pnode[T]
+	size  int
+}
+
+// NewPersistent returns the empty table version.
+func NewPersistent[T any]() *Persistent[T] { return &Persistent[T]{} }
+
+// Len returns the number of valued entries.
+func (t *Persistent[T]) Len() int { return t.size }
+
+// Insert returns a new version with v stored at p (masked first),
+// replacing any existing value. An invalid prefix returns the receiver
+// unchanged.
+func (t *Persistent[T]) Insert(p netip.Prefix, v T) *Persistent[T] {
+	if !p.IsValid() {
+		return t
+	}
+	p = p.Masked()
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
+	added := false
+	nt := &Persistent[T]{root4: t.root4, root6: t.root6, size: t.size}
+	if p.Addr().Is4() {
+		nt.root4 = insertP(t.root4, p, k, pb, v, &added)
+	} else {
+		nt.root6 = insertP(t.root6, p, k, pb, v, &added)
+	}
+	if added {
+		nt.size++
+	}
+	return nt
+}
+
+// insertP returns the root of a new subtree equal to n with (p, v)
+// stored, copying only the nodes on the descent path.
+func insertP[T any](n *pnode[T], p netip.Prefix, k key128, pb uint8, v T, added *bool) *pnode[T] {
+	if n == nil {
+		*added = true
+		return &pnode[T]{key: k, bits: pb, hasVal: true, prefix: p, val: v}
+	}
+	if n.bits == pb && n.key == k {
+		*added = !n.hasVal
+		c := *n
+		c.val = v
+		c.hasVal = true
+		c.prefix = p
+		return &c
+	}
+	if n.covers(k, pb) {
+		// n strictly covers p: copy n, descend.
+		b := k.bit(n.bits)
+		c := *n
+		c.child[b] = insertP(n.child[b], p, k, pb, v, added)
+		return &c
+	}
+	if pb < n.bits && n.key.hasPrefix(k, pb) {
+		// p covers n: the new node takes n as its child.
+		*added = true
+		nn := &pnode[T]{key: k, bits: pb, hasVal: true, prefix: p, val: v}
+		nn.child[n.key.bit(pb)] = n
+		return nn
+	}
+	// Diverge: glue node at the longest common prefix of p and n.
+	gb := commonPrefixLen(k, n.key, min(pb, n.bits))
+	gp, err := p.Addr().Prefix(int(gb))
+	if err != nil {
+		return n
+	}
+	*added = true
+	g := &pnode[T]{key: keyOf(gp.Addr()), bits: gb, prefix: gp}
+	g.child[n.key.bit(gb)] = n
+	g.child[k.bit(gb)] = &pnode[T]{key: k, bits: pb, hasVal: true, prefix: p, val: v}
+	return g
+}
+
+// Delete returns a new version with the entry exactly at p removed, and
+// reports whether it existed. When it does not, the receiver itself is
+// returned (no copying).
+func (t *Persistent[T]) Delete(p netip.Prefix) (*Persistent[T], bool) {
+	if !p.IsValid() {
+		return t, false
+	}
+	p = p.Masked()
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
+	removed := false
+	var nt Persistent[T]
+	if p.Addr().Is4() {
+		root := deleteP(t.root4, k, pb, &removed)
+		if !removed {
+			return t, false
+		}
+		nt = Persistent[T]{root4: root, root6: t.root6, size: t.size - 1}
+	} else {
+		root := deleteP(t.root6, k, pb, &removed)
+		if !removed {
+			return t, false
+		}
+		nt = Persistent[T]{root4: t.root4, root6: root, size: t.size - 1}
+	}
+	return &nt, true
+}
+
+// deleteP returns the root of a new subtree equal to n with the value at
+// (k, pb) removed, splicing out nodes that become structurally
+// unnecessary. Returns n itself when nothing changed.
+func deleteP[T any](n *pnode[T], k key128, pb uint8, removed *bool) *pnode[T] {
+	if n == nil {
+		return nil
+	}
+	if n.bits == pb && n.key == k {
+		if !n.hasVal {
+			return n
+		}
+		*removed = true
+		switch {
+		case n.child[0] != nil && n.child[1] != nil:
+			// Still needed as a branch point: keep as glue.
+			c := *n
+			var zero T
+			c.val = zero
+			c.hasVal = false
+			return &c
+		case n.child[0] != nil:
+			return n.child[0]
+		case n.child[1] != nil:
+			return n.child[1]
+		default:
+			return nil
+		}
+	}
+	if !n.covers(k, pb) {
+		return n
+	}
+	b := k.bit(n.bits)
+	nc := deleteP(n.child[b], k, pb, removed)
+	if !*removed {
+		return n
+	}
+	c := *n
+	c.child[b] = nc
+	if !c.hasVal {
+		// A glue node left with one (or zero) children splices out.
+		switch {
+		case c.child[0] == nil && c.child[1] == nil:
+			return nil
+		case c.child[0] == nil:
+			return c.child[1]
+		case c.child[1] == nil:
+			return c.child[0]
+		}
+	}
+	return &c
+}
+
+// Get returns the value stored exactly at p.
+func (t *Persistent[T]) Get(p netip.Prefix) (T, bool) {
+	var zero T
+	if !p.IsValid() {
+		return zero, false
+	}
+	p = p.Masked()
+	cur := t.root6
+	if p.Addr().Is4() {
+		cur = t.root4
+	}
+	k := keyOf(p.Addr())
+	pb := uint8(p.Bits())
+	for cur != nil {
+		if cur.bits == pb && cur.key == k {
+			if !cur.hasVal {
+				return zero, false
+			}
+			return cur.val, true
+		}
+		if !cur.covers(k, pb) {
+			return zero, false
+		}
+		cur = cur.child[k.bit(cur.bits)]
+	}
+	return zero, false
+}
+
+// LongestMatch returns the most specific entry covering addr. This is
+// the forwarding-worker hot path: a pure pointer walk over immutable
+// nodes, no locks, no allocation.
+func (t *Persistent[T]) LongestMatch(addr netip.Addr) (netip.Prefix, T, bool) {
+	var (
+		bestP netip.Prefix
+		bestV T
+		found bool
+	)
+	cur := t.root6
+	maxBits := uint8(128)
+	if addr.Is4() {
+		cur = t.root4
+		maxBits = 32
+	}
+	if cur == nil {
+		return bestP, bestV, false
+	}
+	k := keyOf(addr)
+	for cur != nil {
+		if cur.bits > maxBits || !k.hasPrefix(cur.key, cur.bits) {
+			break
+		}
+		if cur.hasVal {
+			bestP, bestV, found = cur.prefix, cur.val, true
+		}
+		cur = cur.child[k.bit(cur.bits)]
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits every valued entry in lexicographic (DFS pre-)order. fn
+// returning false stops the walk. Safe to call on any version at any
+// time; versions never change.
+func (t *Persistent[T]) Walk(fn func(netip.Prefix, T) bool) {
+	if walkP(t.root4, fn) {
+		walkP(t.root6, fn)
+	}
+}
+
+func walkP[T any](n *pnode[T], fn func(netip.Prefix, T) bool) bool {
+	if n == nil {
+		return true
+	}
+	var buf [48]*pnode[T]
+	stack := append(buf[:0], n)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.hasVal && !fn(n.prefix, n.val) {
+			return false
+		}
+		if n.child[1] != nil {
+			stack = append(stack, n.child[1])
+		}
+		if n.child[0] != nil {
+			stack = append(stack, n.child[0])
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package xif
+
+import (
+	"xorp/internal/xipc"
+	"xorp/internal/xrl"
+)
+
+// FwdSpec declares fwd/0.1: the scrape interface for the sharded
+// forwarding plane's live counters (internal/fwd). Both methods are
+// pure reads and safe to retry.
+var FwdSpec = Define(Spec{
+	Name:    "fwd",
+	Version: "0.1",
+	Methods: []Method{
+		{Name: "get_counters", Rets: []Arg{
+			{Name: "workers", Type: xrl.TypeU32},
+			{Name: "lookups", Type: xrl.TypeU64},
+			{Name: "hits", Type: xrl.TypeU64},
+			{Name: "drops", Type: xrl.TypeU64},
+			{Name: "gen", Type: xrl.TypeU64},
+			{Name: "lat_mean_ns", Type: xrl.TypeFP64},
+			{Name: "lat_max_ns", Type: xrl.TypeFP64},
+		}, Idempotent: true},
+		{Name: "get_worker_stats", Rets: []Arg{
+			{Name: "stats", Type: xrl.TypeList},
+		}, Idempotent: true},
+	},
+})
+
+// FwdCounters is the aggregate counter sample fwd/0.1 returns.
+type FwdCounters struct {
+	Workers   uint32
+	Lookups   uint64
+	Hits      uint64
+	Drops     uint64
+	Gen       uint64
+	LatMeanNs float64
+	LatMaxNs  float64
+}
+
+// FwdServer is the typed implementation contract for fwd/0.1.
+type FwdServer interface {
+	FwdGetCounters() (FwdCounters, error)
+	FwdGetWorkerStats() ([]string, error)
+}
+
+// BindFwd wires a FwdServer onto t as fwd/0.1.
+func BindFwd(t *xipc.Target, s FwdServer) {
+	b := newBinding(t, FwdSpec)
+	b.handle("get_counters", func(xrl.Args) (xrl.Args, error) {
+		c, err := s.FwdGetCounters()
+		if err != nil {
+			return nil, err
+		}
+		return xrl.Args{
+			xrl.U32("workers", c.Workers),
+			xrl.U64("lookups", c.Lookups),
+			xrl.U64("hits", c.Hits),
+			xrl.U64("drops", c.Drops),
+			xrl.U64("gen", c.Gen),
+			xrl.FP64("lat_mean_ns", c.LatMeanNs),
+			xrl.FP64("lat_max_ns", c.LatMaxNs),
+		}, nil
+	})
+	b.handle("get_worker_stats", func(xrl.Args) (xrl.Args, error) {
+		stats, err := s.FwdGetWorkerStats()
+		if err != nil {
+			return nil, err
+		}
+		return xrl.Args{textAtoms("stats", stats)}, nil
+	})
+	b.done()
+}
+
+// FwdClient is the typed stub for fwd/0.1.
+type FwdClient struct{ client }
+
+// NewFwdClient returns a stub scraping target's forwarding counters
+// through r.
+func NewFwdClient(r *xipc.Router, target string) *FwdClient {
+	return &FwdClient{newClient(r, target, FwdSpec)}
+}
+
+// GetCounters fetches the pool-aggregate forwarding counters.
+func (c *FwdClient) GetCounters(cb func(FwdCounters, *xrl.Error)) {
+	c.call("get_counters", func(args xrl.Args, err *xrl.Error) {
+		if err != nil {
+			cb(FwdCounters{}, err)
+			return
+		}
+		var fc FwdCounters
+		fc.Workers, _ = args.U32Arg("workers")
+		fc.Lookups, _ = args.U64Arg("lookups")
+		fc.Hits, _ = args.U64Arg("hits")
+		fc.Drops, _ = args.U64Arg("drops")
+		fc.Gen, _ = args.U64Arg("gen")
+		fc.LatMeanNs, _ = args.FP64Arg("lat_mean_ns")
+		fc.LatMaxNs, _ = args.FP64Arg("lat_max_ns")
+		cb(fc, nil)
+	})
+}
+
+// GetWorkerStats fetches one rendered counter line per worker.
+func (c *FwdClient) GetWorkerStats(cb func([]string, *xrl.Error)) {
+	c.call("get_worker_stats", func(args xrl.Args, err *xrl.Error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		items, _ := args.ListArg("stats")
+		cb(textList(items), nil)
+	})
+}

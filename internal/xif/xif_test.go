@@ -271,6 +271,13 @@ func (confServer) DeleteStaticRoute(netip.Prefix) error      { return nil }
 
 func (confServer) Sink(args xrl.Args) (xrl.Args, error) { return nil, nil }
 
+func (confServer) FwdGetCounters() (xif.FwdCounters, error) {
+	return xif.FwdCounters{Workers: 2, Lookups: 10, Hits: 9, Drops: 1, Gen: 3}, nil
+}
+func (confServer) FwdGetWorkerStats() ([]string, error) {
+	return []string{"worker=0 lookups=5 hits=5 drops=0 gen=3"}, nil
+}
+
 func TestSpecConformance(t *testing.T) {
 	loop := eventloop.New(nil)
 	r := xipc.NewRouter("conformance", loop)
@@ -288,6 +295,7 @@ func TestSpecConformance(t *testing.T) {
 	xif.BindOSPF(target, srv)
 	xif.BindRIP(target, srv)
 	xif.BindBench(target, srv)
+	xif.BindFwd(target, srv)
 	r.AddTarget(target)
 
 	bound := make(map[string]bool)
@@ -430,7 +438,8 @@ func TestDispatchErrorCodes(t *testing.T) {
 func TestRegistryLookup(t *testing.T) {
 	for _, want := range []string{"rib/1.0", "fti/0.2", "fea_udp/0.1", "fea_udp_client/0.1",
 		"ifmgr/0.1", "finder/1.0", "finder_client/1.0", "rib_client/0.1",
-		"profile/0.1", "bgp/1.0", "ospf/0.1", "rip/0.1", "bench/1.0", "common/0.1"} {
+		"profile/0.1", "bgp/1.0", "ospf/0.1", "rip/0.1", "bench/1.0", "common/0.1",
+		"fwd/0.1"} {
 		name, ver, _ := strings.Cut(want, "/")
 		if _, ok := xif.Lookup(name, ver); !ok {
 			t.Errorf("registry is missing %s", want)
