@@ -7,6 +7,13 @@
 // Usage:
 //
 //	xorp_rtrmgr -config router.conf [-finder-listen 127.0.0.1:19999]
+//
+// A running router reloads its configuration on SIGHUP: the file is
+// re-read and the diff against the running config is applied as a
+// two-phase transaction (validate on every affected process, then
+// commit; any rejection or mid-commit failure rolls back and leaves
+// the running config untouched). `-reload` validates that path from
+// the command line by reloading the config once at startup.
 package main
 
 import (
@@ -24,6 +31,7 @@ func main() {
 	finderListen := flag.String("finder-listen", "", "expose the Finder on this TCP address")
 	bgpListen := flag.String("bgp-listen", "", "accept BGP sessions on this address")
 	supervise := flag.Bool("supervise", true, "respawn crashed protocol processes")
+	reload := flag.Bool("reload", false, "exercise the transactional reload path once at startup")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: xorp_rtrmgr -config <file>")
@@ -65,9 +73,33 @@ func main() {
 	fmt.Println("xorp_rtrmgr: router running; configuration:")
 	fmt.Print(rtrmgr.Render(r.Config, 1))
 
+	if *reload {
+		if err := r.Reload(string(cfgText)); err != nil {
+			fatal(fmt.Errorf("reload: %w", err))
+		}
+		fmt.Printf("xorp_rtrmgr: reload ok (generation %d)\n", r.Generation())
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		// SIGHUP: transactional hot reload. Failure leaves the running
+		// config untouched; the router keeps forwarding either way.
+		text, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_rtrmgr: reload: %v\n", err)
+			continue
+		}
+		if err := r.Reload(string(text)); err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_rtrmgr: reload rejected: %v\n", err)
+			continue
+		}
+		fmt.Printf("xorp_rtrmgr: configuration reloaded (generation %d):\n", r.Generation())
+		fmt.Print(rtrmgr.Render(r.Config, 1))
+	}
 	r.Stop()
 }
 

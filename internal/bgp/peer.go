@@ -90,6 +90,7 @@ type Peer struct {
 	retryTimer   *eventloop.Timer
 	peerin       *PeerIn
 	peerout      *PeerOut
+	resolver     *NexthopResolver // end of the input branch (RemovePeer unhooks it)
 	encBuf       []byte
 	statsUpdates int
 }

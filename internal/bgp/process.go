@@ -194,6 +194,7 @@ func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
 		Plumb(peer.peerin, inFilter, resolver)
 	}
 	p.decision.AddParent(resolver)
+	peer.resolver = resolver
 
 	// Output branch.
 	var outFilters []Filter
@@ -209,6 +210,51 @@ func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
 
 	p.peers[cfg.Name] = peer
 	return peer, nil
+}
+
+// RemovePeer deconfigures a peering in place (the rtrmgr's transactional
+// reload: remove or rebuild one peer without touching the others). The
+// session is torn down, the peer's learned routes are withdrawn through
+// the pipeline synchronously — downstream stages and the other peers see
+// ordinary withdrawals, so only this peer's prefixes change — and the
+// input and output branches are unplumbed. Must run on the loop.
+func (p *Process) RemovePeer(name string) error {
+	peer, ok := p.peers[name]
+	if !ok {
+		return fmt.Errorf("bgp: unknown peer %q", name)
+	}
+	peer.Disable() // tears the session; an established one hands its table to a deletion stage
+
+	// Drain the peer's routes NOW rather than in background slices: a
+	// commit must leave no stage of the dead branch still feeding the
+	// decision process after the branch is unhooked. This drains both
+	// the FSM's deletion stages (splice right after the PeerIn) and any
+	// routes injected without an established session.
+	if d := peer.peerin.PeerDown(); d != nil {
+		for !d.Done() {
+			d.step()
+		}
+		if d.task != nil {
+			d.task.Stop()
+		}
+	}
+	for s := peer.peerin.downstream(); s != nil && s != Stage(p.decision); {
+		next := s.downstream()
+		if d, isDel := s.(*DeletionStage); isDel {
+			for !d.Done() {
+				d.step()
+			}
+			if d.task != nil {
+				d.task.Stop()
+			}
+		}
+		s = next
+	}
+
+	p.decision.RemoveParent(peer.resolver)
+	p.fanout.RemoveBranch(name)
+	delete(p.peers, name)
+	return nil
 }
 
 // Peer returns a configured peer by name.

@@ -2,7 +2,9 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"net/netip"
+	"sort"
 	"strings"
 	"time"
 
@@ -35,6 +37,9 @@ type Spec struct {
 	Topology *Topology
 	Protocol string // "rip" or "ospf" (BGP runs via RunBGPKillRespawn)
 	Failure  Failure
+	// Timing overrides the scenario clock; zero fields take the
+	// package defaults, so a zero Timing reproduces the stock matrix.
+	Timing Timing
 }
 
 // Result is what one scenario measured. Blackhole is the headline
@@ -53,6 +58,13 @@ type Result struct {
 	Recovery  time.Duration // repair (or failure, for link-loss) -> reconverged
 	Blackhole time.Duration // total forwarding outage after the failure hit
 	Note      string        // why a scenario was skipped or failed
+
+	// BlackP50/P95/P99 are percentiles of the same outage measured
+	// from every non-origin node, not just the observer: the
+	// route-loss distribution across the topology. On a redundant
+	// fabric the p50 node reroutes instantly while the p99 corner
+	// rides out the full detection timer.
+	BlackP50, BlackP95, BlackP99 time.Duration
 }
 
 // Scenario timing. Sim-clock scenarios replay hundreds of simulated
@@ -84,11 +96,49 @@ const (
 	killSoak = 240 * time.Second
 )
 
+// Timing is the scenario clock, one knob per hold duration the matrix
+// used to hard-code: how finely the runner samples, how long it waits
+// for convergence, and how long each failure lasts. Zero fields take
+// the package defaults.
+type Timing struct {
+	StepQuantum   time.Duration // advance/sampling quantum
+	InitialLimit  time.Duration // give up waiting for initial convergence
+	RecoveryLimit time.Duration // give up waiting for reconvergence
+	FlapDown      time.Duration // link-flap down phase
+	FlapUp        time.Duration // link-flap up phase
+	FlapCycles    int           // link-flap repetitions
+	PartitionHold time.Duration // partition duration before the heal
+	RespawnDelay  time.Duration // process-kill downtime before respawn
+	KillSoak      time.Duration // post-respawn soak before the re-check
+}
+
+// fill resolves zero fields to the package defaults.
+func (tm Timing) fill() Timing {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&tm.StepQuantum, stepQuantum)
+	def(&tm.InitialLimit, initialLimit)
+	def(&tm.RecoveryLimit, recoveryLimit)
+	def(&tm.FlapDown, flapDown)
+	def(&tm.FlapUp, flapUp)
+	if tm.FlapCycles == 0 {
+		tm.FlapCycles = flapCycles
+	}
+	def(&tm.PartitionHold, partitionHold)
+	def(&tm.RespawnDelay, respawnDelay)
+	def(&tm.KillSoak, killSoak)
+	return tm
+}
+
 // runner drives one scenario on the simulated clock. Everything runs
 // on the driving goroutine (the loop is advanced with RunFor), so no
 // locking is needed.
 type runner struct {
 	spec     Spec
+	tm       Timing
 	loop     *eventloop.Loop
 	nodes    []*node
 	nodeOf   map[netip.Addr]int
@@ -96,16 +146,19 @@ type runner struct {
 	failed   map[[2]int]bool
 	sampling bool
 	black    time.Duration
+	blackPer []time.Duration // per-node outage, indexed by node
 }
 
 func newRunner(spec Spec) (*runner, error) {
 	t := spec.Topology
 	r := &runner{
-		spec:   spec,
-		loop:   eventloop.New(eventloop.NewSimClock(time.Unix(0, 0))),
-		nodeOf: make(map[netip.Addr]int, t.N),
-		prefix: netip.MustParsePrefix("172.16.0.0/16"),
-		failed: make(map[[2]int]bool),
+		spec:     spec,
+		tm:       spec.Timing.fill(),
+		loop:     eventloop.New(eventloop.NewSimClock(time.Unix(0, 0))),
+		nodeOf:   make(map[netip.Addr]int, t.N),
+		prefix:   netip.MustParsePrefix("172.16.0.0/16"),
+		failed:   make(map[[2]int]bool),
+		blackPer: make([]time.Duration, t.N),
 	}
 	netw := kernel.NewNetwork()
 	netw.SetDropFunc(r.drop)
@@ -158,9 +211,13 @@ func (r *runner) linkUp(a, b int) bool {
 // pathEnd follows forwarding entries hop by hop from the observer,
 // returning the origin it reaches, or -1 if the path is missing, loops,
 // or crosses a dead link — the data-plane truth behind "converged".
-func (r *runner) pathEnd() int {
+func (r *runner) pathEnd() int { return r.pathEndFrom(r.spec.Topology.Observer) }
+
+// pathEndFrom is pathEnd starting at an arbitrary node, for the
+// per-node route-loss sampling behind the blackhole percentiles.
+func (r *runner) pathEndFrom(start int) int {
 	t := r.spec.Topology
-	cur := t.Observer
+	cur := start
 	seen := make(map[int]bool, t.N)
 	for !seen[cur] {
 		if cur == t.Origin || cur == t.Backup {
@@ -206,11 +263,25 @@ func (r *runner) initialConverged() bool {
 }
 
 // step advances simulated time by one quantum, accruing blackhole time
-// whenever the observer's forwarding path is broken.
+// at every node whose forwarding path is broken. The observer's total
+// is the headline Blackhole; the full per-node distribution feeds the
+// percentiles.
 func (r *runner) step() {
-	r.loop.RunFor(stepQuantum)
-	if r.sampling && !r.pathOK() {
-		r.black += stepQuantum
+	r.loop.RunFor(r.tm.StepQuantum)
+	if !r.sampling {
+		return
+	}
+	t := r.spec.Topology
+	for i := range r.nodes {
+		if i == t.Origin || i == t.Backup {
+			continue
+		}
+		if r.pathEndFrom(i) < 0 {
+			r.blackPer[i] += r.tm.StepQuantum
+			if i == t.Observer {
+				r.black += r.tm.StepQuantum
+			}
+		}
 	}
 }
 
@@ -265,7 +336,7 @@ func Run(spec Spec) Result {
 		res.Note = err.Error()
 		return res
 	}
-	res.Initial, res.Converged = r.until(initialLimit, r.initialConverged)
+	res.Initial, res.Converged = r.until(r.tm.InitialLimit, r.initialConverged)
 	if !res.Converged {
 		res.Note = "never converged"
 		return res
@@ -275,32 +346,32 @@ func Run(spec Spec) Result {
 	switch spec.Failure {
 	case LinkLoss:
 		r.cut(t.FailLink)
-		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+		res.Recovery, res.Recovered = r.until(r.tm.RecoveryLimit, r.converged)
 	case LinkFlap:
-		for i := 0; i < flapCycles; i++ {
+		for i := 0; i < r.tm.FlapCycles; i++ {
 			r.cut(t.FailLink)
-			r.runFor(flapDown)
+			r.runFor(r.tm.FlapDown)
 			r.restore(t.FailLink)
-			r.runFor(flapUp)
+			r.runFor(r.tm.FlapUp)
 		}
-		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+		res.Recovery, res.Recovered = r.until(r.tm.RecoveryLimit, r.converged)
 	case Partition:
 		r.partitionCut()
-		r.runFor(partitionHold)
+		r.runFor(r.tm.PartitionHold)
 		r.heal()
-		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+		res.Recovery, res.Recovered = r.until(r.tm.RecoveryLimit, r.converged)
 	case ProcessKill:
 		r.nodes[t.Origin].killProto()
-		r.runFor(respawnDelay)
+		r.runFor(r.tm.RespawnDelay)
 		if err := r.nodes[t.Origin].startProto(r.loop, spec.Protocol, r.originates(t.Origin)); err != nil {
 			res.Note = fmt.Sprintf("respawn: %v", err)
 			return res
 		}
-		res.Recovery, res.Recovered = r.until(recoveryLimit, r.converged)
+		res.Recovery, res.Recovered = r.until(r.tm.RecoveryLimit, r.converged)
 		if res.Recovered {
 			// Prove the respawned origin really re-announced: ride
 			// out every protocol hold timer and re-check.
-			r.runFor(killSoak)
+			r.runFor(r.tm.KillSoak)
 			res.Recovered = r.converged()
 		}
 	default:
@@ -308,14 +379,40 @@ func Run(spec Spec) Result {
 		return res
 	}
 	res.Blackhole = r.black
+	res.BlackP50, res.BlackP95, res.BlackP99 = r.blackPercentiles()
 	return res
+}
+
+// blackPercentiles summarises the per-node outage distribution over
+// every node that forwards (origins excluded: they terminate the path).
+func (r *runner) blackPercentiles() (p50, p95, p99 time.Duration) {
+	t := r.spec.Topology
+	ds := make([]time.Duration, 0, t.N)
+	for i := range r.nodes {
+		if i == t.Origin || i == t.Backup {
+			continue
+		}
+		ds = append(ds, r.blackPer[i])
+	}
+	if len(ds) == 0 {
+		return
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pick := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(ds)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return ds[idx]
+	}
+	return pick(0.50), pick(0.95), pick(0.99)
 }
 
 // DefaultMatrix is the standard scenario grid: every failure on every
 // topology, RIP restricted to broadcast-domain topologies (its split
 // horizon poisons learned routes, so it propagates one hop).
 func DefaultMatrix() []Spec {
-	topos := []*Topology{LAN3(), Ring(6), Grid(3, 3), ASHierarchy()}
+	topos := []*Topology{LAN3(), Ring(6), Grid(3, 3), ASHierarchy(), FatTree(4)}
 	var specs []Spec
 	for _, t := range topos {
 		for _, proto := range []string{"rip", "ospf"} {
@@ -343,8 +440,8 @@ func RunMatrix(specs []Spec) []Result {
 // seconds; "blackhole" is the forwarding outage the failure caused).
 func FormatTable(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-9s %5s  %-5s %-12s %9s %9s %10s  %s\n",
-		"topology", "nodes", "proto", "failure", "initial", "recovery", "blackhole", "status")
+	fmt.Fprintf(&b, "%-9s %5s  %-5s %-12s %9s %9s %10s %7s %7s %7s  %s\n",
+		"topology", "nodes", "proto", "failure", "initial", "recovery", "blackhole", "p50", "p95", "p99", "status")
 	for _, r := range results {
 		status := "ok"
 		switch {
@@ -353,9 +450,10 @@ func FormatTable(results []Result) string {
 		case !r.Recovered:
 			status = "did not reconverge"
 		}
-		fmt.Fprintf(&b, "%-9s %5d  %-5s %-12s %9s %9s %10s  %s\n",
+		fmt.Fprintf(&b, "%-9s %5d  %-5s %-12s %9s %9s %10s %7s %7s %7s  %s\n",
 			r.Topology, r.Nodes, r.Protocol, r.Failure,
-			fmtDur(r.Initial, r.Converged), fmtDur(r.Recovery, r.Recovered), fmtDur(r.Blackhole, r.Converged), status)
+			fmtDur(r.Initial, r.Converged), fmtDur(r.Recovery, r.Recovered), fmtDur(r.Blackhole, r.Converged),
+			fmtDur(r.BlackP50, r.Converged), fmtDur(r.BlackP95, r.Converged), fmtDur(r.BlackP99, r.Converged), status)
 	}
 	return b.String()
 }

@@ -110,6 +110,99 @@ func TestRIPMultiHopSkipped(t *testing.T) {
 	}
 }
 
+// The reload-under-churn acceptance: a 100-peer config diff commits
+// on a router carrying a full table and live update churn, with zero
+// FIB installs and zero loss samples for the prefixes the diff does
+// not touch — the transactional apply is invisible to unaffected
+// routes.
+func TestReloadUnderChurnAcceptance(t *testing.T) {
+	res, err := RunReloadUnderChurn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeersAdded != reloadPeers {
+		t.Errorf("peers added = %d, want %d", res.PeersAdded, reloadPeers)
+	}
+	if res.Generation != 2 {
+		t.Errorf("generation = %d after reload, want 2", res.Generation)
+	}
+	if res.StableOps != 0 {
+		t.Errorf("reload caused %d FIB installs on stable prefixes; in-place apply requires 0", res.StableOps)
+	}
+	if res.LossSamples != 0 {
+		t.Errorf("reload blackholed stable prefixes for %d samples", res.LossSamples)
+	}
+	if res.ChurnDelivered == 0 {
+		t.Error("no churn delivered during the transaction; the scenario did not test under load")
+	}
+	t.Logf("reload committed in %v under %d churn updates", res.Recovery, res.ChurnDelivered)
+}
+
+// Fat-tree cells: the redundant fabric must converge and survive an
+// uplink loss, and the per-node percentiles must expose the redundancy
+// — most nodes never see the cut (p50 zero), the corner behind the
+// dead uplink pays the detection time (p99 positive for the observer's
+// side of the fabric). k=8 (80 routers) only runs in long mode.
+func TestFatTreeMatrix(t *testing.T) {
+	specs := []Spec{
+		{Topology: FatTree(4), Protocol: "ospf", Failure: LinkLoss},
+		{Topology: FatTree(4), Protocol: "ospf", Failure: ProcessKill},
+	}
+	if !testing.Short() {
+		specs = append(specs, Spec{Topology: FatTree(8), Protocol: "ospf", Failure: LinkLoss})
+	}
+	results := RunMatrix(specs)
+	t.Logf("\n%s", FormatTable(results))
+	for _, r := range results {
+		if !r.Converged {
+			t.Errorf("%s/%s/%s: never converged (%s)", r.Topology, r.Protocol, r.Failure, r.Note)
+			continue
+		}
+		if !r.Recovered {
+			t.Errorf("%s/%s/%s: did not reconverge", r.Topology, r.Protocol, r.Failure)
+		}
+		if r.BlackP50 > r.BlackP95 || r.BlackP95 > r.BlackP99 {
+			t.Errorf("%s/%s: percentiles not monotonic: p50=%v p95=%v p99=%v",
+				r.Topology, r.Failure, r.BlackP50, r.BlackP95, r.BlackP99)
+		}
+		if r.Failure == LinkLoss {
+			if r.BlackP50 != 0 {
+				t.Errorf("%s link-loss: p50 node blackholed %v; only the observer routes over the cut uplink",
+					r.Topology, r.BlackP50)
+			}
+			if r.Blackhole == 0 {
+				t.Errorf("%s link-loss: observer reported no blackhole; cutting its active uplink must hurt",
+					r.Topology)
+			}
+		}
+	}
+}
+
+// The hold durations are matrix knobs, not package constants: a
+// partition shorter than OSPF's dead interval is healed before the
+// adjacency drops, so the outage is just the hold itself — far less
+// than the stock 60 s hold that forces a full reroute.
+func TestTimingConfigurable(t *testing.T) {
+	quick := Run(Spec{
+		Topology: LAN3(), Protocol: "ospf", Failure: Partition,
+		Timing: Timing{PartitionHold: 5 * time.Second},
+	})
+	if !quick.Converged || !quick.Recovered {
+		t.Fatalf("short-hold partition: %+v", quick)
+	}
+	stock := Run(Spec{Topology: LAN3(), Protocol: "ospf", Failure: Partition})
+	if !stock.Converged || !stock.Recovered {
+		t.Fatalf("stock partition: %+v", stock)
+	}
+	if quick.Blackhole >= stock.Blackhole {
+		t.Errorf("5s hold blackholed %v, stock 60s hold %v; shorter hold must hurt less",
+			quick.Blackhole, stock.Blackhole)
+	}
+	if quick.Blackhole > 10*time.Second {
+		t.Errorf("5s hold blackholed %v; healing inside the dead interval should cost ~the hold", quick.Blackhole)
+	}
+}
+
 func TestFormatTable(t *testing.T) {
 	out := FormatTable([]Result{{
 		Topology: "ring6", Protocol: "ospf", Failure: LinkLoss, Nodes: 6,

@@ -75,12 +75,14 @@ func (t *Topology) Links() [][2]int {
 	return out
 }
 
-// Addr returns node i's address on the simulated subnet.
+// Addr returns node i's address on the simulated subnet. The flat
+// 10.0.x.y encoding scales past a single /24: a k=8 fat-tree is 80
+// routers, and the generator goes well beyond that.
 func (t *Topology) Addr(i int) netip.Addr {
-	if i < 0 || i > 253 {
+	if i < 0 || i >= 250*250 {
 		panic(fmt.Sprintf("chaos: node index %d out of range", i))
 	}
-	return netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	return netip.AddrFrom4([4]byte{10, 0, byte(i / 250), byte(i%250 + 1)})
 }
 
 // crossesHalves reports whether link l connects the two partition
@@ -184,6 +186,64 @@ func ASHierarchy() *Topology {
 	for _, leaf := range []int{4, 5, 6, 7} {
 		t.addLink(leaf, 2)
 		t.addLink(leaf, 3)
+	}
+	return t
+}
+
+// FatTree returns a k-ary fat-tree (k even): (k/2)² core routers and k
+// pods of k/2 aggregation plus k/2 edge routers each. Every edge router
+// is homed to all of its pod's aggregation layer and aggregation
+// router j is homed to core group j, so any single uplink cut leaves
+// k/2−1 equal-cost alternates — the redundancy the blackhole
+// percentiles are designed to show (the p50 node reroutes via another
+// uplink while the unlucky corner waits out the dead interval).
+//
+// The origin is the first edge router of pod 0, the observer the last
+// edge router of the last pod. FailLink is the observer's preferred
+// (index-0) uplink: only the observer routes over it, so the link-loss
+// percentiles show the fabric's redundancy — p50 zero across the
+// fabric, the observer alone riding out the dead interval. The
+// partition keeps the core layer with the left half of the pods: the
+// right half keeps intra-pod connectivity but loses the fabric until
+// the heal.
+func FatTree(k int) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic("chaos: fat-tree arity must be even and >= 2")
+	}
+	half := k / 2
+	cores := half * half
+	podBase := func(p int) int { return cores + p*k }
+	aggOf := func(p, j int) int { return podBase(p) + j }
+	edgeOf := func(p, j int) int { return podBase(p) + half + j }
+	t := &Topology{
+		Name:     fmt.Sprintf("fat-tree%d", k),
+		N:        cores + k*k,
+		Origin:   edgeOf(0, 0),
+		Backup:   -1,
+		Observer: edgeOf(k-1, half-1),
+		FailLink: [2]int{edgeOf(k-1, half-1), aggOf(k-1, 0)},
+	}
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			for e := 0; e < half; e++ {
+				t.addLink(edgeOf(p, e), aggOf(p, j))
+			}
+			for c := 0; c < half; c++ {
+				t.addLink(aggOf(p, j), j*half+c)
+			}
+		}
+	}
+	for c := 0; c < cores; c++ {
+		t.Halves[0] = append(t.Halves[0], c)
+	}
+	for p := 0; p < k; p++ {
+		for i := podBase(p); i < podBase(p)+k; i++ {
+			if p < half {
+				t.Halves[0] = append(t.Halves[0], i)
+			} else {
+				t.Halves[1] = append(t.Halves[1], i)
+			}
+		}
 	}
 	return t
 }

@@ -189,6 +189,34 @@ func (p *Process) SetExportFilter(f Filter) {
 	p.scheduleSPF(false)
 }
 
+// Retune applies new timer/cost values in place (the rtrmgr's
+// transactional reload): zero fields keep their current value. The
+// hello timer is re-armed at the new interval; the new dead interval
+// governs adjacencies as their dead timers are next armed; a cost
+// change re-originates the router LSA, so neighbors reconverge on the
+// new metric without any adjacency bouncing. Must run on the loop.
+func (p *Process) Retune(hello, dead time.Duration, cost uint16) {
+	if hello > 0 && hello != p.cfg.HelloInterval {
+		p.cfg.HelloInterval = hello
+		if p.helloTmr != nil {
+			p.helloTmr.Cancel()
+			p.helloTmr = p.loop.Periodic(p.cfg.HelloInterval, p.sendHello)
+		}
+	}
+	if dead > 0 {
+		p.cfg.DeadInterval = dead
+	}
+	if cost > 0 && cost != p.cfg.Cost {
+		p.cfg.Cost = cost
+		if p.helloTmr != nil { // started: re-announce at the new cost
+			p.originateSelf()
+		}
+	}
+}
+
+// Timers reports the live timer configuration (tests, show-config).
+func (p *Process) Timers() Config { return p.cfg }
+
 // Start binds the transport (joining AllSPFRouters), originates the
 // router LSA, and begins hello and refresh cycles.
 func (p *Process) Start() error {

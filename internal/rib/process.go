@@ -229,6 +229,58 @@ func (p *Process) AddRedist(name string, filter RedistFilter, out Redistributor)
 	return rd, nil
 }
 
+// RedistMirrored reports how many routes the named redistribution's
+// subscriber currently holds (0 if the stage does not exist).
+func (p *Process) RedistMirrored(name string) int {
+	rd, ok := p.redists[name]
+	if !ok {
+		return 0
+	}
+	return rd.MirroredLen()
+}
+
+// RedistHas reports whether the named redistribution currently mirrors
+// net to its subscriber.
+func (p *Process) RedistHas(name string, net netip.Prefix) bool {
+	rd, ok := p.redists[name]
+	if !ok {
+		return false
+	}
+	_, has := rd.mirrored[net]
+	return has
+}
+
+// SetRedistFilter swaps a redistribution stage's filter in place and
+// reconciles the subscriber against the current table: newly-passing
+// routes are announced, newly-failing ones withdrawn, and routes that
+// pass under both filters are left untouched (no churn for the
+// unaffected subset — the hot-reload invariant).
+func (p *Process) SetRedistFilter(name string, filter RedistFilter) error {
+	rd, ok := p.redists[name]
+	if !ok {
+		return fmt.Errorf("rib: no redist %q", name)
+	}
+	if filter == nil {
+		filter = func(e route.Entry) *route.Entry { return &e }
+	}
+	rd.filter = filter
+	// Replay the final table: apply() adds what now passes, drops what
+	// no longer does, and is a no-op where the mirrored entry matches.
+	seen := make(map[netip.Prefix]bool)
+	p.register.shadow.Walk(func(net netip.Prefix, e route.Entry) bool {
+		seen[net] = true
+		rd.apply(e)
+		return true
+	})
+	// Mirrored entries with no backing table route are stale; withdraw.
+	for net, e := range rd.mirrored {
+		if !seen[net] {
+			rd.drop(e)
+		}
+	}
+	return nil
+}
+
 // RemoveRedist removes a redistribution stage, withdrawing the mirrored
 // routes from the subscriber.
 func (p *Process) RemoveRedist(name string) error {

@@ -115,6 +115,33 @@ func (p *Process) Start() error {
 	return nil
 }
 
+// Retune applies new timer values in place (the rtrmgr's transactional
+// reload): zero fields keep their current value. The periodic update
+// timer is re-armed at the new interval; per-route expiry and GC timers
+// pick up the new durations as they are next armed, so no route churns.
+// Must run on the loop.
+func (p *Process) Retune(cfg Config) {
+	if cfg.UpdateInterval > 0 && cfg.UpdateInterval != p.cfg.UpdateInterval {
+		p.cfg.UpdateInterval = cfg.UpdateInterval
+		if p.updateTmr != nil {
+			p.updateTmr.Cancel()
+			p.updateTmr = p.loop.Periodic(p.cfg.UpdateInterval, p.sendPeriodic)
+		}
+	}
+	if cfg.Timeout > 0 {
+		p.cfg.Timeout = cfg.Timeout
+	}
+	if cfg.GCTime > 0 {
+		p.cfg.GCTime = cfg.GCTime
+	}
+	if cfg.TriggeredDelay > 0 {
+		p.cfg.TriggeredDelay = cfg.TriggeredDelay
+	}
+}
+
+// Timers reports the live timer configuration (tests, show-config).
+func (p *Process) Timers() Config { return p.cfg }
+
 // Stop cancels timers.
 func (p *Process) Stop() {
 	for _, t := range []*eventloop.Timer{p.updateTmr, p.trigTmr} {

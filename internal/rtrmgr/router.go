@@ -90,6 +90,20 @@ type Router struct {
 	respawning atomic.Bool
 
 	sup *Supervisor
+
+	// Transactional reload state (txn.go). txMu guards all of it, plus
+	// Config and generation once the router is live: the coordinator
+	// swaps the running config only after a full two-phase commit.
+	txMu        sync.Mutex
+	generation  uint32 // bumped on every committed reload
+	txSeq       uint32 // transaction id allocator
+	txOpen      uint32 // open transaction id (0 = none)
+	txParts     map[string]bool
+	txPoison    string // set when a participant dies mid-transaction
+	txDeadline  time.Duration
+	txHooks     TxHooks
+	configLoop  *eventloop.Loop
+	configRouter *xipc.Router
 }
 
 // simulated reports whether the assembly runs on a simulated clock.
@@ -207,7 +221,7 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Router{Config: cfg, Hub: xipc.NewHub(), FIB: kernel.NewFIB(), opts: opts}
+	r := &Router{Config: cfg, Hub: xipc.NewHub(), FIB: kernel.NewFIB(), opts: opts, generation: 1}
 
 	// Finder process.
 	r.Finder = finder.New(r.loopFor())
@@ -227,6 +241,7 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 	r.FEA = fea.New(feaLoop, r.FIB, host, r.FEARouter)
 	feaTarget := xif.NewTarget("fea", "fea")
 	r.FEA.RegisterXRLs(feaTarget)
+	xif.BindConfig(feaTarget, &txAgent{r: r, class: "fea", loop: feaLoop})
 	r.FEARouter.AddTarget(feaTarget)
 	if err := r.registerTarget(r.FEARouter, feaTarget); err != nil {
 		return nil, fmt.Errorf("rtrmgr: register fea: %w", err)
@@ -239,6 +254,7 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 	r.RIB = rib.NewProcess(ribLoop, &xrlFIBClient{stub: xif.NewFTIClient(r.RIBRouter, "fea")}, r.RIBRouter)
 	ribTarget := xif.NewTarget("rib", "rib")
 	r.RIB.RegisterXRLs(ribTarget)
+	xif.BindConfig(ribTarget, &txAgent{r: r, class: "rib", loop: ribLoop})
 	r.RIBRouter.AddTarget(ribTarget)
 	if err := r.registerTarget(r.RIBRouter, ribTarget); err != nil {
 		return nil, fmt.Errorf("rtrmgr: register rib: %w", err)
@@ -276,31 +292,9 @@ func NewRouter(cfgText string, opts Options) (*Router, error) {
 	// Static routes.
 	if st := cfg.Child("static"); st != nil {
 		for _, rt := range st.ChildrenNamed("route") {
-			if len(rt.Args) < 1 {
-				return nil, fmt.Errorf("rtrmgr: static route needs a prefix")
-			}
-			pfx, err := netip.ParsePrefix(rt.Arg(0))
+			e, err := parseStaticRoute(rt)
 			if err != nil {
 				return nil, err
-			}
-			e := route.Entry{Net: pfx}
-			for i := 1; i+1 < len(rt.Args); i += 2 {
-				switch rt.Args[i] {
-				case "next-hop":
-					nh, err := netip.ParseAddr(rt.Args[i+1])
-					if err != nil {
-						return nil, err
-					}
-					e.NextHop = nh
-				case "interface":
-					e.IfName = rt.Args[i+1]
-				case "metric":
-					m, err := strconv.ParseUint(rt.Args[i+1], 10, 32)
-					if err != nil {
-						return nil, err
-					}
-					e.Metric = uint32(m)
-				}
 			}
 			r.syncDo(ribLoop, func() { r.RIB.AddRoute(route.ProtoStatic, e) })
 		}
@@ -372,41 +366,14 @@ func (r *Router) setupBGP(cfg *Node) error {
 
 	bgpTarget := xif.NewTarget("bgp", "bgp")
 	proc.RegisterXRLs(bgpTarget)
+	xif.BindConfig(bgpTarget, &txAgent{r: r, class: "bgp", loop: bgpLoop, bgp: proc})
 	xr.AddTarget(bgpTarget)
 
 	// Peers (created on the BGP loop; enabled at Start).
 	for _, p := range cfg.ChildrenNamed("peer") {
-		localAddr, err := p.LeafAddr("local-addr")
+		pc, err := parsePeerConfig(p)
 		if err != nil {
 			return err
-		}
-		peerAddr, err := p.LeafAddr("peer-addr")
-		if err != nil {
-			return err
-		}
-		peerAS, err := strconv.ParseUint(p.Leaf("as"), 10, 16)
-		if err != nil {
-			return fmt.Errorf("rtrmgr: peer %s: bad as: %v", p.Key, err)
-		}
-		holdTime := 90 * time.Second
-		if ht := p.Leaf("holdtime"); ht != "" {
-			sec, err := strconv.Atoi(ht)
-			if err != nil {
-				return err
-			}
-			holdTime = time.Duration(sec) * time.Second
-		}
-		pc := bgp.PeerConfig{
-			Name:      p.Arg(0),
-			LocalAddr: localAddr,
-			PeerAddr:  peerAddr,
-			PeerAS:    uint16(peerAS),
-			DialAddr:  p.Leaf("dial"),
-			HoldTime:  holdTime,
-			Passive:   p.Child("passive") != nil,
-		}
-		if pc.Name == "" {
-			pc.Name = "peer-" + peerAddr.String()
 		}
 		var aerr error
 		r.syncDo(bgpLoop, func() { _, aerr = proc.AddPeer(pc) })
@@ -439,6 +406,77 @@ func (r *Router) setupBGP(cfg *Node) error {
 	r.MetricSource, r.bgpTarget, r.bgpRedists = &metricSrc, bgpTarget, redists
 	r.procMu.Unlock()
 	return nil
+}
+
+// parsePeerConfig parses one `peer <name> { ... }` block into a BGP peer
+// configuration (shared by assembly and the transactional reload agent).
+func parsePeerConfig(p *Node) (bgp.PeerConfig, error) {
+	var pc bgp.PeerConfig
+	localAddr, err := p.LeafAddr("local-addr")
+	if err != nil {
+		return pc, err
+	}
+	peerAddr, err := p.LeafAddr("peer-addr")
+	if err != nil {
+		return pc, err
+	}
+	peerAS, err := strconv.ParseUint(p.Leaf("as"), 10, 16)
+	if err != nil {
+		return pc, fmt.Errorf("rtrmgr: peer %s: bad as: %v", p.Key, err)
+	}
+	holdTime := 90 * time.Second
+	if ht := p.Leaf("holdtime"); ht != "" {
+		sec, err := strconv.Atoi(ht)
+		if err != nil {
+			return pc, err
+		}
+		holdTime = time.Duration(sec) * time.Second
+	}
+	pc = bgp.PeerConfig{
+		Name:      p.Arg(0),
+		LocalAddr: localAddr,
+		PeerAddr:  peerAddr,
+		PeerAS:    uint16(peerAS),
+		DialAddr:  p.Leaf("dial"),
+		HoldTime:  holdTime,
+		Passive:   p.Child("passive") != nil,
+	}
+	if pc.Name == "" {
+		pc.Name = "peer-" + peerAddr.String()
+	}
+	return pc, nil
+}
+
+// parseStaticRoute parses one `route <prefix> [next-hop a] [interface i]
+// [metric m]` leaf (shared by assembly and the reload agent).
+func parseStaticRoute(rt *Node) (route.Entry, error) {
+	if len(rt.Args) < 1 {
+		return route.Entry{}, fmt.Errorf("rtrmgr: static route needs a prefix")
+	}
+	pfx, err := netip.ParsePrefix(rt.Arg(0))
+	if err != nil {
+		return route.Entry{}, err
+	}
+	e := route.Entry{Net: pfx}
+	for i := 1; i+1 < len(rt.Args); i += 2 {
+		switch rt.Args[i] {
+		case "next-hop":
+			nh, err := netip.ParseAddr(rt.Args[i+1])
+			if err != nil {
+				return route.Entry{}, err
+			}
+			e.NextHop = nh
+		case "interface":
+			e.IfName = rt.Args[i+1]
+		case "metric":
+			m, err := strconv.ParseUint(rt.Args[i+1], 10, 32)
+			if err != nil {
+				return route.Entry{}, err
+			}
+			e.Metric = uint32(m)
+		}
+	}
+	return e, nil
 }
 
 // redistFilter builds the RIB redistribution filter for one
@@ -507,6 +545,7 @@ func (r *Router) setupRIP(cfg *Node) error {
 		rcfg.UpdateInterval = time.Duration(sec) * time.Second
 	}
 	proc := rip.NewProcess(ripLoop, rcfg, tr, ripRIBAdapter{r.RIB})
+	xif.BindConfig(tgt, &txAgent{r: r, class: "rip", loop: ripLoop, rip: proc})
 	r.procMu.Lock()
 	r.ripLoop, r.RIPRouter, r.RIP, r.ripTarget = ripLoop, xr, proc, tgt
 	r.procMu.Unlock()
@@ -573,6 +612,7 @@ func (r *Router) setupOSPF(cfg *Node) error {
 		ocfg.Cost = uint16(c)
 	}
 	proc := ospf.NewProcess(ospfLoop, ocfg, tr, ospfRIBAdapter{r.RIB})
+	xif.BindConfig(tgt, &txAgent{r: r, class: "ospf", loop: ospfLoop, ospf: proc})
 
 	if polName := cfg.Leaf("export"); polName != "" {
 		pol, err := r.compilePolicy(polName)

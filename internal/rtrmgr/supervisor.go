@@ -153,6 +153,10 @@ func (s *Supervisor) handleEvent(event, class, _ string) {
 // noteDeath updates crash-loop accounting for class and schedules a
 // respawn (or gives up). Runs on the supervisor loop.
 func (s *Supervisor) noteDeath(class string) {
+	// A participant dying mid-reload poisons the open transaction: the
+	// coordinator aborts and rolls back rather than committing onto a
+	// respawned (blank-state) process.
+	s.r.poisonTx(class, "died (supervisor)")
 	s.mu.Lock()
 	st := s.procs[class]
 	if st == nil || st.givenUp {
@@ -226,6 +230,10 @@ func (r *Router) KillProcess(class string) error {
 	if !ok {
 		return fmt.Errorf("rtrmgr: no running %s process", class)
 	}
+	// Poison any open reload transaction synchronously: the Finder's
+	// death broadcast reaches the supervisor too, but the coordinator
+	// must see the failure even without supervision enabled.
+	r.poisonTx(class, "killed mid-transaction")
 	r.unregisterInstance(class)
 	return nil
 }

@@ -2,6 +2,7 @@ package rtrmgr
 
 import (
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -324,5 +325,192 @@ func TestSupervisorSimMode(t *testing.T) {
 	}
 	if e, ok := r.FIB.Lookup(mustA("20.1.2.3")); !ok || e.Net != net1 {
 		t.Fatalf("route lost after respawn: %+v %v", e, ok)
+	}
+}
+
+// TestSupervisorBackoffScheduleSim pins the backoff schedule in
+// deterministic time: respawns fire at Initial, 2x, then cap at
+// MaxBackoff for every later rapid death — never earlier, never later.
+func TestSupervisorBackoffScheduleSim(t *testing.T) {
+	clock := eventloop.NewSimClock(time.Unix(1000, 0))
+	r, err := NewRouter(baseConfig, Options{Clock: clock, SharedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.SettleAll()
+	cfg := SupervisorConfig{
+		InitialBackoff: 100 * time.Millisecond,
+		MaxBackoff:     400 * time.Millisecond,
+		RapidWindow:    time.Minute,
+		MaxRapidDeaths: 10,
+	}
+	if _, err := r.EnableSupervision(cfg); err != nil {
+		t.Fatal(err)
+	}
+	loop := r.Loops()[0]
+
+	// Expected backoffs for rapid deaths 1..4: 100, 200, 400 (cap), 400.
+	for kill, backoff := range []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond,
+	} {
+		prev := r.CurrentBGP()
+		if prev == nil {
+			t.Fatalf("kill %d: no live process to kill", kill+1)
+		}
+		if err := r.KillProcess("bgp"); err != nil {
+			t.Fatalf("kill %d: %v", kill+1, err)
+		}
+		r.SettleAll() // deliver the death event, arming the backoff timer
+		loop.RunFor(backoff - 10*time.Millisecond)
+		r.SettleAll()
+		if p := r.CurrentBGP(); p != nil {
+			t.Fatalf("kill %d: respawned %v early (backoff %v)", kill+1, 10*time.Millisecond, backoff)
+		}
+		loop.RunFor(20 * time.Millisecond)
+		r.SettleAll()
+		if p := r.CurrentBGP(); p == nil || p == prev {
+			t.Fatalf("kill %d: not respawned after backoff %v", kill+1, backoff)
+		}
+	}
+	deaths, respawns, givenUp := r.Supervisor().Stats("bgp")
+	if deaths != 4 || respawns != 4 || givenUp {
+		t.Fatalf("stats = %d deaths, %d respawns, givenUp=%v", deaths, respawns, givenUp)
+	}
+}
+
+// TestSupervisorAlarmAfterRapidDeathsSim drives the give-up path in
+// simulated time: death N+1 within the rapid window abandons the class,
+// fires the alarm exactly once, and schedules no further respawns.
+func TestSupervisorAlarmAfterRapidDeathsSim(t *testing.T) {
+	clock := eventloop.NewSimClock(time.Unix(1000, 0))
+	r, err := NewRouter(baseConfig, Options{Clock: clock, SharedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.SettleAll()
+	var alarms []string
+	cfg := SupervisorConfig{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+		RapidWindow:    time.Minute,
+		MaxRapidDeaths: 2,
+		Alarm:          func(class string, deaths int) { alarms = append(alarms, class) },
+	}
+	if _, err := r.EnableSupervision(cfg); err != nil {
+		t.Fatal(err)
+	}
+	loop := r.Loops()[0]
+
+	for kill := 1; kill <= 3; kill++ {
+		if r.CurrentBGP() == nil {
+			t.Fatalf("kill %d: process not alive", kill)
+		}
+		if err := r.KillProcess("bgp"); err != nil {
+			t.Fatalf("kill %d: %v", kill, err)
+		}
+		r.SettleAll()
+		loop.RunFor(100 * time.Millisecond)
+		r.SettleAll()
+	}
+	if len(alarms) != 1 || alarms[0] != "bgp" {
+		t.Fatalf("alarms = %v, want exactly one for bgp", alarms)
+	}
+	deaths, respawns, givenUp := r.Supervisor().Stats("bgp")
+	if !givenUp || deaths != 3 || respawns != 2 {
+		t.Fatalf("stats = %d deaths, %d respawns, givenUp=%v", deaths, respawns, givenUp)
+	}
+	// Abandoned for good: no respawn however long we wait.
+	loop.RunFor(2 * time.Second)
+	r.SettleAll()
+	if r.CurrentBGP() != nil {
+		t.Fatal("abandoned process was respawned")
+	}
+}
+
+// TestSupervisorRespawnDuringTransactionAborts covers the interaction
+// between supervision and the reload coordinator: a participant dies
+// and is respawned while a transaction is between its validate and
+// commit phases. The transaction must abort (the respawned process has
+// no staged state), leave everything untouched, and the same reload
+// must succeed once retried against the respawned process.
+func TestSupervisorRespawnDuringTransactionAborts(t *testing.T) {
+	clock := eventloop.NewSimClock(time.Unix(1000, 0))
+	r, err := NewRouter(baseConfig, Options{Clock: clock, SharedLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.SettleAll()
+	if _, err := r.EnableSupervision(fastSup()); err != nil {
+		t.Fatal(err)
+	}
+	loop := r.Loops()[0]
+
+	before := Render(r.Config, 0)
+	// Between the phases: kill BGP and drive time until the supervisor
+	// has fully respawned it — the commit phase then faces a process
+	// that never saw validate_tx.
+	r.SetTxHooks(TxHooks{AfterValidate: func() {
+		old := r.CurrentBGP()
+		if err := r.KillProcess("bgp"); err != nil {
+			t.Errorf("kill: %v", err)
+		}
+		r.SettleAll()
+		for i := 0; i < 100; i++ {
+			if p := r.CurrentBGP(); p != nil && p != old {
+				break
+			}
+			loop.RunFor(20 * time.Millisecond)
+			r.SettleAll()
+		}
+		if p := r.CurrentBGP(); p == nil || p == old {
+			t.Errorf("bgp not respawned inside the transaction window")
+		}
+	}})
+	cand := strings.NewReplacer(
+		"route 10.99.0.0/16 next-hop 192.168.1.253;", "route 10.77.0.0/16 next-hop 192.168.1.253;",
+		"peer p2 {", "peer p3 { local-addr 192.168.1.1; peer-addr 192.168.1.9; as 65009; passive; }\n        peer p2 {",
+	).Replace(baseConfig)
+	err = r.Reload(cand)
+	if err == nil {
+		t.Fatal("reload across a respawn succeeded")
+	}
+	if g := r.Generation(); g != 1 {
+		t.Fatalf("generation = %d after aborted reload", g)
+	}
+	if Render(r.Config, 0) != before {
+		t.Fatal("aborted reload modified the running config")
+	}
+	r.SettleAll()
+	if e, ok := r.FIB.Lookup(mustA("10.77.1.1")); ok && e.Net == mustP("10.77.0.0/16") {
+		t.Fatal("aborted reload leaked the staged static route")
+	}
+
+	// Retried against the respawned process, the same candidate commits.
+	r.SetTxHooks(TxHooks{})
+	if err := r.Reload(cand); err != nil {
+		t.Fatalf("retry reload: %v", err)
+	}
+	r.SettleAll()
+	if e, ok := r.FIB.Lookup(mustA("10.77.1.1")); !ok || e.Net != mustP("10.77.0.0/16") {
+		t.Fatal("retried reload did not install the new static route")
+	}
+	var havePeer bool
+	p := r.CurrentBGP()
+	p.Loop().Dispatch(func() { _, havePeer = p.Peer("p3") })
+	r.SettleAll()
+	if !havePeer {
+		t.Fatal("retried reload did not add peer p3")
 	}
 }

@@ -274,6 +274,12 @@ func (confServer) Sink(args xrl.Args) (xrl.Args, error) { return nil, nil }
 func (confServer) FwdGetCounters() (xif.FwdCounters, error) {
 	return xif.FwdCounters{Workers: 2, Lookups: 10, Hits: 9, Drops: 1, Gen: 3}, nil
 }
+func (confServer) ValidateTx(uint32, uint32, []string) (bool, string, error) {
+	return true, "", nil
+}
+func (confServer) CommitTx(uint32) (uint32, error) { return 1, nil }
+func (confServer) AbortTx(uint32) error            { return nil }
+
 func (confServer) FwdGetWorkerStats() ([]string, error) {
 	return []string{"worker=0 lookups=5 hits=5 drops=0 gen=3"}, nil
 }
@@ -296,6 +302,7 @@ func TestSpecConformance(t *testing.T) {
 	xif.BindRIP(target, srv)
 	xif.BindBench(target, srv)
 	xif.BindFwd(target, srv)
+	xif.BindConfig(target, srv)
 	r.AddTarget(target)
 
 	bound := make(map[string]bool)
@@ -439,7 +446,7 @@ func TestRegistryLookup(t *testing.T) {
 	for _, want := range []string{"rib/1.0", "fti/0.2", "fea_udp/0.1", "fea_udp_client/0.1",
 		"ifmgr/0.1", "finder/1.0", "finder_client/1.0", "rib_client/0.1",
 		"profile/0.1", "bgp/1.0", "ospf/0.1", "rip/0.1", "bench/1.0", "common/0.1",
-		"fwd/0.1"} {
+		"fwd/0.1", "config/0.1"} {
 		name, ver, _ := strings.Cut(want, "/")
 		if _, ok := xif.Lookup(name, ver); !ok {
 			t.Errorf("registry is missing %s", want)
