@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"time"
+
+	"xorp/internal/bgp"
+	"xorp/internal/eventloop"
+	"xorp/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Route server: N peers all feeding one BGP pipeline and all receiving
+// everyone else's routes — the workload where per-peer output cost
+// dominates (§5.1.1's fanout rationale taken to internet scale). "legacy"
+// is the seed shape: per-route messages end to end and one private
+// out-filter → PeerOut → encode per member, so every route is encoded
+// once per peer. "fast" is the optimized shape: interned path attributes,
+// coalesced decision runs, and one shared out-filter → GroupOut, so every
+// outbound UPDATE is encoded once per (group, attr-set) run and the bytes
+// fanned to all members. The differential oracle in internal/bgp asserts
+// the two shapes emit byte-identical atom streams; this bench measures
+// what the sharing buys.
+// ---------------------------------------------------------------------
+
+// RouteServerPerMsg is the NLRI packing of the injected feeds (prefixes
+// per UPDATE), mirroring a real feed's attribute runs.
+const RouteServerPerMsg = 64
+
+// routeServerAttrSets is how many distinct attribute sets each peer's
+// feed cycles through — the redundancy the attr pool exploits.
+const routeServerAttrSets = 16
+
+// RouteServerResult is one route-server measurement.
+type RouteServerResult struct {
+	Mode         string // "legacy" or "fast"
+	Peers        int
+	Routes       int // total routes injected, summed over peers
+	Elapsed      time.Duration
+	RoutesPerSec float64
+	// EncodesPerRoute counts wire encodes per injected route (legacy pays
+	// ~one per member; fast pays ~1/perMsg for the whole group).
+	EncodesPerRoute float64
+	// BytesPerPeer is the average UPDATE bytes one member received.
+	BytesPerPeer   int64
+	AllocsPerRoute float64
+	// PoolAttrSets is the interned-pool size after the load (0 in legacy
+	// mode, which has no pool).
+	PoolAttrSets int
+}
+
+// RunRouteServer assembles a stage-level route server in either mode,
+// injects routes (split across peers, each peer's feed mixed v4/v6 with
+// redundant attr sets), drains the pipeline, and reports throughput plus
+// the output-side encode and byte counts.
+func RunRouteServer(peers, routes int, fast bool) (RouteServerResult, error) {
+	mode := "legacy"
+	if fast {
+		mode = "fast"
+	}
+	res := RouteServerResult{Mode: mode, Peers: peers, Routes: 0}
+
+	const localAS = 64999
+	localAddr := netip.MustParseAddr("192.0.2.1")
+
+	loop := eventloop.New(nil)
+	dec := bgp.NewDecision("decision")
+	fan := bgp.NewFanout("fanout", loop)
+	bgp.Plumb(dec, fan)
+	var pool *bgp.AttrPool
+	if fast {
+		pool = bgp.NewAttrPool()
+	}
+
+	var group *bgp.GroupOut
+	if fast {
+		outBank := bgp.NewFilterBank("out-filter(group:rs)",
+			bgp.FilterEBGPExport(localAS, localAddr))
+		group = bgp.NewGroupOut("rs")
+		bgp.Plumb(outBank, group)
+		fan.AddGroupBranch("group:rs", outBank)
+	}
+
+	memberBytes := make([]int64, peers)
+	var encodeCalls int64
+	var encodeErr error
+
+	type member struct {
+		handle *bgp.PeerHandle
+		in     *bgp.PeerIn
+	}
+	members := make([]*member, peers)
+	for p := 0; p < peers; p++ {
+		name := fmt.Sprintf("rs%03d", p)
+		m := &member{handle: &bgp.PeerHandle{
+			Name: name,
+			Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(10 + p%240)}),
+			AS:   uint16(65000 + p),
+		}}
+		m.in = bgp.NewPeerIn(loop, m.handle, pool)
+		m.in.SetBatch(fast)
+		resolver := bgp.NewNexthopResolver("nexthop("+name+")", &bgp.StaticMetricSource{})
+		bgp.Plumb(m.in, resolver)
+
+		if fast {
+			idx := p
+			if err := group.AddMember(m.handle, bgp.GroupSenderFunc(func(buf []byte) {
+				memberBytes[idx] += int64(len(buf))
+			})); err != nil {
+				return res, err
+			}
+		} else {
+			// The seed shape: a private export bank and PeerOut whose
+			// sender encodes each message, as Peer.SendUpdate does.
+			idx := p
+			var encBuf []byte
+			pout := bgp.NewPeerOut(m.handle, bgp.UpdateSenderFunc(func(u *bgp.UpdateMsg) {
+				buf, err := bgp.AppendUpdate(encBuf[:0], u)
+				if err != nil {
+					encodeErr = err
+					return
+				}
+				encBuf = buf
+				memberBytes[idx] += int64(len(buf))
+				encodeCalls++
+			}))
+			outBank := bgp.NewFilterBank("out-filter("+name+")",
+				bgp.FilterEBGPExport(localAS, localAddr))
+			bgp.Plumb(outBank, pout)
+			fan.AddPeerBranch(name, m.handle, outBank)
+		}
+		dec.AddParent(resolver)
+		members[p] = m
+	}
+
+	// Generate every peer's feed up front so generation cost stays out of
+	// the measurement. Feeds are injected round-robin one UPDATE at a
+	// time, interleaving the peers as concurrent sessions would.
+	perPeer := routes / peers
+	feeds := make([][]*bgp.UpdateMsg, peers)
+	maxMsgs := 0
+	for p := range feeds {
+		feeds[p] = workload.RouteServerFeed(
+			p, perPeer, RouteServerPerMsg, routeServerAttrSets,
+			members[p].handle.AS, members[p].handle.Addr)
+		res.Routes += perPeer
+		maxMsgs = max(maxMsgs, len(feeds[p]))
+	}
+
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	loop.Dispatch(func() {
+		for i := 0; i < maxMsgs; i++ {
+			for p, feed := range feeds {
+				if i < len(feed) {
+					members[p].in.ReceiveUpdate(feed[i], localAS)
+				}
+			}
+		}
+	})
+	loop.RunPending()
+	res.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if encodeErr != nil {
+		return res, encodeErr
+	}
+
+	// Sanity: every member must have been told everyone else's routes.
+	want := res.Routes - perPeer
+	if fast {
+		for _, m := range members {
+			if got := group.MemberAnnouncedCount(m.handle); got != want {
+				return res, fmt.Errorf("bench: routeserver(%s): %s saw %d routes, want %d",
+					mode, m.handle.Name, got, want)
+			}
+		}
+		encodeCalls = int64(group.EncodeCalls)
+		res.PoolAttrSets = pool.Len()
+	}
+
+	var total int64
+	for _, b := range memberBytes {
+		total += b
+	}
+	if total == 0 {
+		return res, fmt.Errorf("bench: routeserver(%s): no bytes reached any member", mode)
+	}
+	res.RoutesPerSec = float64(res.Routes) / res.Elapsed.Seconds()
+	res.EncodesPerRoute = float64(encodeCalls) / float64(res.Routes)
+	res.BytesPerPeer = total / int64(peers)
+	res.AllocsPerRoute = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Routes)
+	return res, nil
+}
+
+// FormatRouteServer renders the legacy-vs-fast comparison. The two runs
+// may use different table sizes (the legacy mode's per-peer adj-RIB-out
+// and per-peer encode make full scale pointless to wait for), so the
+// comparison is rate-based.
+func FormatRouteServer(legacy, fast RouteServerResult) string {
+	speedup := fast.RoutesPerSec / legacy.RoutesPerSec
+	return fmt.Sprintf(
+		"%-7s %10.0f routes/sec %7.2f encodes/route %9.1f allocs/route %9d bytes/peer  (%d peers x %d routes)\n"+
+			"%-7s %10.0f routes/sec %7.2f encodes/route %9.1f allocs/route %9d bytes/peer  (%d peers x %d routes, pool %d attr sets)\n"+
+			"fast path: %.1fx routes/sec through the full pipeline\n",
+		legacy.Mode, legacy.RoutesPerSec, legacy.EncodesPerRoute, legacy.AllocsPerRoute,
+		legacy.BytesPerPeer, legacy.Peers, legacy.Routes,
+		fast.Mode, fast.RoutesPerSec, fast.EncodesPerRoute, fast.AllocsPerRoute,
+		fast.BytesPerPeer, fast.Peers, fast.Routes, fast.PoolAttrSets,
+		speedup)
+}

@@ -94,14 +94,11 @@ func BenchmarkAblationDecisionLookupUpstream(b *testing.B) {
 
 // BenchmarkUpdateEncode / Decode: the wire codec on the hot path.
 func BenchmarkUpdateEncode(b *testing.B) {
+	attrs := attrsVia("10.0.0.1", 65001, 65002, 65003)
+	attrs.MED, attrs.HasMED = 50, true
 	m := &UpdateMsg{
-		Attrs: &PathAttrs{
-			Origin:  OriginIGP,
-			ASPath:  ASPath{{Type: SegSequence, ASes: []uint16{65001, 65002, 65003}}},
-			NextHop: mustA("10.0.0.1"),
-			MED:     50, HasMED: true,
-		},
-		NLRI: []netip.Prefix{mustP("10.1.0.0/16"), mustP("10.2.0.0/16")},
+		Attrs: attrs,
+		NLRI:  []netip.Prefix{mustP("10.1.0.0/16"), mustP("10.2.0.0/16")},
 	}
 	var buf []byte
 	b.ResetTimer()
@@ -116,12 +113,8 @@ func BenchmarkUpdateEncode(b *testing.B) {
 
 func BenchmarkUpdateDecode(b *testing.B) {
 	m := &UpdateMsg{
-		Attrs: &PathAttrs{
-			Origin:  OriginIGP,
-			ASPath:  ASPath{{Type: SegSequence, ASes: []uint16{65001, 65002, 65003}}},
-			NextHop: mustA("10.0.0.1"),
-		},
-		NLRI: []netip.Prefix{mustP("10.1.0.0/16")},
+		Attrs: attrsVia("10.0.0.1", 65001, 65002, 65003),
+		NLRI:  []netip.Prefix{mustP("10.1.0.0/16")},
 	}
 	buf, err := AppendUpdate(nil, m)
 	if err != nil {

@@ -1,0 +1,168 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// AttrPool hash-conses PathAttrs: a full Internet table carries a few
+// tens of thousands of distinct attribute sets across hundreds of
+// thousands of routes, so PeerIn stores one canonical *PathAttrs per
+// distinct set and one pointer per route instead of a per-route copy.
+//
+// Entries are refcounted by the routes that store them (PeerIn tables and
+// the deletion stages they hand off to); a set whose last route is
+// withdrawn leaves the pool, so a drained table drains the pool too.
+// Refcounts only govern pool membership — stages downstream may keep a
+// released *PathAttrs alive (the GC handles lifetime), they just stop
+// deduplicating against it.
+//
+// The pool is confined to the BGP process loop, like the stages using it.
+type AttrPool struct {
+	byKey map[string]*poolEntry
+	byPtr map[*PathAttrs]*poolEntry
+	// scratch is the reusable key-building buffer; map lookups use
+	// string(scratch) which Go compiles without allocating.
+	scratch []byte
+}
+
+type poolEntry struct {
+	attrs *PathAttrs
+	key   string
+	refs  int
+}
+
+// NewAttrPool returns an empty pool.
+func NewAttrPool() *AttrPool {
+	return &AttrPool{
+		byKey: make(map[string]*poolEntry),
+		byPtr: make(map[*PathAttrs]*poolEntry),
+	}
+}
+
+// Len returns the number of distinct interned attribute sets.
+func (p *AttrPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.byKey)
+}
+
+// Refs returns the total refcount across all entries (tests).
+func (p *AttrPool) Refs() int {
+	if p == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range p.byKey {
+		total += e.refs
+	}
+	return total
+}
+
+// Intern returns the canonical pointer for a's attribute set and takes
+// one reference on it. A nil pool passes a through unchanged, so stages
+// run pool-less in tests. The returned attrs must be treated as
+// immutable (they are shared); a itself is not retained unless it becomes
+// the canonical copy.
+func (p *AttrPool) Intern(a *PathAttrs) *PathAttrs {
+	if p == nil || a == nil {
+		return a
+	}
+	// Fast path: a is already canonical.
+	if e, ok := p.byPtr[a]; ok {
+		e.refs++
+		return a
+	}
+	p.scratch = appendAttrKey(p.scratch[:0], a)
+	if e, ok := p.byKey[string(p.scratch)]; ok {
+		e.refs++
+		return e.attrs
+	}
+	e := &poolEntry{attrs: a, key: string(p.scratch), refs: 1}
+	p.byKey[e.key] = e
+	p.byPtr[a] = e
+	return a
+}
+
+// Retain takes an additional reference on an interned set. Unknown (or
+// never-interned) pointers are ignored, so callers need not track whether
+// an attrs value came from the pool.
+func (p *AttrPool) Retain(a *PathAttrs) {
+	if p == nil || a == nil {
+		return
+	}
+	if e, ok := p.byPtr[a]; ok {
+		e.refs++
+	}
+}
+
+// Release drops one reference; the entry leaves the pool at zero.
+func (p *AttrPool) Release(a *PathAttrs) {
+	if p == nil || a == nil {
+		return
+	}
+	e, ok := p.byPtr[a]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(p.byKey, e.key)
+		delete(p.byPtr, a)
+	}
+}
+
+// appendAttrKey serializes every field of a into a canonical byte key.
+// Unlike the wire encoding it is family-generic (IPv6 nexthops key fine)
+// and includes presence flags explicitly, so distinct sets can never
+// collide (e.g. MED=0 present vs MED absent).
+func appendAttrKey(dst []byte, a *PathAttrs) []byte {
+	var flags byte
+	if a.HasMED {
+		flags |= 1
+	}
+	if a.HasLocalPref {
+		flags |= 2
+	}
+	if a.AtomicAggregate {
+		flags |= 4
+	}
+	if a.HasAggregator {
+		flags |= 8
+	}
+	dst = append(dst, a.Origin, flags)
+	dst = binary.BigEndian.AppendUint32(dst, a.MED)
+	dst = binary.BigEndian.AppendUint32(dst, a.LocalPref)
+	dst = binary.BigEndian.AppendUint16(dst, a.AggregatorAS)
+	dst = appendAddrKey(dst, a.AggregatorAddr)
+	dst = appendAddrKey(dst, a.NextHop)
+	dst = append(dst, byte(len(a.ASPath)))
+	for _, s := range a.ASPath {
+		dst = append(dst, s.Type)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.ASes)))
+		for _, as := range s.ASes {
+			dst = binary.BigEndian.AppendUint16(dst, as)
+		}
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(a.Communities)))
+	for _, c := range a.Communities {
+		dst = binary.BigEndian.AppendUint32(dst, c)
+	}
+	return dst
+}
+
+func appendAddrKey(dst []byte, a netip.Addr) []byte {
+	switch {
+	case !a.IsValid():
+		return append(dst, 0)
+	case a.Is4():
+		b := a.As4()
+		dst = append(dst, 4)
+		return append(dst, b[:]...)
+	default:
+		b := a.As16()
+		dst = append(dst, 16)
+		return append(dst, b[:]...)
+	}
+}

@@ -17,6 +17,18 @@ const (
 	attrAtomicAggregate = 6
 	attrAggregator      = 7
 	attrCommunity       = 8
+
+	// Multiprotocol extensions (RFC 4760); this reproduction implements
+	// the IPv6-unicast subset so the family-generic pipeline can speak
+	// v6 on the wire.
+	attrMPReachNLRI   = 14
+	attrMPUnreachNLRI = 15
+)
+
+// MP-BGP address/subsequent-address family identifiers.
+const (
+	afiIPv6     = 2
+	safiUnicast = 1
 )
 
 // Attribute flag bits.
@@ -216,13 +228,14 @@ func (a *PathAttrs) appendTo(dst []byte) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
-	// NEXT_HOP
-	if !a.NextHop.Is4() {
-		return dst, fmt.Errorf("bgp: NEXT_HOP %v is not IPv4", a.NextHop)
+	// NEXT_HOP — classic form is IPv4-only; an IPv6 next hop rides in
+	// MP_REACH_NLRI instead (AppendUpdate enforces that IPv4 NLRI always
+	// have an IPv4 next hop).
+	if a.NextHop.Is4() {
+		nh := a.NextHop.As4()
+		dst = append(dst, flagTransitive, attrNextHop, 4)
+		dst = append(dst, nh[:]...)
 	}
-	nh := a.NextHop.As4()
-	dst = append(dst, flagTransitive, attrNextHop, 4)
-	dst = append(dst, nh[:]...)
 	// MED
 	if a.HasMED {
 		dst = append(dst, flagOptional, attrMED, 4)
@@ -274,9 +287,13 @@ func appendAttr(dst []byte, flags, typ uint8, body []byte) ([]byte, error) {
 	return append(dst, body...), nil
 }
 
-// decodePathAttrs parses attributes up to end.
-func decodePathAttrs(d *wireDecoder, end int) (*PathAttrs, error) {
-	a := &PathAttrs{}
+// decodePathAttrs parses attributes up to end. MP_REACH_NLRI and
+// MP_UNREACH_NLRI carry NLRI, which belongs to the message rather than the
+// attribute set, so the IPv6 announcements/withdrawals are returned
+// alongside. seen reports whether anything other than MP_UNREACH_NLRI was
+// decoded (a withdraw-only message has no attribute set).
+func decodePathAttrs(d *wireDecoder, end int) (a *PathAttrs, nlri6, wdr6 []netip.Prefix, seen bool, err error) {
+	a = &PathAttrs{}
 	for d.off < end && d.err == nil {
 		flags := d.u8()
 		typ := d.u8()
@@ -290,7 +307,7 @@ func decodePathAttrs(d *wireDecoder, end int) (*PathAttrs, error) {
 			break
 		}
 		if d.off+alen > end {
-			return nil, fmt.Errorf("bgp: attribute %d overruns attribute block", typ)
+			return nil, nil, nil, false, fmt.Errorf("bgp: attribute %d overruns attribute block", typ)
 		}
 		body := d.take(alen)
 		if body == nil {
@@ -299,63 +316,111 @@ func decodePathAttrs(d *wireDecoder, end int) (*PathAttrs, error) {
 		switch typ {
 		case attrOrigin:
 			if alen != 1 {
-				return nil, fmt.Errorf("bgp: ORIGIN length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: ORIGIN length %d", alen)
 			}
 			a.Origin = body[0]
+			seen = true
 		case attrASPath:
 			path, err := decodeASPath(body)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, false, err
 			}
 			a.ASPath = path
+			seen = true
 		case attrNextHop:
 			if alen != 4 {
-				return nil, fmt.Errorf("bgp: NEXT_HOP length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: NEXT_HOP length %d", alen)
 			}
 			a.NextHop = netip.AddrFrom4([4]byte(body))
+			seen = true
 		case attrMED:
 			if alen != 4 {
-				return nil, fmt.Errorf("bgp: MED length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: MED length %d", alen)
 			}
 			a.MED = binary.BigEndian.Uint32(body)
 			a.HasMED = true
+			seen = true
 		case attrLocalPref:
 			if alen != 4 {
-				return nil, fmt.Errorf("bgp: LOCAL_PREF length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: LOCAL_PREF length %d", alen)
 			}
 			a.LocalPref = binary.BigEndian.Uint32(body)
 			a.HasLocalPref = true
+			seen = true
 		case attrAtomicAggregate:
 			if alen != 0 {
-				return nil, fmt.Errorf("bgp: ATOMIC_AGGREGATE length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: ATOMIC_AGGREGATE length %d", alen)
 			}
 			a.AtomicAggregate = true
+			seen = true
 		case attrAggregator:
 			if alen != 6 {
-				return nil, fmt.Errorf("bgp: AGGREGATOR length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: AGGREGATOR length %d", alen)
 			}
 			a.AggregatorAS = binary.BigEndian.Uint16(body)
 			a.AggregatorAddr = netip.AddrFrom4([4]byte(body[2:6]))
 			a.HasAggregator = true
+			seen = true
 		case attrCommunity:
 			if alen%4 != 0 {
-				return nil, fmt.Errorf("bgp: COMMUNITY length %d", alen)
+				return nil, nil, nil, false, fmt.Errorf("bgp: COMMUNITY length %d", alen)
 			}
 			for i := 0; i < alen; i += 4 {
 				a.Communities = append(a.Communities, binary.BigEndian.Uint32(body[i:]))
 			}
+			seen = true
+		case attrMPReachNLRI:
+			sub := &wireDecoder{buf: body}
+			afi := sub.u16()
+			safi := sub.u8()
+			if sub.err != nil {
+				return nil, nil, nil, false, fmt.Errorf("bgp: truncated MP_REACH_NLRI")
+			}
+			if afi != afiIPv6 || safi != safiUnicast {
+				continue // unimplemented family: ignore (optional attr)
+			}
+			nhLen := int(sub.u8())
+			if sub.err == nil && nhLen != 16 {
+				return nil, nil, nil, false, fmt.Errorf("bgp: MP_REACH_NLRI next-hop length %d", nhLen)
+			}
+			nh := sub.take(nhLen)
+			sub.u8() // reserved
+			for sub.off < len(body) && sub.err == nil {
+				nlri6 = append(nlri6, decodePrefix6(sub))
+			}
+			if sub.err != nil {
+				return nil, nil, nil, false, sub.err
+			}
+			a.NextHop = netip.AddrFrom16([16]byte(nh)).Unmap()
+			seen = true
+		case attrMPUnreachNLRI:
+			sub := &wireDecoder{buf: body}
+			afi := sub.u16()
+			safi := sub.u8()
+			if sub.err != nil {
+				return nil, nil, nil, false, fmt.Errorf("bgp: truncated MP_UNREACH_NLRI")
+			}
+			if afi != afiIPv6 || safi != safiUnicast {
+				continue
+			}
+			for sub.off < len(body) && sub.err == nil {
+				wdr6 = append(wdr6, decodePrefix6(sub))
+			}
+			if sub.err != nil {
+				return nil, nil, nil, false, sub.err
+			}
 		default:
 			if flags&flagOptional == 0 {
-				return nil, fmt.Errorf("bgp: unrecognized well-known attribute %d", typ)
+				return nil, nil, nil, false, fmt.Errorf("bgp: unrecognized well-known attribute %d", typ)
 			}
 			// Unrecognized optional attributes are ignored (transitive
 			// ones would be forwarded by a full implementation).
 		}
 	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, nil, nil, false, d.err
 	}
-	return a, nil
+	return a, nlri6, wdr6, seen, nil
 }
 
 func decodeASPath(body []byte) (ASPath, error) {

@@ -77,6 +77,41 @@ func (d *Decision) Add(r *Route) {
 	}
 }
 
+// AddRun implements RunStage: the winner is computed once per route
+// against the other branches, losers are skipped without materializing
+// anything downstream, and consecutive fresh winners stay coalesced.
+// Winners that displace a previous best become individual Replaces at
+// their position in the run, so downstream sees exactly the message
+// sequence the per-route path would emit.
+func (d *Decision) AddRun(rs []*Route) {
+	if d.next == nil {
+		return
+	}
+	var win []*Route
+	flush := func() {
+		if len(win) > 0 {
+			addRun(d.next, win)
+			win = nil
+		}
+	}
+	for i, r := range rs {
+		prevBest := d.bestExcluding(r.Net, r)
+		if !usable(r) || !r.Better(prevBest) {
+			continue // loser: never materialized downstream
+		}
+		if prevBest == nil {
+			if win == nil {
+				win = rs[i:i:len(rs)] // sub-slice, no copy of rs
+			}
+			win = append(win, r)
+			continue
+		}
+		flush()
+		d.next.Replace(prevBest, r)
+	}
+	flush()
+}
+
 // Replace implements Stage: a branch replaces its route for a net.
 func (d *Decision) Replace(old, new *Route) {
 	alt := d.bestExcluding(new.Net, new) // best among the other branches

@@ -7,10 +7,14 @@ import (
 	"xorp/internal/eventloop"
 )
 
-// fanoutEntry is one decision-process output queued for fanout.
+// fanoutEntry is one decision-process output queued for fanout. run is
+// non-nil for a coalesced add-run (op is OpAdd); run members share one
+// attrs pointer and one Src, so per-branch specialization is computed once
+// per run instead of once per route.
 type fanoutEntry struct {
 	op       core.Op
 	old, new *Route
+	run      []*Route
 }
 
 // Fanout is the fanout-queue stage of Figure 5: it duplicates the
@@ -28,13 +32,18 @@ type Fanout struct {
 	pumpScheduled bool
 }
 
-// fanoutBranch is one consumer: a peer's output pipeline or the RIB.
+// fanoutBranch is one consumer: a peer's output pipeline, a peer group's
+// shared output pipeline, or the RIB.
 type fanoutBranch struct {
 	name   string
-	peer   *PeerHandle // nil for the RIB branch
+	peer   *PeerHandle // nil for group and RIB branches
+	group  bool        // group branch: split horizon applied in GroupOut
 	head   Stage       // first stage of the output pipeline (nil if fn used)
 	fn     func(fanoutEntry) bool
 	reader *core.FanoutReader[fanoutEntry]
+	// runPos is the resume cursor of a sink branch that applied
+	// backpressure mid-run, so redelivery skips already-consumed routes.
+	runPos int
 }
 
 // NewFanout returns an empty fanout stage.
@@ -55,11 +64,34 @@ func (f *Fanout) AddPeerBranch(name string, peer *PeerHandle, head Stage) {
 	f.branches[name] = b
 }
 
+// AddGroupBranch attaches a peer group's shared output pipeline. Unlike a
+// peer branch, no per-peer specialization happens here: the full decision
+// stream drives the shared filter bank once, and the terminal GroupOut
+// applies split horizon / the IBGP rule per member.
+func (f *Fanout) AddGroupBranch(name string, head Stage) {
+	b := &fanoutBranch{name: name, group: true, head: head}
+	b.reader = f.q.AddReader(func(e fanoutEntry) bool { return f.deliverGroup(b, e) })
+	f.branches[name] = b
+}
+
 // AddSinkBranch attaches a function consumer (the RIB branch, tests). fn
-// returning false applies backpressure.
+// returning false applies backpressure; runs are expanded per-route with a
+// resume cursor so backpressure mid-run never duplicates a route.
 func (f *Fanout) AddSinkBranch(name string, fn func(op core.Op, old, new *Route) bool) {
 	b := &fanoutBranch{name: name}
-	b.fn = func(e fanoutEntry) bool { return fn(e.op, e.old, e.new) }
+	b.fn = func(e fanoutEntry) bool {
+		if e.run != nil {
+			for b.runPos < len(e.run) {
+				if !fn(core.OpAdd, nil, e.run[b.runPos]) {
+					return false
+				}
+				b.runPos++
+			}
+			b.runPos = 0
+			return true
+		}
+		return fn(e.op, e.old, e.new)
+	}
 	b.reader = f.q.AddReader(b.fn)
 	f.branches[name] = b
 }
@@ -112,8 +144,16 @@ func sendable(r *Route, peer *PeerHandle) bool {
 	return true
 }
 
-// deliverPeer specializes one queued change for one peer branch.
+// deliverPeer specializes one queued change for one peer branch. A run is
+// screened with a single sendable check (run members share Src, the only
+// route field sendable reads).
 func (f *Fanout) deliverPeer(b *fanoutBranch, e fanoutEntry) bool {
+	if e.run != nil {
+		if sendable(e.run[0], b.peer) {
+			addRun(b.head, e.run)
+		}
+		return true
+	}
 	so := e.op != core.OpAdd && sendable(e.old, b.peer)
 	sn := e.op != core.OpDelete && sendable(e.new, b.peer)
 	switch {
@@ -122,6 +162,25 @@ func (f *Fanout) deliverPeer(b *fanoutBranch, e fanoutEntry) bool {
 	case sn:
 		b.head.Add(e.new)
 	case so:
+		b.head.Delete(e.old)
+	}
+	return true
+}
+
+// deliverGroup drives one queued change into a group branch undegraded;
+// membership (split horizon, IBGP rule) is resolved per member by the
+// GroupOut at the end of the shared pipeline.
+func (f *Fanout) deliverGroup(b *fanoutBranch, e fanoutEntry) bool {
+	if e.run != nil {
+		addRun(b.head, e.run)
+		return true
+	}
+	switch e.op {
+	case core.OpAdd:
+		b.head.Add(e.new)
+	case core.OpReplace:
+		b.head.Replace(e.old, e.new)
+	case core.OpDelete:
 		b.head.Delete(e.old)
 	}
 	return true
@@ -142,6 +201,13 @@ func (f *Fanout) schedulePump() {
 // Add implements Stage.
 func (f *Fanout) Add(r *Route) {
 	f.q.Push(fanoutEntry{op: core.OpAdd, new: r})
+	f.schedulePump()
+}
+
+// AddRun implements RunStage: the run is queued as one entry, so every
+// branch pays one specialization (and, for groups, one encode) per run.
+func (f *Fanout) AddRun(rs []*Route) {
+	f.q.Push(fanoutEntry{op: core.OpAdd, run: rs})
 	f.schedulePump()
 }
 

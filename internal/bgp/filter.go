@@ -43,6 +43,63 @@ func (f *FilterBank) Add(r *Route) {
 	}
 }
 
+// AddRun implements RunStage. Filters may clone attrs per route, which
+// would splinter the run's shared attribute pointer; filters are
+// deterministic, so two run members with pointer-identical input attrs
+// produce deep-equal output attrs — the bank memoizes the last (in, out)
+// attrs pair and substitutes the canonical output pointer, keeping runs
+// shareable downstream. If a filter's rewrite genuinely depends on the
+// prefix, the memo misses and the run splits at the divergence point.
+func (f *FilterBank) AddRun(rs []*Route) {
+	if f.next == nil {
+		return
+	}
+	// The run slice is shared: the fanout delivers the same slice to every
+	// branch, so results must never be written back into rs. A fresh slice
+	// is allocated only once a filter actually drops or rewrites a route.
+	var lastIn, lastOut *PathAttrs
+	var out []*Route
+	changed := false
+	for i, r := range rs {
+		fr := f.apply(r)
+		if fr != nil && fr.Attrs != r.Attrs {
+			if lastIn == r.Attrs && fr.Attrs.Equal(lastOut) {
+				fr.Attrs = lastOut
+			} else {
+				lastIn, lastOut = r.Attrs, fr.Attrs
+			}
+		}
+		if !changed {
+			if fr == r {
+				continue
+			}
+			changed = true
+			out = append(out, rs[:i]...)
+		}
+		if fr != nil {
+			out = append(out, fr)
+		}
+	}
+	if !changed {
+		addRun(f.next, rs) // untouched: still one shared attrs pointer
+		return
+	}
+	emitSubRuns(f.next, out)
+}
+
+// emitSubRuns forwards routes downstream as maximal consecutive sub-runs
+// sharing one attrs pointer, preserving the RunStage invariant.
+func emitSubRuns(next Stage, rs []*Route) {
+	for i := 0; i < len(rs); {
+		j := i + 1
+		for j < len(rs) && rs[j].Attrs == rs[i].Attrs {
+			j++
+		}
+		addRun(next, rs[i:j])
+		i = j
+	}
+}
+
 // Replace implements Stage, degrading to Add/Delete when filtering drops
 // one side of the pair.
 func (f *FilterBank) Replace(old, new *Route) {

@@ -1,0 +1,309 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// GroupSender consumes pre-encoded UPDATE bytes for one peer-group member.
+// buf may hold several concatenated wire messages and is only valid for
+// the duration of the call (the group reuses its encode buffer), so
+// implementations must copy or write synchronously.
+type GroupSender interface {
+	SendEncodedUpdate(buf []byte)
+}
+
+// GroupSenderFunc adapts a function to GroupSender.
+type GroupSenderFunc func(buf []byte)
+
+// SendEncodedUpdate implements GroupSender.
+func (f GroupSenderFunc) SendEncodedUpdate(buf []byte) { f(buf) }
+
+// GroupOut is the terminal stage of a peer group's shared output branch:
+// the group's members share export policy (the filter bank upstream of
+// this stage runs once for the whole group), so each outbound UPDATE is
+// encoded once per (group, attr-set) and the bytes fanned out to every
+// member — instead of the legacy path's one walk and one encode per peer.
+//
+// Split horizon and the IBGP non-reflection rule still differ per member;
+// they are applied here, per member, against the route's Src. The group
+// keeps one announced map (the shared adj-RIB-out) plus a sparse
+// per-member suppressed set holding only the prefixes a member must NOT
+// see — for a route server that is each member's own contribution, so
+// total bookkeeping stays proportional to the table, not members × table.
+type GroupOut struct {
+	base
+	members []*groupMember
+
+	// announced is the group-level adj-RIB-out: what the shared pipeline
+	// has emitted, before per-member suppression.
+	announced map[netip.Prefix]*Route
+
+	encBuf []byte
+	netBuf []netip.Prefix
+
+	// Encode/send statistics (the routeserver bench reads these).
+	EncodeCalls int
+	SentBytes   int64
+	SentMsgs    int64
+}
+
+type groupMember struct {
+	handle *PeerHandle
+	sender GroupSender
+	// suppressed marks announced prefixes this member must not see.
+	suppressed map[netip.Prefix]bool
+}
+
+// NewGroupOut returns an empty group output stage.
+func NewGroupOut(name string) *GroupOut {
+	return &GroupOut{
+		base:      base{name: "groupout(" + name + ")"},
+		announced: make(map[netip.Prefix]*Route),
+	}
+}
+
+// Members returns the current member count.
+func (g *GroupOut) Members() int { return len(g.members) }
+
+// AnnouncedCount returns the group adj-RIB-out size.
+func (g *GroupOut) AnnouncedCount() int { return len(g.announced) }
+
+// AddMember joins a peer to the group and returns an error if the handle
+// is already a member. The caller resyncs the member (ResyncMember) once
+// its session is established.
+func (g *GroupOut) AddMember(handle *PeerHandle, sender GroupSender) error {
+	for _, m := range g.members {
+		if m.handle == handle {
+			return fmt.Errorf("bgp: %s already in %s", handle.Name, g.name)
+		}
+	}
+	m := &groupMember{handle: handle, sender: sender, suppressed: make(map[netip.Prefix]bool)}
+	// Routes already announced by the group predate the member; mark the
+	// ones it must never see so later replaces/deletes stay consistent.
+	for net, r := range g.announced {
+		if !sendable(r, handle) {
+			m.suppressed[net] = true
+		}
+	}
+	g.members = append(g.members, m)
+	return nil
+}
+
+// RemoveMember detaches a peer from the group.
+func (g *GroupOut) RemoveMember(handle *PeerHandle) {
+	for i, m := range g.members {
+		if m.handle == handle {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetSender swaps a member's byte consumer (session established).
+func (g *GroupOut) SetSender(handle *PeerHandle, sender GroupSender) {
+	if m := g.member(handle); m != nil {
+		m.sender = sender
+	}
+}
+
+func (g *GroupOut) member(handle *PeerHandle) *groupMember {
+	for _, m := range g.members {
+		if m.handle == handle {
+			return m
+		}
+	}
+	return nil
+}
+
+// send delivers the encode buffer to one member, counting msgs messages.
+func (g *GroupOut) send(m *groupMember, msgs int) {
+	if m.sender == nil {
+		return
+	}
+	m.sender.SendEncodedUpdate(g.encBuf)
+	g.SentBytes += int64(len(g.encBuf))
+	g.SentMsgs += int64(msgs)
+}
+
+// encodeAnnounce fills encBuf with the announcement of nets sharing attrs.
+func (g *GroupOut) encodeAnnounce(attrs *PathAttrs, nets []netip.Prefix) (msgs int, err error) {
+	before := 0
+	g.encBuf, err = AppendUpdateRun(g.encBuf[:0], attrs, nets)
+	if err != nil {
+		return 0, err
+	}
+	g.EncodeCalls++
+	for before < len(g.encBuf) {
+		n, _, err := HeaderInfo(g.encBuf[before:])
+		if err != nil {
+			return msgs, err
+		}
+		before += n
+		msgs++
+	}
+	return msgs, nil
+}
+
+// encodeWithdraw fills encBuf with the withdrawal of net.
+func (g *GroupOut) encodeWithdraw(net netip.Prefix) error {
+	var err error
+	g.netBuf = append(g.netBuf[:0], net)
+	g.encBuf, err = AppendUpdate(g.encBuf[:0], &UpdateMsg{Withdrawn: g.netBuf})
+	if err == nil {
+		g.EncodeCalls++
+	}
+	return err
+}
+
+// Add implements Stage: announce to every member the route is sendable
+// to; the rest record a suppression.
+func (g *GroupOut) Add(r *Route) {
+	g.announced[r.Net] = r
+	g.netBuf = append(g.netBuf[:0], r.Net)
+	msgs, err := g.encodeAnnounce(r.Attrs, g.netBuf)
+	if err != nil {
+		panic("bgp: " + g.name + " encode: " + err.Error())
+	}
+	for _, m := range g.members {
+		if sendable(r, m.handle) {
+			delete(m.suppressed, r.Net)
+			g.send(m, msgs)
+		} else {
+			m.suppressed[r.Net] = true
+		}
+	}
+}
+
+// Replace implements Stage. Encoded once; per member this is an implicit
+// withdraw (announce), a plain announce (the member never saw the old
+// route), an explicit withdraw (the member must not see the new one), or
+// nothing.
+func (g *GroupOut) Replace(old, new *Route) {
+	g.announced[new.Net] = new
+	g.netBuf = append(g.netBuf[:0], new.Net)
+	msgs, err := g.encodeAnnounce(new.Attrs, g.netBuf)
+	if err != nil {
+		panic("bgp: " + g.name + " encode: " + err.Error())
+	}
+	var withdraw []*groupMember
+	for _, m := range g.members {
+		had := !m.suppressed[new.Net]
+		if sendable(new, m.handle) {
+			delete(m.suppressed, new.Net)
+			g.send(m, msgs)
+		} else {
+			m.suppressed[new.Net] = true
+			if had {
+				withdraw = append(withdraw, m)
+			}
+		}
+	}
+	if len(withdraw) > 0 {
+		if err := g.encodeWithdraw(new.Net); err != nil {
+			panic("bgp: " + g.name + " encode: " + err.Error())
+		}
+		for _, m := range withdraw {
+			g.send(m, 1)
+		}
+	}
+}
+
+// Delete implements Stage: withdraw from every member that saw the route.
+func (g *GroupOut) Delete(r *Route) {
+	delete(g.announced, r.Net)
+	if err := g.encodeWithdraw(r.Net); err != nil {
+		panic("bgp: " + g.name + " encode: " + err.Error())
+	}
+	for _, m := range g.members {
+		if m.suppressed[r.Net] {
+			delete(m.suppressed, r.Net)
+			continue
+		}
+		g.send(m, 1)
+	}
+}
+
+// AddRun implements RunStage — the group shared-encode fast path: one
+// sendable check per member (runs share Src), one wire encode for the
+// whole run, and the same bytes fanned out to every receiving member.
+func (g *GroupOut) AddRun(rs []*Route) {
+	g.netBuf = g.netBuf[:0]
+	for _, r := range rs {
+		g.announced[r.Net] = r
+		g.netBuf = append(g.netBuf, r.Net)
+	}
+	msgs, err := g.encodeAnnounce(rs[0].Attrs, g.netBuf)
+	if err != nil {
+		panic("bgp: " + g.name + " encode: " + err.Error())
+	}
+	for _, m := range g.members {
+		if sendable(rs[0], m.handle) {
+			for _, r := range rs {
+				delete(m.suppressed, r.Net)
+			}
+			g.send(m, msgs)
+		} else {
+			for _, r := range rs {
+				m.suppressed[r.Net] = true
+			}
+		}
+	}
+}
+
+// Lookup implements Stage: the group adj-RIB-out.
+func (g *GroupOut) Lookup(net netip.Prefix) *Route { return g.announced[net] }
+
+// MemberAnnouncedCount returns how many prefixes one member has been told
+// (tests and stats).
+func (g *GroupOut) MemberAnnouncedCount(handle *PeerHandle) int {
+	m := g.member(handle)
+	if m == nil {
+		return 0
+	}
+	return len(g.announced) - len(m.suppressed)
+}
+
+// ResyncMember replays the full member-visible table to one member's
+// sender (session re-established). Prefixes are grouped by attr set so
+// the dump packs NLRI like the live path does.
+func (g *GroupOut) ResyncMember(handle *PeerHandle) {
+	m := g.member(handle)
+	if m == nil {
+		return
+	}
+	byAttrs := make(map[*PathAttrs][]netip.Prefix)
+	var order []*PathAttrs
+	for net, r := range g.announced {
+		if m.suppressed[net] {
+			continue
+		}
+		if _, ok := byAttrs[r.Attrs]; !ok {
+			order = append(order, r.Attrs)
+		}
+		byAttrs[r.Attrs] = append(byAttrs[r.Attrs], net)
+	}
+	for _, attrs := range order {
+		msgs, err := g.encodeAnnounce(attrs, byAttrs[attrs])
+		if err != nil {
+			panic("bgp: " + g.name + " resync encode: " + err.Error())
+		}
+		g.send(m, msgs)
+	}
+}
+
+// WalkAnnounced visits every route one member knows (tests).
+func (g *GroupOut) WalkAnnounced(handle *PeerHandle, fn func(*Route) bool) {
+	m := g.member(handle)
+	if m == nil {
+		return
+	}
+	for net, r := range g.announced {
+		if m.suppressed[net] {
+			continue
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}

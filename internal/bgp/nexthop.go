@@ -119,6 +119,49 @@ func (n *NexthopResolver) Replace(old, new *Route) {
 // Delete implements Stage.
 func (n *NexthopResolver) Delete(r *Route) { n.submit(pendingOp{op: 3, old: r}) }
 
+// AddRun implements RunStage. A run shares one attribute set and thus one
+// nexthop: with the answer cached the whole run annotates and forwards in
+// one pass, keeping fresh adds coalesced; routes with queued predecessors
+// or a prior announcement degrade to the per-route path at their position,
+// and an uncached nexthop degrades the whole run (the first route issues
+// the query, the rest queue behind it — exactly the per-route behavior).
+func (n *NexthopResolver) AddRun(rs []*Route) {
+	info, cached := n.cache[rs[0].Attrs.NextHop]
+	if !cached {
+		for _, r := range rs {
+			n.Add(r)
+		}
+		return
+	}
+	var run []*Route
+	flush := func() {
+		if len(run) > 0 {
+			addRun(n.next, run)
+			run = nil
+		}
+	}
+	for _, r := range rs {
+		if len(n.queues[r.Net]) > 0 {
+			flush()
+			n.Add(r) // queue behind the net's pending ops
+			continue
+		}
+		oldOut := n.announced[r.Net]
+		out := n.annotate(r, info)
+		n.announced[r.Net] = out
+		if n.next == nil {
+			continue
+		}
+		if oldOut != nil {
+			flush()
+			n.next.Replace(oldOut, out)
+		} else {
+			run = append(run, out)
+		}
+	}
+	flush()
+}
+
 func (n *NexthopResolver) submit(op pendingOp) {
 	net := op.key().Net
 	n.queues[net] = append(n.queues[net], op)

@@ -1,0 +1,594 @@
+package bgp
+
+// Differential test wall around the BGP fast path. The pooled / batched /
+// shared-encode pipeline (interned PathAttrs, AddRun coalescing, peer-group
+// GroupOut) must be observationally identical to the seed per-route path:
+// the same adj-RIB-out contents, and byte-identical UPDATE streams per
+// member once both sides are normalized to one-prefix-per-message atoms.
+// These tests run the two pipelines side by side on randomized workloads
+// (peer mixes, policy mixes, attr mixes, mixed v4/v6) and compare.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"xorp/internal/eventloop"
+)
+
+// oracleMember is one route-server client: a full input branch feeding the
+// shared decision, plus a capture of everything the output side sent it.
+type oracleMember struct {
+	handle *PeerHandle
+	in     *PeerIn
+	pout   *PeerOut  // legacy mode
+	gout   *GroupOut // fast mode
+	atoms  [][]byte  // canonical one-prefix messages, in send order
+}
+
+// oracleRouter is a stage-level route server assembled in either mode.
+// fast=false is the seed shape: per-route messages end to end and one
+// private out-filter → PeerOut per member. fast=true is the optimized
+// shape: interned attrs, AddRun coalescing, and one shared out-filter →
+// GroupOut per group.
+type oracleRouter struct {
+	t       testing.TB
+	loop    *eventloop.Loop
+	dec     *Decision
+	fan     *Fanout
+	pool    *AttrPool
+	fast    bool
+	localAS uint16
+	members []*oracleMember
+	byName  map[string]*oracleMember
+	groups  map[string]*GroupOut
+}
+
+func newOracleRouter(t testing.TB, fast bool, localAS uint16) *oracleRouter {
+	o := &oracleRouter{
+		t:       t,
+		loop:    eventloop.New(eventloop.NewSimClock(time.Unix(0, 0))),
+		dec:     NewDecision("decision"),
+		fan:     nil,
+		fast:    fast,
+		localAS: localAS,
+		byName:  make(map[string]*oracleMember),
+		groups:  make(map[string]*GroupOut),
+	}
+	o.fan = NewFanout("fanout", o.loop)
+	if fast {
+		o.pool = NewAttrPool()
+	}
+	Plumb(o.dec, o.fan)
+	return o
+}
+
+// addMember wires one client: input branch always private, output branch
+// shared (fast) or private (legacy). policy is appended to the standard
+// export transform, identically in both modes.
+func (o *oracleRouter) addMember(name, addr string, as uint16, group string, localAddr netip.Addr, policy []Filter) *oracleMember {
+	ibgp := as == o.localAS
+	m := &oracleMember{handle: testPeer(name, addr, as, ibgp)}
+	m.in = NewPeerIn(o.loop, m.handle, o.pool)
+	m.in.SetBatch(o.fast)
+	inFilter := NewFilterBank("in-filter(" + name + ")")
+	resolver := NewNexthopResolver("nexthop("+name+")", &StaticMetricSource{})
+	Plumb(m.in, inFilter, resolver)
+
+	var export []Filter
+	if ibgp {
+		export = append(export, FilterIBGPExport())
+	} else {
+		export = append(export, FilterEBGPExport(o.localAS, localAddr))
+	}
+	export = append(export, policy...)
+
+	if o.fast {
+		g, ok := o.groups[group]
+		if !ok {
+			g = NewGroupOut(group)
+			outBank := NewFilterBank("out-filter(group:"+group+")", export...)
+			Plumb(outBank, g)
+			o.fan.AddGroupBranch("group:"+group, outBank)
+			o.groups[group] = g
+		}
+		if err := g.AddMember(m.handle, GroupSenderFunc(func(buf []byte) {
+			m.atoms = append(m.atoms, atomizeBytes(o.t, buf)...)
+		})); err != nil {
+			o.t.Fatal(err)
+		}
+		m.gout = g
+	} else {
+		outBank := NewFilterBank("out-filter("+name+")", export...)
+		m.pout = NewPeerOut(m.handle, UpdateSenderFunc(func(u *UpdateMsg) {
+			m.atoms = append(m.atoms, atomizeMsg(o.t, u)...)
+		}))
+		Plumb(outBank, m.pout)
+		o.fan.AddPeerBranch(name, m.handle, outBank)
+	}
+
+	o.dec.AddParent(resolver)
+	o.members = append(o.members, m)
+	o.byName[name] = m
+	return m
+}
+
+func (o *oracleRouter) inject(name string, u *UpdateMsg) {
+	o.byName[name].in.ReceiveUpdate(u, o.localAS)
+	o.loop.RunPending()
+}
+
+// announcedSet flattens what one member has been told, for end-state
+// comparison across modes.
+func (o *oracleRouter) announcedSet(m *oracleMember) map[netip.Prefix]*Route {
+	set := make(map[netip.Prefix]*Route)
+	if o.fast {
+		m.gout.WalkAnnounced(m.handle, func(r *Route) bool {
+			set[r.Net] = r
+			return true
+		})
+	} else {
+		m.pout.WalkAnnounced(func(r *Route) bool {
+			set[r.Net] = r
+			return true
+		})
+	}
+	return set
+}
+
+// atomizeMsg explodes one UPDATE into canonical one-prefix wire messages:
+// the normalization that makes per-route and packed streams comparable.
+func atomizeMsg(t testing.TB, u *UpdateMsg) [][]byte {
+	var atoms [][]byte
+	for _, w := range u.Withdrawn {
+		buf, err := AppendUpdate(nil, &UpdateMsg{Withdrawn: []netip.Prefix{w}})
+		if err != nil {
+			t.Fatalf("atomize withdraw %v: %v", w, err)
+		}
+		atoms = append(atoms, buf)
+	}
+	for _, n := range u.NLRI {
+		buf, err := AppendUpdate(nil, &UpdateMsg{Attrs: u.Attrs, NLRI: []netip.Prefix{n}})
+		if err != nil {
+			t.Fatalf("atomize announce %v: %v", n, err)
+		}
+		atoms = append(atoms, buf)
+	}
+	return atoms
+}
+
+// atomizeBytes decodes a run of concatenated wire messages (what a group
+// member's transport receives) and atomizes each.
+func atomizeBytes(t testing.TB, buf []byte) [][]byte {
+	var atoms [][]byte
+	for len(buf) > 0 {
+		n, _, err := HeaderInfo(buf)
+		if err != nil {
+			t.Fatalf("group stream header: %v", err)
+		}
+		m, err := DecodeMessage(buf[:n])
+		if err != nil {
+			t.Fatalf("group stream decode: %v", err)
+		}
+		if m.Update == nil {
+			t.Fatalf("group stream sent non-UPDATE")
+		}
+		atoms = append(atoms, atomizeMsg(t, m.Update)...)
+		buf = buf[n:]
+	}
+	return atoms
+}
+
+// oracleWorkload is a deterministic randomized update sequence, replayed
+// identically into both routers.
+type oracleEvent struct {
+	peer string
+	msg  func() *UpdateMsg // fresh message per replay (attrs must not be shared)
+}
+
+func cloneAttrs(a *PathAttrs) *PathAttrs {
+	if a == nil {
+		return nil
+	}
+	return a.Clone()
+}
+
+// buildWorkload generates peers, prefix universe, attr variants and an
+// event sequence from one seed.
+func buildWorkload(r *rand.Rand, steps int) (peers []struct {
+	name, addr string
+	as         uint16
+	group      string
+}, events []oracleEvent) {
+	peers = []struct {
+		name, addr string
+		as         uint16
+		group      string
+	}{
+		{"e1", "10.0.0.1", 65001, "rs"},
+		{"e2", "10.0.0.2", 65002, "rs"},
+		{"e3", "10.0.0.3", 65003, "rs"},
+		{"e4", "10.0.0.4", 65004, "rs"},
+		{"i1", "10.0.1.1", 65000, "ibgp"},
+		{"i2", "10.0.1.2", 65000, "ibgp"},
+	}
+
+	// Small prefix universe (mixed v4/v6) so peers collide on prefixes and
+	// the decision process emits replaces and winner flips.
+	var universe []netip.Prefix
+	for i := 0; i < 24; i++ {
+		universe = append(universe, randPrefix4(r))
+	}
+	for i := 0; i < 12; i++ {
+		universe = append(universe, randPrefix6(r))
+	}
+
+	// A few attr variants per peer: shared nexthop, varying paths/flags so
+	// interning sees both duplicates and distinct sets.
+	attrVariant := func(pi int) *PathAttrs {
+		p := peers[pi]
+		a := &PathAttrs{
+			Origin:  uint8(r.Intn(3)),
+			NextHop: mustA(p.addr),
+		}
+		seg := ASSegment{Type: SegSequence, ASes: []uint16{p.as}}
+		for n := r.Intn(3); n > 0; n-- {
+			seg.ASes = append(seg.ASes, uint16(64512+r.Intn(100)))
+		}
+		a.ASPath = ASPath{seg}
+		if r.Intn(3) == 0 {
+			a.MED, a.HasMED = uint32(r.Intn(100)), true
+		}
+		if p.as == 65000 && r.Intn(2) == 0 {
+			a.LocalPref, a.HasLocalPref = uint32(50+r.Intn(200)), true
+		}
+		for n := r.Intn(3); n > 0; n-- {
+			a.Communities = append(a.Communities, r.Uint32())
+		}
+		return a
+	}
+	variants := make([][]*PathAttrs, len(peers))
+	for i := range peers {
+		for v := 0; v < 3; v++ {
+			variants[i] = append(variants[i], attrVariant(i))
+		}
+	}
+
+	pick := func(max int) []netip.Prefix {
+		k := 1 + r.Intn(max)
+		var out []netip.Prefix
+		for i := 0; i < k; i++ {
+			out = append(out, universe[r.Intn(len(universe))])
+		}
+		return out
+	}
+
+	for s := 0; s < steps; s++ {
+		pi := r.Intn(len(peers))
+		name := peers[pi].name
+		attrs := variants[pi][r.Intn(len(variants[pi]))]
+		var nlri, wdr []netip.Prefix
+		switch n := r.Intn(10); {
+		case n < 6:
+			nlri = pick(8)
+		case n < 9:
+			wdr = pick(4)
+		default:
+			wdr = pick(3)
+			nlri = pick(5)
+		}
+		a := attrs
+		events = append(events, oracleEvent{peer: name, msg: func() *UpdateMsg {
+			m := &UpdateMsg{Withdrawn: append([]netip.Prefix(nil), wdr...)}
+			if len(nlri) > 0 {
+				m.Attrs = cloneAttrs(a)
+				m.NLRI = append([]netip.Prefix(nil), nlri...)
+			}
+			return m
+		}})
+	}
+	return peers, events
+}
+
+func randPrefix6(r *rand.Rand) netip.Prefix {
+	var b [16]byte
+	b[0], b[1] = 0x20, 0x01
+	for i := 2; i < 8; i++ {
+		b[i] = byte(r.Intn(256))
+	}
+	p, _ := netip.AddrFrom16(b).Prefix(16 + r.Intn(49))
+	return p
+}
+
+// oraclePolicies returns a randomized per-group extra policy chain,
+// applied identically in both modes. The prefix-length filter is
+// deliberately prefix-dependent, so fast-path runs must split correctly.
+func oraclePolicies(r *rand.Rand) []Filter {
+	var policy []Filter
+	if r.Intn(2) == 0 {
+		maxBits := 20 + r.Intn(30)
+		policy = append(policy, func(rt *Route) *Route {
+			if rt.Net.Bits() > maxBits && rt.Net.Addr().Is4() {
+				return nil
+			}
+			return rt
+		})
+	}
+	if r.Intn(2) == 0 {
+		med := uint32(r.Intn(500))
+		policy = append(policy, func(rt *Route) *Route {
+			out := rt.Clone()
+			a := rt.Attrs.Clone()
+			a.MED, a.HasMED = med, true
+			out.Attrs = a
+			return out
+		})
+	}
+	return policy
+}
+
+// TestFanoutMatchesPerPeer is the differential oracle: the batched,
+// pooled, group-shared-encode pipeline must emit a byte-identical
+// normalized UPDATE stream to every member, and end with the same
+// adj-RIB-out, as the seed per-route per-peer pipeline fed the same
+// workload.
+func TestFanoutMatchesPerPeer(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(1000 + trial)))
+			peers, events := buildWorkload(r, 300)
+			localAddr := mustA("192.0.2.1")
+			policies := map[string][]Filter{
+				"rs":   oraclePolicies(r),
+				"ibgp": oraclePolicies(r),
+			}
+
+			legacy := newOracleRouter(t, false, 65000)
+			fast := newOracleRouter(t, true, 65000)
+			for _, p := range peers {
+				legacy.addMember(p.name, p.addr, p.as, p.group, localAddr, policies[p.group])
+				fast.addMember(p.name, p.addr, p.as, p.group, localAddr, policies[p.group])
+			}
+
+			for _, ev := range events {
+				legacy.inject(ev.peer, ev.msg())
+				fast.inject(ev.peer, ev.msg())
+			}
+
+			for i, lm := range legacy.members {
+				fm := fast.members[i]
+				compareAtomStreams(t, lm.handle.Name, lm.atoms, fm.atoms)
+				la, fa := legacy.announcedSet(lm), fast.announcedSet(fm)
+				if len(la) != len(fa) {
+					t.Errorf("%s: adj-RIB-out size legacy=%d fast=%d", lm.handle.Name, len(la), len(fa))
+					continue
+				}
+				for net, lr := range la {
+					fr, ok := fa[net]
+					if !ok {
+						t.Errorf("%s: %v announced by legacy only", lm.handle.Name, net)
+						continue
+					}
+					// Src handles are per-router objects; compare by name.
+					if !lr.Attrs.Equal(fr.Attrs) || lr.Src.Name != fr.Src.Name {
+						t.Errorf("%s: %v differs: legacy=%+v(src %s) fast=%+v(src %s)",
+							lm.handle.Name, net, lr.Attrs, lr.Src.Name, fr.Attrs, fr.Src.Name)
+					}
+				}
+			}
+
+			// The shared encode must actually share: with 4 members in the
+			// EBGP group, encode calls must undercut messages sent.
+			g := fast.groups["rs"]
+			if g.SentMsgs > 0 && int64(g.EncodeCalls) >= g.SentMsgs {
+				t.Errorf("group rs: %d encode calls for %d sent messages (no sharing)", g.EncodeCalls, g.SentMsgs)
+			}
+		})
+	}
+}
+
+func compareAtomStreams(t *testing.T, member string, legacy, fast [][]byte) {
+	t.Helper()
+	n := len(legacy)
+	if len(fast) < n {
+		n = len(fast)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(legacy[i], fast[i]) {
+			lm, _ := DecodeMessage(legacy[i])
+			fm, _ := DecodeMessage(fast[i])
+			t.Fatalf("%s: atom %d differs:\n legacy %v %v attrs=%+v\n fast   %v %v attrs=%+v",
+				member, i, lm.Update.Withdrawn, lm.Update.NLRI, lm.Update.Attrs,
+				fm.Update.Withdrawn, fm.Update.NLRI, fm.Update.Attrs)
+		}
+	}
+	if len(legacy) != len(fast) {
+		extra, side := fast[n:], "fast"
+		if len(legacy) > len(fast) {
+			extra, side = legacy[n:], "legacy"
+		}
+		m, _ := DecodeMessage(extra[0])
+		t.Fatalf("%s: stream lengths differ: legacy=%d fast=%d; first extra (%s): %+v",
+			member, len(legacy), len(fast), side, m.Update)
+	}
+}
+
+// TestOracleBatchedPeerDown runs the same differential comparison across a
+// peer-down table drain: the deletion stage path must emit identical
+// withdraw streams in both modes.
+func TestOracleBatchedPeerDown(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	peers, events := buildWorkload(r, 150)
+	localAddr := mustA("192.0.2.1")
+
+	legacy := newOracleRouter(t, false, 65000)
+	fast := newOracleRouter(t, true, 65000)
+	for _, p := range peers {
+		legacy.addMember(p.name, p.addr, p.as, p.group, localAddr, nil)
+		fast.addMember(p.name, p.addr, p.as, p.group, localAddr, nil)
+	}
+	for _, ev := range events {
+		legacy.inject(ev.peer, ev.msg())
+		fast.inject(ev.peer, ev.msg())
+	}
+
+	// Take e1 down: the stored table hands off to a deletion stage that
+	// withdraws in background slices.
+	drain := func(o *oracleRouter) {
+		d := o.byName["e1"].in.PeerDown()
+		if d == nil {
+			return
+		}
+		for !d.Done() {
+			d.step()
+			o.loop.RunPending()
+		}
+		o.loop.RunPending()
+	}
+	drain(legacy)
+	drain(fast)
+
+	for i, lm := range legacy.members {
+		compareAtomStreams(t, lm.handle.Name, lm.atoms, fast.members[i].atoms)
+	}
+
+	// Fast side: the pool must have released every ref the drained table
+	// held; remaining refs belong to the surviving peers' stored routes.
+	var live int
+	for _, m := range fast.members {
+		live += m.in.Len()
+	}
+	if got := fast.pool.Refs(); got != live {
+		t.Errorf("pool refs %d after drain, want %d (stored routes)", got, live)
+	}
+}
+
+// TestGroupOutMembership exercises the per-member suppression bookkeeping
+// directly: split horizon back to the originator, late joins, and the
+// replace-to-unsendable withdraw.
+func TestGroupOutMembership(t *testing.T) {
+	g := NewGroupOut("rs")
+	h1 := testPeer("m1", "10.0.0.1", 65001, false)
+	h2 := testPeer("m2", "10.0.0.2", 65002, false)
+	var got1, got2 [][]byte
+	if err := g.AddMember(h1, GroupSenderFunc(func(b []byte) { got1 = append(got1, append([]byte(nil), b...)) })); err != nil {
+		t.Fatal(err)
+	}
+
+	net1 := mustP("10.1.0.0/16")
+	r1 := &Route{Net: net1, Attrs: testAttrs(), Src: h1}
+	g.Add(r1) // from m1: split horizon suppresses m1
+	if len(got1) != 0 {
+		t.Fatalf("m1 received its own route")
+	}
+	if g.MemberAnnouncedCount(h1) != 0 || g.AnnouncedCount() != 1 {
+		t.Fatalf("counts: member=%d group=%d", g.MemberAnnouncedCount(h1), g.AnnouncedCount())
+	}
+
+	// Late join: m2 must be resyncable with the route m1 contributed.
+	if err := g.AddMember(h2, GroupSenderFunc(func(b []byte) { got2 = append(got2, append([]byte(nil), b...)) })); err != nil {
+		t.Fatal(err)
+	}
+	g.ResyncMember(h2)
+	if len(got2) != 1 {
+		t.Fatalf("m2 resync sent %d bufs", len(got2))
+	}
+	if g.MemberAnnouncedCount(h2) != 1 {
+		t.Fatalf("m2 announced count %d", g.MemberAnnouncedCount(h2))
+	}
+
+	// Replace with a route from m2: m1 gains it, m2 must get a withdraw
+	// (it previously saw m1's version).
+	r2 := &Route{Net: net1, Attrs: testAttrs(), Src: h2}
+	got1, got2 = nil, nil
+	g.Replace(r1, r2)
+	if len(got1) != 1 {
+		t.Fatalf("m1 got %d bufs for replace", len(got1))
+	}
+	if len(got2) != 1 {
+		t.Fatalf("m2 got %d bufs for replace", len(got2))
+	}
+	m2msg, err := DecodeMessage(got2[0])
+	if err != nil || m2msg.Update == nil || len(m2msg.Update.Withdrawn) != 1 {
+		t.Fatalf("m2 replace message not a withdraw: %+v err=%v", m2msg, err)
+	}
+
+	// Duplicate member join is rejected.
+	if err := g.AddMember(h1, nil); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+
+	// Delete: only m1 saw the route at this point.
+	got1, got2 = nil, nil
+	g.Delete(r2)
+	if len(got1) != 1 || len(got2) != 0 {
+		t.Fatalf("delete fanout: m1=%d m2=%d", len(got1), len(got2))
+	}
+	if g.AnnouncedCount() != 0 {
+		t.Fatalf("announced not drained: %d", g.AnnouncedCount())
+	}
+}
+
+// TestGroupOutRunSharesBytes asserts the core shared-encode property: one
+// AddRun to an n-member group performs one encode, and every member's
+// bytes are the same buffer content.
+func TestGroupOutRunSharesBytes(t *testing.T) {
+	g := NewGroupOut("rs")
+	const members = 5
+	got := make([][][]byte, members)
+	var handles []*PeerHandle
+	for i := 0; i < members; i++ {
+		i := i
+		h := testPeer(fmt.Sprintf("m%d", i), fmt.Sprintf("10.0.0.%d", i+1), uint16(65001+i), false)
+		handles = append(handles, h)
+		if err := g.AddMember(h, GroupSenderFunc(func(b []byte) {
+			got[i] = append(got[i], append([]byte(nil), b...))
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := testPeer("src", "10.0.9.9", 65100, false)
+	attrs := testAttrs()
+	var rs []*Route
+	for i := 0; i < 1000; i++ {
+		net := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 50, byte(i >> 8), byte(i)}), 32)
+		rs = append(rs, &Route{Net: net, Attrs: attrs, Src: src})
+	}
+	g.AddRun(rs)
+	if g.EncodeCalls != 1 {
+		t.Fatalf("EncodeCalls = %d, want 1", g.EncodeCalls)
+	}
+	for i := 1; i < members; i++ {
+		if len(got[i]) != len(got[0]) {
+			t.Fatalf("member %d got %d bufs, member 0 got %d", i, len(got[i]), len(got[0]))
+		}
+		for j := range got[i] {
+			if !bytes.Equal(got[i][j], got[0][j]) {
+				t.Fatalf("member %d buf %d differs from member 0", i, j)
+			}
+		}
+	}
+	// The packed encode must respect the message size limit.
+	for _, bufs := range got {
+		for _, buf := range bufs {
+			rest := buf
+			for len(rest) > 0 {
+				n, _, err := HeaderInfo(rest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n > maxMsgLen {
+					t.Fatalf("message of %d bytes exceeds limit", n)
+				}
+				rest = rest[n:]
+			}
+		}
+	}
+	if g.MemberAnnouncedCount(handles[0]) != 1000 {
+		t.Fatalf("announced %d", g.MemberAnnouncedCount(handles[0]))
+	}
+}

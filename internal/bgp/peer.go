@@ -70,6 +70,10 @@ type PeerConfig struct {
 	ConnectRetry time.Duration
 	// Passive suppresses outgoing connection attempts.
 	Passive bool
+	// Group joins the peer to a named peer group: members share one
+	// output branch and each outbound UPDATE is encoded once for the
+	// whole group ("" = a private per-peer output branch).
+	Group string
 }
 
 // Peer runs one peering's FSM. All fields are confined to the process
@@ -89,7 +93,8 @@ type Peer struct {
 	kaTimer      *eventloop.Timer
 	retryTimer   *eventloop.Timer
 	peerin       *PeerIn
-	peerout      *PeerOut
+	peerout      *PeerOut         // per-peer output branch (nil for group members)
+	groupOut     *GroupOut        // shared output branch (nil unless cfg.Group set)
 	resolver     *NexthopResolver // end of the input branch (RemovePeer unhooks it)
 	encBuf       []byte
 	statsUpdates int
@@ -214,6 +219,21 @@ func (p *Peer) SendUpdate(m *UpdateMsg) {
 	p.updateBusy()
 }
 
+// SendEncodedUpdate implements GroupSender: the GroupOut fans one
+// pre-encoded byte run out to every member through here. The buffer is the
+// group's reusable encode buffer; tcpMsgConn.WriteMsg copies it into its
+// own queue synchronously, so no retention happens.
+func (p *Peer) SendEncodedUpdate(buf []byte) {
+	if p.state != StateEstablished || p.conn == nil {
+		return // GroupOut bookkeeping retains state; resync re-sends on establish
+	}
+	if err := p.conn.WriteMsg(buf); err != nil {
+		p.closeSession("write failed: "+err.Error(), p.enabled)
+		return
+	}
+	p.updateBusy()
+}
+
 // updateBusy flow-controls this peer's fanout reader from the transport
 // backlog (the slow-peer mechanism of §5.1.1).
 func (p *Peer) updateBusy() {
@@ -304,6 +324,10 @@ func (p *Peer) established() {
 
 // resync replays the announced table to a (re)established session.
 func (p *Peer) resync() {
+	if p.groupOut != nil {
+		p.groupOut.ResyncMember(p.handle)
+		return
+	}
 	if p.peerout == nil {
 		return
 	}

@@ -16,17 +16,31 @@ type PeerIn struct {
 	loop *eventloop.Loop
 	peer *PeerHandle
 	tbl  *trie.Trie[*Route]
+	// pool interns attribute sets: each stored route holds one reference
+	// on its (canonical, shared) attrs. May be nil (tests).
+	pool *AttrPool
+	// batch coalesces the fresh announcements of one UPDATE into an
+	// AddRun. Cleared by the differential-oracle tests to force the
+	// legacy per-route path.
+	batch bool
 }
 
-// NewPeerIn returns the input stage for peer.
-func NewPeerIn(loop *eventloop.Loop, peer *PeerHandle) *PeerIn {
+// NewPeerIn returns the input stage for peer. pool may be nil to store
+// attrs unpooled.
+func NewPeerIn(loop *eventloop.Loop, peer *PeerHandle, pool *AttrPool) *PeerIn {
 	return &PeerIn{
-		base: base{name: "peerin(" + peer.Name + ")"},
-		loop: loop,
-		peer: peer,
-		tbl:  trie.New[*Route](),
+		base:  base{name: "peerin(" + peer.Name + ")"},
+		loop:  loop,
+		peer:  peer,
+		tbl:   trie.New[*Route](),
+		pool:  pool,
+		batch: true,
 	}
 }
+
+// SetBatch toggles run coalescing (test hook for the differential oracle;
+// false forces the legacy one-message-per-route path).
+func (p *PeerIn) SetBatch(b bool) { p.batch = b }
 
 // Peer returns the peering handle.
 func (p *PeerIn) Peer() *PeerHandle { return p.peer }
@@ -36,7 +50,11 @@ func (p *PeerIn) Len() int { return p.tbl.Len() }
 
 // ReceiveUpdate processes a decoded UPDATE from the peer: withdrawals,
 // then announcements. Routes whose AS_PATH contains localAS are dropped
-// (loop prevention).
+// (loop prevention). The attribute set is interned once per message and
+// shared (pointer-identical) by every announced route; fresh announcements
+// are coalesced into one AddRun downstream, with replaces emitted
+// individually at their position so downstream ordering matches the
+// per-route path exactly.
 func (p *PeerIn) ReceiveUpdate(m *UpdateMsg, localAS uint16) {
 	for _, w := range m.Withdrawn {
 		p.Withdraw(w)
@@ -47,16 +65,52 @@ func (p *PeerIn) ReceiveUpdate(m *UpdateMsg, localAS uint16) {
 	if m.Attrs.ASPath.Contains(localAS) {
 		return // our own AS in the path: routing loop
 	}
-	for _, n := range m.NLRI {
-		p.Announce(n, m.Attrs)
+	attrs := m.Attrs
+	if p.pool != nil {
+		attrs = p.pool.Intern(attrs)
+		defer p.pool.Release(attrs) // stored routes hold their own refs
 	}
+	if !p.batch {
+		for _, n := range m.NLRI {
+			p.Announce(n, attrs)
+		}
+		return
+	}
+	var run []*Route
+	flush := func() {
+		if len(run) > 0 {
+			addRun(p.next, run)
+			run = nil
+		}
+	}
+	for _, n := range m.NLRI {
+		net := n.Masked()
+		if _, existed := p.tbl.Get(net); existed {
+			flush() // preserve per-route ordering across the replace
+			p.Announce(net, attrs)
+			continue
+		}
+		r := &Route{Net: net, Attrs: attrs, Src: p.peer}
+		p.tbl.Insert(net, r)
+		p.pool.Retain(attrs)
+		if p.next != nil {
+			run = append(run, r)
+		}
+	}
+	flush()
 }
 
 // Announce stores a route and emits Add or Replace downstream.
 func (p *PeerIn) Announce(net netip.Prefix, attrs *PathAttrs) {
+	if p.pool != nil {
+		attrs = p.pool.Intern(attrs) // the stored route's reference
+	}
 	r := &Route{Net: net.Masked(), Attrs: attrs, Src: p.peer}
 	old, existed := p.tbl.Get(r.Net)
 	p.tbl.Insert(r.Net, r)
+	if existed {
+		p.pool.Release(old.Attrs)
+	}
 	if p.next == nil {
 		return
 	}
@@ -74,7 +128,11 @@ func (p *PeerIn) Announce(net netip.Prefix, attrs *PathAttrs) {
 // are ignored (RFC 4271 tolerates spurious withdrawals).
 func (p *PeerIn) Withdraw(net netip.Prefix) {
 	old, existed := p.tbl.Delete(net.Masked())
-	if existed && p.next != nil {
+	if !existed {
+		return
+	}
+	p.pool.Release(old.Attrs)
+	if p.next != nil {
 		p.next.Delete(old)
 	}
 }
@@ -93,7 +151,7 @@ func (p *PeerIn) PeerDown() *DeletionStage {
 	if p.tbl.Len() == 0 {
 		return nil
 	}
-	d := newDeletionStage(p.loop, p.peer, p.tbl)
+	d := newDeletionStage(p.loop, p.peer, p.tbl, p.pool)
 	p.tbl = trie.New[*Route]()
 	Splice(p, d)
 	d.start()
@@ -134,16 +192,18 @@ type DeletionStage struct {
 	base
 	loop *eventloop.Loop
 	tbl  *trie.Trie[*Route]
+	pool *AttrPool
 	task *eventloop.Task
 	it   *trie.Iterator[*Route]
 	done bool
 }
 
-func newDeletionStage(loop *eventloop.Loop, peer *PeerHandle, tbl *trie.Trie[*Route]) *DeletionStage {
+func newDeletionStage(loop *eventloop.Loop, peer *PeerHandle, tbl *trie.Trie[*Route], pool *AttrPool) *DeletionStage {
 	return &DeletionStage{
 		base: base{name: "deletion(" + peer.Name + ")"},
 		loop: loop,
 		tbl:  tbl,
+		pool: pool,
 	}
 }
 
@@ -172,6 +232,7 @@ func (d *DeletionStage) step() bool {
 			continue // entry vanished while we were paused
 		}
 		d.tbl.Delete(net)
+		d.pool.Release(r.Attrs)
 		if d.next != nil {
 			d.next.Delete(r)
 		}
@@ -199,6 +260,7 @@ func (d *DeletionStage) finish() {
 // one deletion stage).
 func (d *DeletionStage) Add(r *Route) {
 	if old, held := d.tbl.Delete(r.Net); held {
+		d.pool.Release(old.Attrs)
 		if d.next != nil {
 			d.next.Replace(old, r)
 		}
@@ -213,7 +275,9 @@ func (d *DeletionStage) Add(r *Route) {
 // Replace passes through; if we somehow still hold the prefix, drop our
 // stale copy first (downstream already saw the new route's Add).
 func (d *DeletionStage) Replace(old, new *Route) {
-	d.tbl.Delete(new.Net)
+	if stale, held := d.tbl.Delete(new.Net); held {
+		d.pool.Release(stale.Attrs)
+	}
 	if d.next != nil {
 		d.next.Replace(old, new)
 	}

@@ -44,8 +44,10 @@ type Process struct {
 
 	decision *Decision
 	fanout   *Fanout
+	pool     *AttrPool
 
 	peers     map[string]*Peer
+	groups    map[string]*peerGroup
 	localIn   *PeerIn // locally originated routes (originate_route XRLs)
 	localNH   *NexthopResolver
 	ribClient RIBClient
@@ -72,7 +74,9 @@ func NewProcess(loop *eventloop.Loop, cfg Config, ribClient RIBClient, metricSrc
 		loop:      loop,
 		decision:  NewDecision("decision"),
 		fanout:    NewFanout("fanout", loop),
+		pool:      NewAttrPool(),
 		peers:     make(map[string]*Peer),
+		groups:    make(map[string]*peerGroup),
 		ribClient: ribClient,
 		metricSrc: metricSrc,
 		prof:      profiler.New(loop.Clock()),
@@ -108,7 +112,7 @@ func NewProcess(loop *eventloop.Loop, cfg Config, ribClient RIBClient, metricSrc
 
 	// Local origination branch.
 	localPeer := &PeerHandle{Name: "local", AS: cfg.AS}
-	p.localIn = NewPeerIn(loop, localPeer)
+	p.localIn = NewPeerIn(loop, localPeer, p.pool)
 	p.localNH = NewNexthopResolver("nexthop(local)", metricSrc)
 	Plumb(p.localIn, p.localNH)
 	p.decision.AddParent(p.localNH)
@@ -123,6 +127,28 @@ func (p *Process) Profiler() *profiler.Profiler { return p.prof }
 
 // Fanout returns the fanout stage (tests, flow control).
 func (p *Process) Fanout() *Fanout { return p.fanout }
+
+// AttrPool returns the process attribute pool (tests, benchmarks).
+func (p *Process) AttrPool() *AttrPool { return p.pool }
+
+// Group returns a peer group's shared output stage, or nil.
+func (p *Process) Group(name string) *GroupOut {
+	if g, ok := p.groups[name]; ok {
+		return g.out
+	}
+	return nil
+}
+
+// peerGroup is one configured peer group: a shared export filter bank and
+// GroupOut fed by one fanout branch, plus the invariants members must
+// share for the shared encode to be valid.
+type peerGroup struct {
+	name      string
+	ibgp      bool
+	localAddr netip.Addr
+	out       *GroupOut
+	members   int
+}
 
 // CacheViolations returns consistency violations recorded on the RIB
 // branch (nil without ConsistencyChecks).
@@ -170,6 +196,15 @@ func (s *ribSinkStage) Lookup(net netip.Prefix) *Route { return s.lookupParent(n
 //	PeerIn → [damping] → in-filter → nexthop-resolver → Decision
 //	Fanout → out-filter → PeerOut → session
 //
+// A peer with cfg.Group set shares its output branch with the other group
+// members instead:
+//
+//	Fanout → group out-filter → GroupOut → each member's session
+//
+// so outbound UPDATEs are filtered and encoded once per group rather than
+// once per peer. Group members must agree on everything the shared encode
+// depends on: IBGP-ness and (for EBGP) the local peering address.
+//
 // Peers start disabled; call EnablePeer. Must run on the loop.
 func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
 	if _, dup := p.peers[cfg.Name]; dup {
@@ -184,7 +219,7 @@ func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
 			Name: cfg.Name, Addr: cfg.PeerAddr, AS: cfg.PeerAS, IBGP: ibgp,
 		},
 	}
-	peer.peerin = NewPeerIn(p.loop, peer.handle)
+	peer.peerin = NewPeerIn(p.loop, peer.handle, p.pool)
 	inFilter := NewFilterBank("in-filter(" + cfg.Name + ")")
 	resolver := NewNexthopResolver("nexthop("+cfg.Name+")", p.metricSrc)
 	if p.cfg.EnableDamping {
@@ -193,23 +228,62 @@ func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
 	} else {
 		Plumb(peer.peerin, inFilter, resolver)
 	}
+
+	// Output branch: shared (peer group) or per-peer.
+	if cfg.Group != "" {
+		g, ok := p.groups[cfg.Group]
+		if !ok {
+			g = &peerGroup{
+				name:      cfg.Group,
+				ibgp:      ibgp,
+				localAddr: cfg.LocalAddr,
+				out:       NewGroupOut(cfg.Group),
+			}
+			outBank := NewFilterBank("out-filter(group:"+cfg.Group+")", groupExportFilters(p.cfg.AS, g)...)
+			Plumb(outBank, g.out)
+			p.fanout.AddGroupBranch("group:"+cfg.Group, outBank)
+			p.groups[cfg.Group] = g
+		}
+		if g.ibgp != ibgp {
+			return nil, fmt.Errorf("bgp: peer %q: group %q mixes IBGP and EBGP members", cfg.Name, cfg.Group)
+		}
+		if !ibgp && g.localAddr != cfg.LocalAddr {
+			return nil, fmt.Errorf("bgp: peer %q: group %q members must share local-addr (%v != %v)",
+				cfg.Name, cfg.Group, cfg.LocalAddr, g.localAddr)
+		}
+		if err := g.out.AddMember(peer.handle, peer); err != nil {
+			return nil, err
+		}
+		g.members++
+		peer.groupOut = g.out
+	} else {
+		var outFilters []Filter
+		if ibgp {
+			outFilters = append(outFilters, FilterIBGPExport())
+		} else {
+			outFilters = append(outFilters, FilterEBGPExport(p.cfg.AS, cfg.LocalAddr))
+		}
+		outBank := NewFilterBank("out-filter("+cfg.Name+")", outFilters...)
+		peer.peerout = NewPeerOut(peer.handle, peer)
+		Plumb(outBank, peer.peerout)
+		p.fanout.AddPeerBranch(cfg.Name, peer.handle, outBank)
+	}
+
+	// Hook the input branch up only after the output side exists, so the
+	// peer's own first routes can already fan out to everyone.
 	p.decision.AddParent(resolver)
 	peer.resolver = resolver
 
-	// Output branch.
-	var outFilters []Filter
-	if ibgp {
-		outFilters = append(outFilters, FilterIBGPExport())
-	} else {
-		outFilters = append(outFilters, FilterEBGPExport(p.cfg.AS, cfg.LocalAddr))
-	}
-	outBank := NewFilterBank("out-filter("+cfg.Name+")", outFilters...)
-	peer.peerout = NewPeerOut(peer.handle, peer)
-	Plumb(outBank, peer.peerout)
-	p.fanout.AddPeerBranch(cfg.Name, peer.handle, outBank)
-
 	p.peers[cfg.Name] = peer
 	return peer, nil
+}
+
+// groupExportFilters builds the export transform shared by a peer group.
+func groupExportFilters(localAS uint16, g *peerGroup) []Filter {
+	if g.ibgp {
+		return []Filter{FilterIBGPExport()}
+	}
+	return []Filter{FilterEBGPExport(localAS, g.localAddr)}
 }
 
 // RemovePeer deconfigures a peering in place (the rtrmgr's transactional
@@ -252,7 +326,18 @@ func (p *Process) RemovePeer(name string) error {
 	}
 
 	p.decision.RemoveParent(peer.resolver)
-	p.fanout.RemoveBranch(name)
+	if peer.groupOut != nil {
+		peer.groupOut.RemoveMember(peer.handle)
+		if g, ok := p.groups[peer.cfg.Group]; ok {
+			g.members--
+			if g.members == 0 {
+				p.fanout.RemoveBranch("group:" + g.name)
+				delete(p.groups, peer.cfg.Group)
+			}
+		}
+	} else {
+		p.fanout.RemoveBranch(name)
+	}
 	delete(p.peers, name)
 	return nil
 }
@@ -392,6 +477,7 @@ func (s bgpServer) AddPeer(cfg xif.BGPPeerConfig) error {
 		PeerAS:    cfg.PeerAS,
 		DialAddr:  cfg.DialAddr,
 		HoldTime:  cfg.HoldTime,
+		Group:     cfg.Group,
 	})
 	return err
 }

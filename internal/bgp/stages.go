@@ -34,6 +34,35 @@ type Stage interface {
 	parentStage() Stage
 }
 
+// RunStage is the optional batching capability (the BGP analogue of the
+// RIB's AddRoutes): a stage that can accept a coalesced run of fresh Adds
+// in one call. All routes in a run share one *PathAttrs (pointer-identical
+// interned attrs) and one Src, and carry distinct prefixes none of which
+// the sender has announced before. Stages without the capability receive
+// the run as
+// individual Adds via addRun; a stage that is spliced over (e.g. a
+// DeletionStage absorbing a revived peer's table) deliberately does not
+// implement RunStage, so runs degrade to the per-route path exactly where
+// per-route semantics are needed.
+type RunStage interface {
+	// AddRun announces len(rs) fresh routes sharing rs[i].Attrs.
+	AddRun(rs []*Route)
+}
+
+// addRun forwards a run to next, using AddRun when available.
+func addRun(next Stage, rs []*Route) {
+	if next == nil {
+		return
+	}
+	if b, ok := next.(RunStage); ok {
+		b.AddRun(rs)
+		return
+	}
+	for _, r := range rs {
+		next.Add(r)
+	}
+}
+
 // base provides the plumbing shared by stage implementations.
 type base struct {
 	name   string
@@ -94,6 +123,7 @@ func Unsplice(s Stage) {
 type sink struct {
 	base
 	adds, replaces, deletes int
+	runs                    int
 	tbl                     map[netip.Prefix]*Route
 }
 
@@ -117,6 +147,14 @@ func (s *sink) Delete(r *Route) {
 }
 
 func (s *sink) Lookup(net netip.Prefix) *Route { return s.tbl[net] }
+
+// AddRun implements RunStage so tests exercise run delivery end to end.
+func (s *sink) AddRun(rs []*Route) {
+	s.runs++
+	for _, r := range rs {
+		s.Add(r)
+	}
+}
 
 // CacheStage is the consistency-checking cache stage of §5.1: it shadows
 // the message stream in its own table, verifies the two consistency rules,
@@ -173,4 +211,13 @@ func (c *CacheStage) Delete(r *Route) {
 func (c *CacheStage) Lookup(net netip.Prefix) *Route {
 	r, _ := c.chk.Lookup(net)
 	return r
+}
+
+// AddRun implements RunStage: every route in the run is checked against
+// the consistency rules individually, then the run is forwarded intact.
+func (c *CacheStage) AddRun(rs []*Route) {
+	for _, r := range rs {
+		c.check(c.chk.Add(r.Net, r))
+	}
+	addRun(c.next, rs)
 }

@@ -11,19 +11,6 @@ import (
 	"xorp/internal/eventloop"
 )
 
-// testPeer returns a PeerHandle for tests.
-func testPeer(name string, addr string, as uint16, ibgp bool) *PeerHandle {
-	return &PeerHandle{Name: name, Addr: mustA(addr), AS: as, IBGP: ibgp}
-}
-
-func attrsVia(nh string, ases ...uint16) *PathAttrs {
-	return &PathAttrs{
-		Origin:  OriginIGP,
-		ASPath:  ASPath{{Type: SegSequence, ASes: ases}},
-		NextHop: mustA(nh),
-	}
-}
-
 // pipeline builds peerin → [damping?] → filter → resolver for one peer,
 // all feeding a shared decision; a cache stage guards the sink.
 type testRouter struct {
@@ -33,6 +20,7 @@ type testRouter struct {
 	cache    *CacheStage
 	sink     *sink
 	peers    map[string]*testBranch
+	pool     *AttrPool
 	localAS  uint16
 }
 
@@ -52,6 +40,7 @@ func newTestRouter(t *testing.T, localAS uint16) *testRouter {
 		cache:    NewCacheStage("cache"),
 		sink:     newSink("sink"),
 		peers:    make(map[string]*testBranch),
+		pool:     NewAttrPool(),
 		localAS:  localAS,
 	}
 	Plumb(tr.decision, tr.fanout)
@@ -75,7 +64,7 @@ func newTestRouter(t *testing.T, localAS uint16) *testRouter {
 func (tr *testRouter) addPeer(t *testing.T, name, addr string, as uint16) *testBranch {
 	ibgp := as == tr.localAS
 	b := &testBranch{peer: testPeer(name, addr, as, ibgp)}
-	b.peerin = NewPeerIn(tr.loop, b.peer)
+	b.peerin = NewPeerIn(tr.loop, b.peer, tr.pool)
 	b.filter = NewFilterBank("in-filter(" + name + ")")
 	b.resolver = NewNexthopResolver("nexthop("+name+")", &StaticMetricSource{})
 	Plumb(b.peerin, b.filter, b.resolver)

@@ -1,0 +1,34 @@
+package bgp
+
+// Shared test builders. Every test and bench constructs attrs through
+// these (not ad-hoc literals in helpers), so a representation change —
+// like the interned attr pool — propagates to what the benches measure
+// instead of leaving them exercising a dead code shape.
+
+import "net/netip"
+
+func mustP(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustA(s string) netip.Addr   { return netip.MustParseAddr(s) }
+
+// testAttrs returns the canonical two-hop EBGP attr set.
+func testAttrs() *PathAttrs {
+	return &PathAttrs{
+		Origin:  OriginIGP,
+		ASPath:  ASPath{{Type: SegSequence, ASes: []uint16{65001, 65002}}},
+		NextHop: mustA("192.168.1.1"),
+	}
+}
+
+// attrsVia builds an attr set learned from nexthop nh over path ases.
+func attrsVia(nh string, ases ...uint16) *PathAttrs {
+	return &PathAttrs{
+		Origin:  OriginIGP,
+		ASPath:  ASPath{{Type: SegSequence, ASes: ases}},
+		NextHop: mustA(nh),
+	}
+}
+
+// testPeer returns a PeerHandle for tests.
+func testPeer(name string, addr string, as uint16, ibgp bool) *PeerHandle {
+	return &PeerHandle{Name: name, Addr: mustA(addr), AS: as, IBGP: ibgp}
+}

@@ -115,40 +115,66 @@ func AppendNotification(dst []byte, m *NotificationMsg) []byte {
 	return dst
 }
 
-// AppendUpdate appends an encoded UPDATE message to dst. All prefixes must
-// be IPv4 (IPv6 runs over MP-BGP, outside this reproduction's wire scope;
-// the staged pipeline itself is family-generic).
+// AppendUpdate appends an encoded UPDATE message to dst. IPv4 prefixes use
+// the classic RFC 4271 fields; IPv6 prefixes ride in MP_REACH_NLRI /
+// MP_UNREACH_NLRI attributes (RFC 4760, IPv6-unicast subset), so the
+// family-generic pipeline can speak v6 on the wire.
 func AppendUpdate(dst []byte, m *UpdateMsg) ([]byte, error) {
 	start := len(dst)
 	dst, lenOff := appendHeader(dst, MsgUpdate)
 
-	// Withdrawn routes.
+	// Classic withdrawn routes (IPv4 only).
 	wOff := len(dst)
 	dst = append(dst, 0, 0)
 	var err error
+	n4, w6 := 0, 0
+	for _, p := range m.NLRI {
+		if p.Addr().Is4() {
+			n4++
+		}
+	}
 	for _, p := range m.Withdrawn {
+		if !p.Addr().Is4() {
+			w6++
+			continue
+		}
 		if dst, err = appendPrefix(dst, p); err != nil {
 			return dst, err
 		}
 	}
 	binary.BigEndian.PutUint16(dst[wOff:], uint16(len(dst)-wOff-2))
 
-	// Path attributes.
+	// Path attributes (ascending type order; MP attrs are 14/15, so they
+	// follow the classic set).
 	aOff := len(dst)
 	dst = append(dst, 0, 0)
-	if len(m.NLRI) > 0 || m.Attrs != nil {
-		if m.Attrs == nil && len(m.NLRI) > 0 {
-			return dst, fmt.Errorf("bgp: NLRI without path attributes")
+	if m.Attrs == nil && len(m.NLRI) > 0 {
+		return dst, fmt.Errorf("bgp: NLRI without path attributes")
+	}
+	if m.Attrs != nil {
+		if dst, err = m.Attrs.appendTo(dst); err != nil {
+			return dst, err
 		}
-		if m.Attrs != nil {
-			if dst, err = m.Attrs.appendTo(dst); err != nil {
+		if n4 > 0 && !m.Attrs.NextHop.Is4() {
+			return dst, fmt.Errorf("bgp: IPv4 NLRI with non-IPv4 NEXT_HOP %v", m.Attrs.NextHop)
+		}
+		if len(m.NLRI) > n4 {
+			if dst, err = appendMPReach(dst, m.Attrs.NextHop, m.NLRI); err != nil {
 				return dst, err
 			}
+		}
+	}
+	if w6 > 0 {
+		if dst, err = appendMPUnreach(dst, m.Withdrawn); err != nil {
+			return dst, err
 		}
 	}
 	binary.BigEndian.PutUint16(dst[aOff:], uint16(len(dst)-aOff-2))
 
 	for _, p := range m.NLRI {
+		if !p.Addr().Is4() {
+			continue
+		}
 		if dst, err = appendPrefix(dst, p); err != nil {
 			return dst, err
 		}
@@ -158,6 +184,97 @@ func AppendUpdate(dst []byte, m *UpdateMsg) ([]byte, error) {
 	}
 	patchLen(dst, lenOff, start)
 	return dst, nil
+}
+
+// AppendUpdateRun encodes the announcement of a run of prefixes sharing
+// one attribute set as the minimum number of UPDATE messages, packing NLRI
+// up to the 4096-byte limit. This is the group shared-encode primitive:
+// the result is encoded once and the bytes fanned out to every member of
+// a peer group. Prefix order is preserved (chunks split at family
+// boundaries), so the emitted per-prefix stream matches the per-route
+// path's order.
+func AppendUpdateRun(dst []byte, attrs *PathAttrs, nlri []netip.Prefix) ([]byte, error) {
+	if len(nlri) == 0 {
+		return dst, nil
+	}
+	if attrs == nil {
+		return dst, fmt.Errorf("bgp: NLRI without path attributes")
+	}
+	classic, err := attrs.appendTo(nil)
+	if err != nil {
+		return dst, err
+	}
+	// Per-message fixed overhead: header (19) + withdrawn-length (2) +
+	// attribute-length (2) + classic attributes; IPv6 chunks add the
+	// MP_REACH_NLRI header and fixed body (exactly 25 bytes with the
+	// extended-length form appendAttr may choose).
+	const mpOverhead = 25
+	for start := 0; start < len(nlri); {
+		is6 := !nlri[start].Addr().Is4()
+		size := headerLen + 4 + len(classic)
+		if is6 {
+			size += mpOverhead
+		}
+		end := start
+		for end < len(nlri) {
+			p := nlri[end]
+			if (!p.Addr().Is4()) != is6 {
+				break
+			}
+			cost := 1 + (p.Bits()+7)/8
+			if size+cost > maxMsgLen {
+				break
+			}
+			size += cost
+			end++
+		}
+		if end == start {
+			end++ // oversized single prefix: let AppendUpdate report it
+		}
+		if dst, err = AppendUpdate(dst, &UpdateMsg{Attrs: attrs, NLRI: nlri[start:end]}); err != nil {
+			return dst, err
+		}
+		start = end
+	}
+	return dst, nil
+}
+
+// appendMPReach emits an MP_REACH_NLRI attribute carrying the IPv6
+// prefixes of nlri. An IPv4 next hop is carried v4-mapped (decode unmaps),
+// so a v4-nexthop attribute set can still announce v6 prefixes losslessly.
+func appendMPReach(dst []byte, nh netip.Addr, nlri []netip.Prefix) ([]byte, error) {
+	if !nh.IsValid() {
+		return dst, fmt.Errorf("bgp: MP_REACH_NLRI without next hop")
+	}
+	body := make([]byte, 0, 64)
+	body = binary.BigEndian.AppendUint16(body, afiIPv6)
+	body = append(body, safiUnicast)
+	nh16 := nh.As16()
+	body = append(body, 16)
+	body = append(body, nh16[:]...)
+	body = append(body, 0) // reserved
+	for _, p := range nlri {
+		if p.Addr().Is4() {
+			continue
+		}
+		body = appendPrefix6(body, p)
+	}
+	return appendAttr(dst, flagOptional, attrMPReachNLRI, body)
+}
+
+// appendMPUnreach emits an MP_UNREACH_NLRI attribute carrying the IPv6
+// prefixes of withdrawn.
+func appendMPUnreach(dst []byte, withdrawn []netip.Prefix) ([]byte, error) {
+	body := make([]byte, 0, 32)
+	body = binary.BigEndian.AppendUint16(body, afiIPv6)
+	body = append(body, safiUnicast)
+	for _, p := range withdrawn {
+		if p.Addr().Is4() {
+			continue
+		}
+		body = appendPrefix6(body, p)
+	}
+	return appendAttr(dst, flagOptional, attrMPUnreachNLRI, body)
 }
 
 // appendPrefix appends RFC 4271 prefix encoding: length byte + minimal
@@ -188,6 +305,31 @@ func decodePrefix(d *wireDecoder) netip.Prefix {
 	var b [4]byte
 	copy(b[:], raw)
 	return netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+}
+
+// appendPrefix6 appends the RFC 4760 IPv6 prefix encoding.
+func appendPrefix6(dst []byte, p netip.Prefix) []byte {
+	p = p.Masked()
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	b := p.Addr().As16()
+	return append(dst, b[:(bits+7)/8]...)
+}
+
+func decodePrefix6(d *wireDecoder) netip.Prefix {
+	bits := int(d.u8())
+	if bits > 128 {
+		d.fail("v6 prefix length %d", bits)
+		return netip.Prefix{}
+	}
+	n := (bits + 7) / 8
+	raw := d.take(n)
+	if raw == nil {
+		return netip.Prefix{}
+	}
+	var b [16]byte
+	copy(b[:], raw)
+	return netip.PrefixFrom(netip.AddrFrom16(b), bits).Masked()
 }
 
 // Message is a decoded BGP message: exactly one field is non-nil.
@@ -272,16 +414,24 @@ func DecodeMessage(buf []byte) (*Message, error) {
 		if aEnd > len(buf) {
 			return nil, fmt.Errorf("bgp: attribute length overruns message")
 		}
+		var nlri6 []netip.Prefix
 		if aLen > 0 {
-			attrs, err := decodePathAttrs(d, aEnd)
+			attrs, n6, w6, seen, err := decodePathAttrs(d, aEnd)
 			if err != nil {
 				return nil, err
 			}
-			m.Attrs = attrs
+			if seen {
+				m.Attrs = attrs
+			}
+			nlri6 = n6
+			m.Withdrawn = append(m.Withdrawn, w6...)
 		}
+		n4 := 0
 		for d.off < len(buf) && d.err == nil {
 			m.NLRI = append(m.NLRI, decodePrefix(d))
+			n4++
 		}
+		m.NLRI = append(m.NLRI, nlri6...)
 		if d.err != nil {
 			return nil, d.err
 		}
@@ -291,6 +441,9 @@ func DecodeMessage(buf []byte) (*Message, error) {
 			}
 			if err := m.Attrs.WellFormed(); err != nil {
 				return nil, err
+			}
+			if n4 > 0 && !m.Attrs.NextHop.Is4() {
+				return nil, fmt.Errorf("bgp: IPv4 NLRI with non-IPv4 NEXT_HOP %v", m.Attrs.NextHop)
 			}
 		}
 		return &Message{Update: m}, nil

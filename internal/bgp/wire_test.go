@@ -1,22 +1,12 @@
 package bgp
 
 import (
+	"bytes"
 	"math/rand"
 	"net/netip"
 	"testing"
 	"testing/quick"
 )
-
-func mustP(s string) netip.Prefix { return netip.MustParsePrefix(s) }
-func mustA(s string) netip.Addr   { return netip.MustParseAddr(s) }
-
-func testAttrs() *PathAttrs {
-	return &PathAttrs{
-		Origin:  OriginIGP,
-		ASPath:  ASPath{{Type: SegSequence, ASes: []uint16{65001, 65002}}},
-		NextHop: mustA("192.168.1.1"),
-	}
-}
 
 func TestOpenRoundTrip(t *testing.T) {
 	m := &OpenMsg{Version: 4, AS: 65001, HoldTime: 90, BGPID: mustA("10.0.0.1")}
@@ -234,6 +224,108 @@ func TestQuickUpdateRoundTrip(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzUpdateWire is the wire-format wall around the fast path: any UPDATE
+// that decodes must re-encode losslessly (decode → encode → decode is a
+// fixed point), and interning the decoded attributes must never conflate
+// distinct sets nor split equal ones.
+func FuzzUpdateWire(f *testing.F) {
+	seed := func(m *UpdateMsg) {
+		buf, err := AppendUpdate(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	// AS-path and community corner cases, mixed families, withdraw-only.
+	seed(&UpdateMsg{Attrs: testAttrs(), NLRI: []netip.Prefix{mustP("10.0.0.0/8")}})
+	seed(&UpdateMsg{Attrs: &PathAttrs{NextHop: mustA("10.0.0.1")},
+		NLRI: []netip.Prefix{mustP("0.0.0.0/0"), mustP("255.255.255.255/32")}})
+	seed(&UpdateMsg{Attrs: &PathAttrs{
+		NextHop: mustA("10.0.0.1"),
+		ASPath: ASPath{
+			{Type: SegSequence, ASes: []uint16{1}},
+			{Type: SegSet, ASes: []uint16{2, 3}},
+			{Type: SegSequence, ASes: []uint16{4, 5, 6}},
+		},
+		Communities: []uint32{0, 0xFFFFFFFF, 0x00010002},
+	}, NLRI: []netip.Prefix{mustP("192.168.0.0/24")}})
+	seed(&UpdateMsg{Attrs: &PathAttrs{
+		NextHop: mustA("10.0.0.1"),
+		MED:     0, HasMED: true, // present-but-zero vs absent
+		LocalPref: 0, HasLocalPref: true,
+		AtomicAggregate: true,
+		AggregatorAS:    65535, AggregatorAddr: mustA("1.2.3.4"), HasAggregator: true,
+	}, NLRI: []netip.Prefix{mustP("10.1.0.0/16")}})
+	seed(&UpdateMsg{Attrs: testAttrs(),
+		NLRI: []netip.Prefix{mustP("2001:db8::/32"), mustP("10.0.0.0/8"), mustP("::/0")}})
+	seed(&UpdateMsg{Withdrawn: []netip.Prefix{mustP("10.0.0.0/8"), mustP("2001:db8::/32")}})
+	longSeg := ASSegment{Type: SegSequence}
+	for i := 0; i < 255; i++ {
+		longSeg.ASes = append(longSeg.ASes, uint16(i+1))
+	}
+	seed(&UpdateMsg{Attrs: &PathAttrs{NextHop: mustA("10.0.0.1"), ASPath: ASPath{longSeg}},
+		NLRI: []netip.Prefix{mustP("10.2.0.0/15")}})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil || m.Update == nil {
+			return // invalid or non-UPDATE input: only "no panic" is asserted
+		}
+		u := m.Update
+		buf, err := AppendUpdate(nil, u)
+		if err != nil {
+			t.Fatalf("decoded UPDATE does not re-encode: %v\nupdate: %+v", err, u)
+		}
+		m2, err := DecodeMessage(buf)
+		if err != nil || m2.Update == nil {
+			t.Fatalf("re-encoded UPDATE does not decode: %v", err)
+		}
+		u2 := m2.Update
+		if len(u2.Withdrawn) != len(u.Withdrawn) || len(u2.NLRI) != len(u.NLRI) {
+			t.Fatalf("prefix counts changed: %v/%v -> %v/%v", u.Withdrawn, u.NLRI, u2.Withdrawn, u2.NLRI)
+		}
+		for i := range u.Withdrawn {
+			if u2.Withdrawn[i] != u.Withdrawn[i] {
+				t.Fatalf("withdrawn[%d] %v -> %v", i, u.Withdrawn[i], u2.Withdrawn[i])
+			}
+		}
+		for i := range u.NLRI {
+			if u2.NLRI[i] != u.NLRI[i] {
+				t.Fatalf("nlri[%d] %v -> %v", i, u.NLRI[i], u2.NLRI[i])
+			}
+		}
+		switch {
+		case (u.Attrs == nil) != (u2.Attrs == nil):
+			t.Fatalf("attrs presence changed: %+v -> %+v", u.Attrs, u2.Attrs)
+		case u.Attrs != nil && !u2.Attrs.Equal(u.Attrs):
+			t.Fatalf("attrs changed: %+v -> %+v", u.Attrs, u2.Attrs)
+		}
+		// Fixed point: encoding the re-decoded message reproduces the bytes.
+		buf2, err := AppendUpdate(nil, u2)
+		if err != nil || !bytes.Equal(buf, buf2) {
+			t.Fatalf("encode not a fixed point (err=%v):\n %x\n %x", err, buf, buf2)
+		}
+		// Pool semantics: two independent decodes of the same bytes intern
+		// to one canonical set; a clone does too; the canonical set is
+		// Equal to the original.
+		if u.Attrs != nil {
+			pool := NewAttrPool()
+			c1 := pool.Intern(u.Attrs)
+			c2 := pool.Intern(u2.Attrs)
+			c3 := pool.Intern(u.Attrs.Clone())
+			if c1 != c2 || c1 != c3 {
+				t.Fatalf("pool split equal sets: %p %p %p", c1, c2, c3)
+			}
+			if !c1.Equal(u.Attrs) {
+				t.Fatal("canonical attrs not equal to interned input")
+			}
+			if pool.Len() != 1 {
+				t.Fatalf("pool holds %d sets for one attr set", pool.Len())
+			}
+		}
+	})
 }
 
 func TestASPathHelpers(t *testing.T) {

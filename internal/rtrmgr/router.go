@@ -371,7 +371,7 @@ func (r *Router) setupBGP(cfg *Node) error {
 
 	// Peers (created on the BGP loop; enabled at Start).
 	for _, p := range cfg.ChildrenNamed("peer") {
-		pc, err := parsePeerConfig(p)
+		pc, err := parsePeerConfig(p, cfg)
 		if err != nil {
 			return err
 		}
@@ -410,9 +410,42 @@ func (r *Router) setupBGP(cfg *Node) error {
 
 // parsePeerConfig parses one `peer <name> { ... }` block into a BGP peer
 // configuration (shared by assembly and the transactional reload agent).
-func parsePeerConfig(p *Node) (bgp.PeerConfig, error) {
+//
+// A `group <name>` leaf joins the peer to a named peer group: members
+// share one output branch and a single shared encode per outbound UPDATE.
+// A matching top-level `peer-group <name> { ... }` block may supply
+// defaults (local-addr, as, holdtime, dial, passive) that the peer block
+// inherits where it is silent. bgpCfg is the surrounding bgp block used to
+// resolve the group by name; the reload planner instead embeds the
+// peer-group block into the change node (the change is the only context
+// the agent gets), so bgpCfg may be nil.
+func parsePeerConfig(p, bgpCfg *Node) (bgp.PeerConfig, error) {
 	var pc bgp.PeerConfig
-	localAddr, err := p.LeafAddr("local-addr")
+	group := p.Leaf("group")
+	def := p.Child("peer-group") // embedded by the reload planner
+	if def == nil && group != "" && bgpCfg != nil {
+		def = findPeerGroup(bgpCfg, group)
+	}
+	if def != nil && group == "" {
+		group = def.Arg(0)
+	}
+	leaf := func(key string) string {
+		if v := p.Leaf(key); v != "" {
+			return v
+		}
+		if def != nil {
+			return def.Leaf(key)
+		}
+		return ""
+	}
+	parseAddr := func(key string) (netip.Addr, error) {
+		s := leaf(key)
+		if s == "" {
+			return netip.Addr{}, fmt.Errorf("rtrmgr: missing %q under %q", key, p.Key)
+		}
+		return netip.ParseAddr(s)
+	}
+	localAddr, err := parseAddr("local-addr")
 	if err != nil {
 		return pc, err
 	}
@@ -420,12 +453,12 @@ func parsePeerConfig(p *Node) (bgp.PeerConfig, error) {
 	if err != nil {
 		return pc, err
 	}
-	peerAS, err := strconv.ParseUint(p.Leaf("as"), 10, 16)
+	peerAS, err := strconv.ParseUint(leaf("as"), 10, 16)
 	if err != nil {
 		return pc, fmt.Errorf("rtrmgr: peer %s: bad as: %v", p.Key, err)
 	}
 	holdTime := 90 * time.Second
-	if ht := p.Leaf("holdtime"); ht != "" {
+	if ht := leaf("holdtime"); ht != "" {
 		sec, err := strconv.Atoi(ht)
 		if err != nil {
 			return pc, err
@@ -437,14 +470,26 @@ func parsePeerConfig(p *Node) (bgp.PeerConfig, error) {
 		LocalAddr: localAddr,
 		PeerAddr:  peerAddr,
 		PeerAS:    uint16(peerAS),
-		DialAddr:  p.Leaf("dial"),
+		DialAddr:  leaf("dial"),
 		HoldTime:  holdTime,
-		Passive:   p.Child("passive") != nil,
+		Passive:   p.Child("passive") != nil || (def != nil && def.Child("passive") != nil),
+		Group:     group,
 	}
 	if pc.Name == "" {
 		pc.Name = "peer-" + peerAddr.String()
 	}
 	return pc, nil
+}
+
+// findPeerGroup returns the `peer-group <name>` block under a bgp config
+// node, or nil.
+func findPeerGroup(bgpCfg *Node, name string) *Node {
+	for _, g := range bgpCfg.ChildrenNamed("peer-group") {
+		if g.Arg(0) == name {
+			return g
+		}
+	}
+	return nil
 }
 
 // parseStaticRoute parses one `route <prefix> [next-hop a] [interface i]

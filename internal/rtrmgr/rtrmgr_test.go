@@ -427,3 +427,133 @@ func TestDampingInAssembly(t *testing.T) {
 		t.Fatal("stable route lost")
 	}
 }
+
+func TestPeerGroupConfig(t *testing.T) {
+	// peer-group blocks: members share one output branch (and one encode
+	// per outbound UPDATE in the BGP process), and inherit defaults from
+	// the block where their own peer block is silent.
+	cfg, err := ParseConfig(`
+protocols {
+    bgp {
+        local-as 65001
+        id 192.168.1.1
+        peer-group rs {
+            local-addr 192.168.1.1
+            as 65002
+            holdtime 30
+        }
+        peer p1 {
+            peer-addr 192.168.1.2
+            group rs
+            passive
+        }
+        peer p2 {
+            peer-addr 192.168.1.3
+            as 65002
+            group rs
+            passive
+        }
+        peer solo {
+            local-addr 192.168.1.1
+            peer-addr 192.168.1.4
+            as 65003
+            passive
+        }
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgpNode := cfg.Child("protocols").Child("bgp")
+	peers := bgpNode.ChildrenNamed("peer")
+	if len(peers) != 3 {
+		t.Fatalf("parsed %d peers", len(peers))
+	}
+	p1, err := parsePeerConfig(peers[0], bgpNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Group != "rs" || p1.PeerAS != 65002 || p1.LocalAddr != mustA("192.168.1.1") {
+		t.Fatalf("p1 did not inherit group defaults: %+v", p1)
+	}
+	if p1.HoldTime != 30*time.Second || !p1.Passive {
+		t.Fatalf("p1 holdtime/passive: %+v", p1)
+	}
+	solo, err := parsePeerConfig(peers[2], bgpNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Group != "" {
+		t.Fatalf("solo peer got group %q", solo.Group)
+	}
+
+	// The reload planner embeds the peer-group block into peer changes so
+	// the agent can resolve defaults with no other context.
+	embedded := withEmbeddedPeerGroup(peers[0], cfg)
+	if embedded.Child("peer-group") == nil {
+		t.Fatal("peer-group block not embedded")
+	}
+	pe, err := parsePeerConfig(embedded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Group != "rs" || pe.PeerAS != 65002 || pe.HoldTime != 30*time.Second {
+		t.Fatalf("embedded parse lost defaults: %+v", pe)
+	}
+	// A peer that is not in a group passes through unembedded.
+	if withEmbeddedPeerGroup(peers[2], cfg) != peers[2] {
+		t.Fatal("ungrouped peer was copied")
+	}
+}
+
+func TestPeerGroupInAssembly(t *testing.T) {
+	// A full router with grouped peers: the BGP process must build one
+	// shared group output branch, and a route from one member must be
+	// encoded once and fanned to the other members (split horizon keeps
+	// it away from the contributor).
+	cfgText := strings.Replace(baseConfig,
+		"peer p1 {\n            local-addr 192.168.1.1",
+		"peer p1 {\n            group rs\n            local-addr 192.168.1.1", 1)
+	cfgText = strings.Replace(cfgText,
+		"peer p2 {\n            local-addr 192.168.1.1",
+		"peer p2 {\n            group rs\n            local-addr 192.168.1.1", 1)
+	r, err := NewRouter(cfgText, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var g *bgp.GroupOut
+	r.BGP.Loop().DispatchAndWait(func() { g = r.BGP.Group("rs") })
+	if g == nil {
+		t.Fatal("group rs not built")
+	}
+	if g.Members() != 2 {
+		t.Fatalf("group has %d members", g.Members())
+	}
+	attrs := workload.TestAttrs(mustA("10.0.0.1"), 65002)
+	net := mustP("20.9.0.0/16")
+	r.BGP.Loop().DispatchAndWait(func() {
+		r.BGP.InjectUpdate("p1", &bgp.UpdateMsg{Attrs: attrs, NLRI: []netip.Prefix{net}})
+	})
+	waitCond(t, "route reaches the group adj-RIB-out", func() bool {
+		var n int
+		r.BGP.Loop().DispatchAndWait(func() { n = g.AnnouncedCount() })
+		return n == 1
+	})
+	// Contributor suppressed, other member told (no live session: counts
+	// only; bytes flow once a session establishes and resyncs).
+	var c1, c2 int
+	r.BGP.Loop().DispatchAndWait(func() {
+		p1, _ := r.BGP.Peer("p1")
+		p2, _ := r.BGP.Peer("p2")
+		c1 = g.MemberAnnouncedCount(p1.Handle())
+		c2 = g.MemberAnnouncedCount(p2.Handle())
+	})
+	if c1 != 0 || c2 != 1 {
+		t.Fatalf("member visibility: contributor=%d other=%d", c1, c2)
+	}
+}

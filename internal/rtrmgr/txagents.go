@@ -246,7 +246,7 @@ func (a *txAgent) stageBGP(c Change) ([]txStep, string, error) {
 func (a *txAgent) stageBGPPeer(c Change) ([]txStep, string, error) {
 	var steps []txStep
 	if c.Old != nil {
-		pc, err := parsePeerConfig(c.Old)
+		pc, err := parsePeerConfig(c.Old, nil)
 		if err != nil {
 			return nil, "", err
 		}
@@ -260,7 +260,7 @@ func (a *txAgent) stageBGPPeer(c Change) ([]txStep, string, error) {
 		})
 	}
 	if c.New != nil {
-		pc, err := parsePeerConfig(c.New)
+		pc, err := parsePeerConfig(c.New, nil)
 		if err != nil {
 			return nil, "", err
 		}

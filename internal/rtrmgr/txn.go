@@ -404,7 +404,7 @@ func (r *Router) compilePlan(changes []Change, running, candidate *Node) (map[st
 			if len(c.Path) > 3 {
 				c = liftChange(c, c.Path[:3], running, candidate)
 			}
-			add(class, embedPolicy(c, running, candidate))
+			add(class, embedPolicy(embedPeerGroup(c, running, candidate), running, candidate))
 		case head == "policy" || strings.HasPrefix(head, "policy "):
 			name := strings.TrimPrefix(head, "policy ")
 			for _, cc := range policyRefChanges(name, running, candidate) {
@@ -470,6 +470,43 @@ func embedPolicy(c Change, running, candidate *Node) Change {
 	c.Old = withEmbeddedPolicy(c.Old, running)
 	c.New = withEmbeddedPolicy(c.New, candidate)
 	return c
+}
+
+// embedPeerGroup copies a referenced `peer-group` block into peer
+// changes, like embedPolicy does for policies: the agent resolves group
+// defaults against the candidate config (and the inverse against the
+// running one), and the wire change is the only context it gets.
+func embedPeerGroup(c Change, running, candidate *Node) Change {
+	c.Old = withEmbeddedPeerGroup(c.Old, running)
+	c.New = withEmbeddedPeerGroup(c.New, candidate)
+	return c
+}
+
+func withEmbeddedPeerGroup(n, cfg *Node) *Node {
+	if n == nil || cfg == nil || n.Key != "peer" {
+		return n
+	}
+	group := n.Leaf("group")
+	if group == "" {
+		return n
+	}
+	protos := cfg.Child("protocols")
+	if protos == nil {
+		return n
+	}
+	bgpCfg := protos.Child("bgp")
+	if bgpCfg == nil {
+		return n
+	}
+	grp := findPeerGroup(bgpCfg, group)
+	if grp == nil {
+		return n
+	}
+	return &Node{
+		Key:      n.Key,
+		Args:     append([]string{}, n.Args...),
+		Children: append(append([]*Node{}, n.Children...), grp),
+	}
 }
 
 func withEmbeddedPolicy(n, cfg *Node) *Node {

@@ -25,6 +25,7 @@ var BGPSpec = Define(Spec{
 			{Name: "as", Type: xrl.TypeU32},
 			{Name: "dial", Type: xrl.TypeText, Optional: true},
 			{Name: "holdtime", Type: xrl.TypeU32, Optional: true},
+			{Name: "group", Type: xrl.TypeText, Optional: true},
 		}},
 		{Name: "enable_peer", Args: []Arg{{Name: "name", Type: xrl.TypeText}}},
 		{Name: "disable_peer", Args: []Arg{{Name: "name", Type: xrl.TypeText}}},
@@ -49,6 +50,9 @@ type BGPPeerConfig struct {
 	PeerAS    uint16
 	DialAddr  string
 	HoldTime  time.Duration
+	// Group names a peer group whose members share one output branch and
+	// a single shared encode per outbound UPDATE ("" = no group).
+	Group string
 }
 
 // BGPServer is the typed implementation contract for bgp/1.0.
@@ -99,6 +103,7 @@ func BindBGP(t *xipc.Target, s BGPServer) {
 		}
 		dial, _ := args.TextArg("dial")
 		holdTime, _ := args.U32Arg("holdtime")
+		group, _ := args.TextArg("group")
 		return nil, s.AddPeer(BGPPeerConfig{
 			Name:      name,
 			LocalAddr: localAddr,
@@ -106,6 +111,7 @@ func BindBGP(t *xipc.Target, s BGPServer) {
 			PeerAS:    uint16(as),
 			DialAddr:  dial,
 			HoldTime:  time.Duration(holdTime) * time.Second,
+			Group:     group,
 		})
 	})
 	b.handle("enable_peer", func(args xrl.Args) (xrl.Args, error) {
@@ -176,6 +182,9 @@ func (c *BGPClient) AddPeer(cfg BGPPeerConfig, done func(error)) {
 	}
 	if cfg.HoldTime > 0 {
 		args = append(args, xrl.U32("holdtime", uint32(cfg.HoldTime/time.Second)))
+	}
+	if cfg.Group != "" {
+		args = append(args, xrl.Text("group", cfg.Group))
 	}
 	c.call("add_peer", Done(done), args...)
 }
