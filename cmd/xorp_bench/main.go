@@ -27,6 +27,7 @@ import (
 
 	"xorp/internal/bench"
 	"xorp/internal/ospf"
+	"xorp/internal/telemetry"
 	"xorp/internal/workload"
 )
 
@@ -35,7 +36,22 @@ func main() {
 	quick := flag.Bool("quick", false, "scale the full-table experiments down (20k routes)")
 	points := flag.Bool("points", false, "also dump per-route data points (gnuplot style)")
 	fig9json := flag.String("fig9json", "", "write the fig9 results as JSON to this file (see BENCH_fig9.json)")
+	trace := flag.Bool("trace", false, "with -experiment tableload: run the full BGP->FIB pipeline with per-stage latency tracing")
+	traceShift := flag.Uint("trace-shift", 6, "with -trace: sample 1 in 2^shift routes")
+	traceCSV := flag.String("trace-csv", "", "with -trace: also write the raw sampled traces as CSV to this file")
+	grid := flag.String("grid", "", "run a named experiment grid from -grid-spec (e.g. quick, full) instead of -experiment")
+	gridSpec := flag.String("grid-spec", "experiments.json", "grid definition file")
+	gridOut := flag.String("grid-out", "", "write the grid summary CSV to this file (default: stdout only)")
+	gridRepeats := flag.Int("grid-repeats", 0, "override every cell's repeat count (0 = use the spec)")
 	flag.Parse()
+
+	if *grid != "" {
+		if err := runGrid(*gridSpec, *grid, *gridOut, *gridRepeats); err != nil {
+			fmt.Fprintf(os.Stderr, "xorp_bench: grid %s: %v\n", *grid, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	preload := workload.FullTableSize
 	testN := 255
@@ -167,6 +183,21 @@ func main() {
 
 	run("tableload", func() error {
 		n := preload
+		if *trace {
+			fmt.Printf("Traced pipeline table load (%d routes, 1 in %d sampled)\n", n, 1<<*traceShift)
+			res, err := bench.RunTableLoadTraced(n, *traceShift)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatTableLoadTraced(res))
+			if *traceCSV != "" {
+				if err := os.WriteFile(*traceCSV, []byte(telemetry.WriteCSV(res.Traces)), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *traceCSV)
+			}
+			return nil
+		}
 		fmt.Printf("Full-table RIB load, seed single-route path vs batch fast path (%d routes)\n", n)
 		single, err := bench.RunTableLoad(n, false)
 		if err != nil {
@@ -238,4 +269,36 @@ func main() {
 		fmt.Printf("BGP + RIB process heap:  %8.1f MB\n", res.BGPAndRIBHeapMB)
 		return nil
 	})
+}
+
+// runGrid executes the named experiment grid and emits the summary CSV
+// (stdout, plus -grid-out when set).
+func runGrid(spec, name, out string, repeats int) error {
+	cells, err := bench.LoadGrid(spec, name)
+	if err != nil {
+		return err
+	}
+	if repeats > 0 {
+		for i := range cells {
+			cells[i].Repeats = repeats
+		}
+	}
+	fmt.Printf("grid %q: %d cells from %s\n", name, len(cells), spec)
+	start := time.Now()
+	rows, err := bench.RunGrid(cells, func(s string) {
+		fmt.Fprintf(os.Stderr, "  %s\n", s)
+	})
+	if err != nil {
+		return err
+	}
+	csv := bench.WriteGridCSV(rows)
+	fmt.Print(csv)
+	fmt.Printf("grid %q: %d rows in %v\n", name, len(rows), time.Since(start).Round(time.Millisecond))
+	if out != "" {
+		if err := os.WriteFile(out, []byte(csv), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
 }

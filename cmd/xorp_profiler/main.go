@@ -2,17 +2,31 @@
 // process over XRLs (paper §8.2): enable, disable, clear, list, and fetch
 // time-stamped records. It drives the typed profile/0.1 client stub.
 //
+// It is also the ops-plane scrape tool for the stats/0.1 metrics
+// registries every process exposes: `stats` prints one Prometheus-style
+// plaintext scrape, `-watch <interval>` prints metric deltas (rates for
+// _total counters) until interrupted, and `-serve <addr>` re-exports a
+// target's registry as an HTTP /metrics endpoint.
+//
 // Usage:
 //
 //	xorp_profiler [-finder addr] -target bgp list
 //	xorp_profiler [-finder addr] -target bgp enable route_ribin
 //	xorp_profiler [-finder addr] -target bgp get route_ribin
+//	xorp_profiler [-finder addr] -target bgp stats
+//	xorp_profiler [-finder addr] -target bgp -watch 1s stats
+//	xorp_profiler [-finder addr] -target bgp -serve 127.0.0.1:9100 stats
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"xorp/internal/eventloop"
 	"xorp/internal/xif"
@@ -23,9 +37,12 @@ import (
 func main() {
 	finderAddr := flag.String("finder", "127.0.0.1:19999", "Finder TCP address")
 	targetName := flag.String("target", "", "profiled component (bgp, rib, fea)")
+	watch := flag.Duration("watch", 0, "with stats: rescrape every interval, printing deltas/rates")
+	serve := flag.String("serve", "", "with stats: serve the scrape as HTTP /metrics on this address")
+	watchCount := flag.Int("watch-count", 0, "with -watch: stop after N rescrapes (0 = forever)")
 	flag.Parse()
 	if *targetName == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: xorp_profiler -target <name> (list | enable <pt> | disable <pt> | clear <pt> | get <pt>)")
+		fmt.Fprintln(os.Stderr, "usage: xorp_profiler -target <name> (list | enable <pt> | disable <pt> | clear <pt> | get <pt> | stats [metric])")
 		os.Exit(2)
 	}
 
@@ -84,9 +101,132 @@ func main() {
 			}
 			done <- wrapErr(err)
 		})
+	case "stats":
+		stats := xif.NewStatsClient(router, *targetName)
+		switch {
+		case *serve != "":
+			fail(serveStats(stats, *serve))
+			return
+		case *watch > 0:
+			fail(watchStats(stats, *watch, *watchCount))
+			return
+		case flag.NArg() == 2:
+			stats.Get(flag.Arg(1), func(found bool, value float64, err *xrl.Error) {
+				if err == nil {
+					if !found {
+						done <- fmt.Errorf("no metric %q on %s", flag.Arg(1), *targetName)
+						return
+					}
+					fmt.Println(value)
+				}
+				done <- wrapErr(err)
+			})
+		default:
+			stats.Scrape(func(lines []string, err *xrl.Error) {
+				if err == nil {
+					for _, l := range lines {
+						fmt.Println(l)
+					}
+				}
+				done <- wrapErr(err)
+			})
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "xorp_profiler: unknown verb %q\n", verb)
 		os.Exit(2)
 	}
 	fail(<-done)
+}
+
+// scrapeValues fetches one scrape and parses it into name -> value,
+// skipping comment lines.
+func scrapeValues(stats *xif.StatsClient) (map[string]float64, error) {
+	ch := make(chan error, 1)
+	vals := make(map[string]float64)
+	stats.Scrape(func(lines []string, err *xrl.Error) {
+		if err != nil {
+			ch <- err
+			return
+		}
+		for _, l := range lines {
+			if strings.HasPrefix(l, "#") {
+				continue
+			}
+			name, raw, ok := strings.Cut(l, " ")
+			if !ok {
+				continue
+			}
+			if v, perr := strconv.ParseFloat(strings.TrimSpace(raw), 64); perr == nil {
+				vals[name] = v
+			}
+		}
+		ch <- nil
+	})
+	return vals, <-ch
+}
+
+// watchStats rescrapes every interval and prints what changed since the
+// previous scrape: per-second rates for _total counters (the registry's
+// counter naming convention), raw deltas for everything else. count == 0
+// watches forever.
+func watchStats(stats *xif.StatsClient, interval time.Duration, count int) error {
+	prev, err := scrapeValues(stats)
+	if err != nil {
+		return err
+	}
+	last := time.Now()
+	for i := 0; count == 0 || i < count; i++ {
+		time.Sleep(interval)
+		cur, err := scrapeValues(stats)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		dt := now.Sub(last).Seconds()
+		last = now
+
+		names := make([]string, 0, len(cur))
+		for n := range cur {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("--- %s\n", now.Format(time.TimeOnly))
+		for _, n := range names {
+			v := cur[n]
+			if strings.HasSuffix(n, "_total") {
+				fmt.Printf("%-32s %12.1f/s\n", n, (v-prev[n])/dt)
+			} else if d := v - prev[n]; d != 0 {
+				fmt.Printf("%-32s %12v (%+g)\n", n, v, d)
+			} else {
+				fmt.Printf("%-32s %12v\n", n, v)
+			}
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// serveStats re-exports the target's registry as a Prometheus-style
+// plaintext HTTP endpoint: each GET /metrics triggers one live scrape.
+func serveStats(stats *xif.StatsClient, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		ch := make(chan error, 1)
+		stats.Scrape(func(lines []string, err *xrl.Error) {
+			if err != nil {
+				ch <- err
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			for _, l := range lines {
+				fmt.Fprintln(w, l)
+			}
+			ch <- nil
+		})
+		if err := <-ch; err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		}
+	})
+	fmt.Printf("serving /metrics on %s\n", addr)
+	return http.ListenAndServe(addr, mux)
 }

@@ -1,6 +1,10 @@
 package bgp
 
-import "net/netip"
+import (
+	"net/netip"
+
+	"xorp/internal/telemetry"
+)
 
 // Decision is the simple decision-process stage of Figure 5: stripped of
 // nexthop resolution (done upstream) and fanout (done downstream), it only
@@ -13,6 +17,10 @@ import "net/netip"
 type Decision struct {
 	base
 	parents []Stage
+
+	// tracer, when set and enabled, stamps StageDecision as winners emit
+	// downstream (nil-safe; losers are never stamped).
+	tracer *telemetry.Tracer
 }
 
 // NewDecision returns an empty decision stage.
@@ -70,6 +78,9 @@ func (d *Decision) Add(r *Route) {
 	if d.next == nil {
 		return
 	}
+	if d.tracer.Enabled() {
+		d.tracer.Stamp(telemetry.StageDecision, r.Net)
+	}
 	if prevBest == nil {
 		d.next.Add(r)
 	} else {
@@ -98,6 +109,9 @@ func (d *Decision) AddRun(rs []*Route) {
 		prevBest := d.bestExcluding(r.Net, r)
 		if !usable(r) || !r.Better(prevBest) {
 			continue // loser: never materialized downstream
+		}
+		if d.tracer.Enabled() {
+			d.tracer.Stamp(telemetry.StageDecision, r.Net)
 		}
 		if prevBest == nil {
 			if win == nil {
@@ -150,11 +164,17 @@ func (d *Decision) emitTransition(net netip.Prefix, prev, next *Route) {
 	switch {
 	case prev == nil && next == nil:
 	case prev == nil:
+		if d.tracer.Enabled() {
+			d.tracer.Stamp(telemetry.StageDecision, next.Net)
+		}
 		d.next.Add(next)
 	case next == nil:
 		d.next.Delete(prev)
 	case SameRoute(prev, next):
 	default:
+		if d.tracer.Enabled() {
+			d.tracer.Stamp(telemetry.StageDecision, next.Net)
+		}
 		d.next.Replace(prev, next)
 	}
 }

@@ -344,8 +344,11 @@ func (p *Peer) handleUpdate(u *UpdateMsg) {
 	}
 	p.statsUpdates++
 	p.armHoldTimer(p.holdTime)
-	if p.proc != nil {
+	if p.proc != nil && p.proc.profEnter.Enabled() {
 		p.proc.profEnter.Logf("add %v", firstNet(u))
+	}
+	if p.proc != nil {
+		p.proc.mUpdates.Inc()
 	}
 	p.peerin.ReceiveUpdate(u, p.proc.cfg.AS)
 }

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"xorp/internal/eventloop"
+	"xorp/internal/telemetry"
 	"xorp/internal/trie"
 )
 
@@ -23,6 +24,9 @@ type PeerIn struct {
 	// AddRun. Cleared by the differential-oracle tests to force the
 	// legacy per-route path.
 	batch bool
+	// tracer, when set and enabled, opens a RouteTrace at StagePeerIn as
+	// each announced prefix lands in the table (nil-safe).
+	tracer *telemetry.Tracer
 }
 
 // NewPeerIn returns the input stage for peer. pool may be nil to store
@@ -93,6 +97,9 @@ func (p *PeerIn) ReceiveUpdate(m *UpdateMsg, localAS uint16) {
 		r := &Route{Net: net, Attrs: attrs, Src: p.peer}
 		p.tbl.Insert(net, r)
 		p.pool.Retain(attrs)
+		if p.tracer.Enabled() {
+			p.tracer.Stamp(telemetry.StagePeerIn, net)
+		}
 		if p.next != nil {
 			run = append(run, r)
 		}
@@ -108,6 +115,9 @@ func (p *PeerIn) Announce(net netip.Prefix, attrs *PathAttrs) {
 	r := &Route{Net: net.Masked(), Attrs: attrs, Src: p.peer}
 	old, existed := p.tbl.Get(r.Net)
 	p.tbl.Insert(r.Net, r)
+	if p.tracer.Enabled() {
+		p.tracer.Stamp(telemetry.StagePeerIn, r.Net)
+	}
 	if existed {
 		p.pool.Release(old.Attrs)
 	}

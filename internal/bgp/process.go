@@ -8,6 +8,7 @@ import (
 	"xorp/internal/core"
 	"xorp/internal/eventloop"
 	"xorp/internal/profiler"
+	"xorp/internal/telemetry"
 	"xorp/internal/xif"
 	"xorp/internal/xipc"
 	"xorp/internal/xrl"
@@ -58,6 +59,13 @@ type Process struct {
 	profQueue *profiler.Point // "route_queued_rib": queued for RIB
 	profSent  *profiler.Point // "route_sent_rib": handed to the transport
 
+	// tracer, when set and enabled, stamps StagePeerIn as UPDATEs land in
+	// the peer-in tables and StageDecision as winners emit downstream.
+	tracer *telemetry.Tracer
+
+	metrics  *telemetry.Registry
+	mUpdates *telemetry.Counter // bgp_updates_total
+
 	cache    *CacheStage
 	listener net.Listener
 }
@@ -86,6 +94,26 @@ func NewProcess(loop *eventloop.Loop, cfg Config, ribClient RIBClient, metricSrc
 	p.profSent = p.prof.Point("route_sent_rib")
 	Plumb(p.decision, p.fanout)
 
+	// Live metrics. Scrapes arrive through the stats/0.1 XRL handler,
+	// which runs on the process loop, so gauge funcs may read
+	// loop-confined state (the peers map); queue depth and the IO
+	// counters are atomic/mutexed and safe from anywhere.
+	p.metrics = telemetry.NewRegistry()
+	p.mUpdates = p.metrics.Counter("bgp_updates_total", "UPDATE messages processed")
+	p.metrics.GaugeFunc("bgp_peers", "configured peerings",
+		func() float64 { return float64(len(p.peers)) })
+	p.metrics.GaugeFunc("bgp_peerin_routes", "routes stored across peer-in tables",
+		func() float64 {
+			n := p.localIn.Len()
+			for _, peer := range p.peers {
+				n += peer.peerin.Len()
+			}
+			return float64(n)
+		})
+	p.metrics.GaugeFunc("bgp_queue_depth", "event-loop input backlog",
+		func() float64 { return float64(loop.QueueDepth()) })
+	xipc.RegisterIOMetrics(p.metrics)
+
 	// The RIB branch of the fanout, optionally behind a consistency cache.
 	var ribHead Stage
 	ribSink := &ribSinkStage{base: base{name: "rib-branch"}, proc: p}
@@ -98,13 +126,19 @@ func NewProcess(loop *eventloop.Loop, cfg Config, ribClient RIBClient, metricSrc
 	p.fanout.AddSinkBranch("rib", func(op core.Op, old, new *Route) bool {
 		switch op {
 		case core.OpAdd:
-			p.profQueue.Logf("add %v", new.Net)
+			if p.profQueue.Enabled() {
+				p.profQueue.Logf("add %v", new.Net)
+			}
 			ribHead.Add(new)
 		case core.OpReplace:
-			p.profQueue.Logf("replace %v", new.Net)
+			if p.profQueue.Enabled() {
+				p.profQueue.Logf("replace %v", new.Net)
+			}
 			ribHead.Replace(old, new)
 		case core.OpDelete:
-			p.profQueue.Logf("delete %v", old.Net)
+			if p.profQueue.Enabled() {
+				p.profQueue.Logf("delete %v", old.Net)
+			}
 			ribHead.Delete(old)
 		}
 		return true
@@ -124,6 +158,21 @@ func (p *Process) Loop() *eventloop.Loop { return p.loop }
 
 // Profiler returns the process profiler.
 func (p *Process) Profiler() *profiler.Profiler { return p.prof }
+
+// SetTracer wires the route-latency tracer into the peer-in stages
+// (StagePeerIn, the trace origin) and the decision stage
+// (StageDecision). Call at assembly time, before routes flow.
+func (p *Process) SetTracer(tr *telemetry.Tracer) {
+	p.tracer = tr
+	p.decision.tracer = tr
+	p.localIn.tracer = tr
+	for _, peer := range p.peers {
+		peer.peerin.tracer = tr
+	}
+}
+
+// Metrics returns the process's live metrics registry.
+func (p *Process) Metrics() *telemetry.Registry { return p.metrics }
 
 // Fanout returns the fanout stage (tests, flow control).
 func (p *Process) Fanout() *Fanout { return p.fanout }
@@ -169,7 +218,9 @@ func (s *ribSinkStage) Add(r *Route) {
 	if s.proc.ribClient == nil {
 		return
 	}
-	s.proc.profSent.Logf("add %v", r.Net)
+	if s.proc.profSent.Enabled() {
+		s.proc.profSent.Logf("add %v", r.Net)
+	}
 	s.proc.ribClient.AddRoute(r, nil)
 }
 
@@ -177,7 +228,9 @@ func (s *ribSinkStage) Replace(old, new *Route) {
 	if s.proc.ribClient == nil {
 		return
 	}
-	s.proc.profSent.Logf("replace %v", new.Net)
+	if s.proc.profSent.Enabled() {
+		s.proc.profSent.Logf("replace %v", new.Net)
+	}
 	s.proc.ribClient.ReplaceRoute(old, new, nil)
 }
 
@@ -185,7 +238,9 @@ func (s *ribSinkStage) Delete(r *Route) {
 	if s.proc.ribClient == nil {
 		return
 	}
-	s.proc.profSent.Logf("delete %v", r.Net)
+	if s.proc.profSent.Enabled() {
+		s.proc.profSent.Logf("delete %v", r.Net)
+	}
 	s.proc.ribClient.DeleteRoute(r, nil)
 }
 
@@ -220,6 +275,7 @@ func (p *Process) AddPeer(cfg PeerConfig) (*Peer, error) {
 		},
 	}
 	peer.peerin = NewPeerIn(p.loop, peer.handle, p.pool)
+	peer.peerin.tracer = p.tracer
 	inFilter := NewFilterBank("in-filter(" + cfg.Name + ")")
 	resolver := NewNexthopResolver("nexthop("+cfg.Name+")", p.metricSrc)
 	if p.cfg.EnableDamping {
@@ -371,7 +427,9 @@ func (p *Process) Originate(net netip.Prefix, nexthop netip.Addr, med uint32) {
 		MED:     med,
 		HasMED:  med != 0,
 	}
-	p.profEnter.Logf("add %v", net)
+	if p.profEnter.Enabled() {
+		p.profEnter.Logf("add %v", net)
+	}
 	p.localIn.Announce(net, attrs)
 }
 
@@ -388,7 +446,10 @@ func (p *Process) InjectUpdate(peerName string, u *UpdateMsg) error {
 	if !ok {
 		return fmt.Errorf("bgp: unknown peer %q", peerName)
 	}
-	p.profEnter.Logf("add %v", firstNet(u))
+	if p.profEnter.Enabled() {
+		p.profEnter.Logf("add %v", firstNet(u))
+	}
+	p.mUpdates.Inc()
 	peer.peerin.ReceiveUpdate(u, p.cfg.AS)
 	return nil
 }
@@ -525,5 +586,6 @@ func (p *Process) RegisterXRLs(t *xipc.Target) {
 	srv := bgpServer{p}
 	xif.BindBGP(t, srv)
 	xif.BindRIBNotify(t, srv)
+	xif.BindStatsRegistry(t, p.metrics.RenderLines, p.metrics.Get)
 	p.prof.RegisterXRLs(t)
 }

@@ -10,6 +10,7 @@ import (
 
 	"xorp/internal/eventloop"
 	"xorp/internal/kernel"
+	"xorp/internal/telemetry"
 )
 
 // Failure is one way to hurt the network.
@@ -65,6 +66,15 @@ type Result struct {
 	// fabric the p50 node reroutes instantly while the p99 corner
 	// rides out the full detection timer.
 	BlackP50, BlackP95, BlackP99 time.Duration
+
+	// PubSamples and PubP50/P95/P99 come from the route-latency
+	// tracer: the wall-clock apply→snapshot-publish tail of every
+	// route push the scenario's nodes performed (origin
+	// StageFIBApply). Unlike the sim-clock outage columns these are
+	// real nanoseconds — the cost of making a route visible to the
+	// forwarding workers during churn.
+	PubSamples             int
+	PubP50, PubP95, PubP99 time.Duration
 }
 
 // Scenario timing. Sim-clock scenarios replay hundreds of simulated
@@ -147,6 +157,7 @@ type runner struct {
 	sampling bool
 	black    time.Duration
 	blackPer []time.Duration // per-node outage, indexed by node
+	tracer   *telemetry.Tracer
 }
 
 func newRunner(spec Spec) (*runner, error) {
@@ -160,6 +171,12 @@ func newRunner(spec Spec) (*runner, error) {
 		failed:   make(map[[2]int]bool),
 		blackPer: make([]time.Duration, t.N),
 	}
+	// Apply→publish tail tracer, shared across every node's publisher:
+	// chaos pushes few routes, so sample them all.
+	r.tracer = telemetry.NewTracer()
+	r.tracer.SetOrigin(telemetry.StageFIBApply)
+	r.tracer.SetSampleShift(0)
+	r.tracer.Enable()
 	netw := kernel.NewNetwork()
 	netw.SetDropFunc(r.drop)
 	for i := 0; i < t.N; i++ {
@@ -168,6 +185,8 @@ func newRunner(spec Spec) (*runner, error) {
 		if err != nil {
 			return nil, err
 		}
+		n.rec.tracer = r.tracer
+		n.rec.pub.SetTracer(r.tracer)
 		r.nodes = append(r.nodes, n)
 		r.nodeOf[addr] = i
 	}
@@ -380,7 +399,29 @@ func Run(spec Spec) Result {
 	}
 	res.Blackhole = r.black
 	res.BlackP50, res.BlackP95, res.BlackP99 = r.blackPercentiles()
+	res.PubSamples, res.PubP50, res.PubP95, res.PubP99 = r.pubLatencies()
 	return res
+}
+
+// pubLatencies reduces the tracer's apply→publish tail traces to
+// percentiles of the wall-clock route-publication cost.
+func (r *runner) pubLatencies() (n int, p50, p95, p99 time.Duration) {
+	traces := r.tracer.Take()
+	deltas := make([]float64, 0, len(traces))
+	for i := range traces {
+		a, b := traces[i].T[telemetry.StageFIBApply], traces[i].T[telemetry.StageSnapPub]
+		if a > 0 && b >= a {
+			deltas = append(deltas, float64(b-a))
+		}
+	}
+	if len(deltas) == 0 {
+		return
+	}
+	sort.Float64s(deltas)
+	return len(deltas),
+		time.Duration(telemetry.Percentile(deltas, 50)),
+		time.Duration(telemetry.Percentile(deltas, 95)),
+		time.Duration(telemetry.Percentile(deltas, 99))
 }
 
 // blackPercentiles summarises the per-node outage distribution over
@@ -440,8 +481,8 @@ func RunMatrix(specs []Spec) []Result {
 // seconds; "blackhole" is the forwarding outage the failure caused).
 func FormatTable(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-9s %5s  %-5s %-12s %9s %9s %10s %7s %7s %7s  %s\n",
-		"topology", "nodes", "proto", "failure", "initial", "recovery", "blackhole", "p50", "p95", "p99", "status")
+	fmt.Fprintf(&b, "%-9s %5s  %-5s %-12s %9s %9s %10s %7s %7s %7s %9s %9s  %s\n",
+		"topology", "nodes", "proto", "failure", "initial", "recovery", "blackhole", "p50", "p95", "p99", "pub p50", "pub p99", "status")
 	for _, r := range results {
 		status := "ok"
 		switch {
@@ -450,12 +491,21 @@ func FormatTable(results []Result) string {
 		case !r.Recovered:
 			status = "did not reconverge"
 		}
-		fmt.Fprintf(&b, "%-9s %5d  %-5s %-12s %9s %9s %10s %7s %7s %7s  %s\n",
+		fmt.Fprintf(&b, "%-9s %5d  %-5s %-12s %9s %9s %10s %7s %7s %7s %9s %9s  %s\n",
 			r.Topology, r.Nodes, r.Protocol, r.Failure,
 			fmtDur(r.Initial, r.Converged), fmtDur(r.Recovery, r.Recovered), fmtDur(r.Blackhole, r.Converged),
-			fmtDur(r.BlackP50, r.Converged), fmtDur(r.BlackP95, r.Converged), fmtDur(r.BlackP99, r.Converged), status)
+			fmtDur(r.BlackP50, r.Converged), fmtDur(r.BlackP95, r.Converged), fmtDur(r.BlackP99, r.Converged),
+			fmtMicros(r.PubP50, r.PubSamples > 0), fmtMicros(r.PubP99, r.PubSamples > 0), status)
 	}
 	return b.String()
+}
+
+// fmtMicros renders a wall-clock trace latency in microseconds.
+func fmtMicros(d time.Duration, valid bool) string {
+	if !valid {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
 }
 
 func fmtDur(d time.Duration, valid bool) string {

@@ -11,6 +11,7 @@ import (
 	"xorp/internal/ospf"
 	"xorp/internal/rip"
 	"xorp/internal/route"
+	"xorp/internal/telemetry"
 )
 
 // ribRec stands in for a node's RIB+FIB: it publishes the protocol's
@@ -23,9 +24,19 @@ import (
 // the graceful-restart property the process-kill scenario measures.
 type ribRec struct {
 	pub *fwd.Publisher
+	// tracer, when wired, opens an apply→publish tail trace for every
+	// route push (origin StageFIBApply); the publisher completes it at
+	// StageSnapPub. Wall-clock, not sim-clock: it measures the real cost
+	// of making a route visible to the data plane.
+	tracer *telemetry.Tracer
 }
 
-func (r *ribRec) AddRoute(e route.Entry)       { r.pub.FIBAdd(e) }
+func (r *ribRec) AddRoute(e route.Entry) {
+	if r.tracer.Enabled() {
+		r.tracer.Stamp(telemetry.StageFIBApply, e.Net)
+	}
+	r.pub.FIBAdd(e)
+}
 func (r *ribRec) DeleteRoute(net netip.Prefix) { r.pub.FIBDelete(route.Entry{Net: net}) }
 
 // Snapshot returns the node's current published forwarding table.

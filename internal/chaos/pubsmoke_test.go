@@ -1,0 +1,27 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPubLatencyColumns pins the trace-derived columns of the chaos
+// matrix: a converged scenario collects apply→publish tail samples from
+// every node's route pushes, percentiles are ordered, and FormatTable
+// renders them.
+func TestPubLatencyColumns(t *testing.T) {
+	res := Run(Spec{Topology: LAN3(), Protocol: "ospf", Failure: LinkLoss})
+	if res.Note != "" {
+		t.Fatalf("scenario failed: %s", res.Note)
+	}
+	if res.PubSamples == 0 {
+		t.Fatal("no publish-latency samples collected")
+	}
+	if res.PubP50 < 0 || res.PubP50 > res.PubP95 || res.PubP95 > res.PubP99 {
+		t.Fatalf("pub percentiles out of order: %v %v %v", res.PubP50, res.PubP95, res.PubP99)
+	}
+	out := FormatTable([]Result{res})
+	if !strings.Contains(out, "pub p50") || !strings.Contains(out, "µs") {
+		t.Fatalf("table missing pub latency columns:\n%s", out)
+	}
+}

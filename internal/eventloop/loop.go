@@ -65,6 +65,15 @@ func (l *Loop) DispatchAndWait(fn func()) {
 	<-done
 }
 
+// QueueDepth returns the number of dispatched events not yet run — the
+// loop's input backlog. Safe from any goroutine (the ops plane scrapes
+// it as a per-process queue-depth gauge).
+func (l *Loop) QueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
 func (l *Loop) signal() {
 	select {
 	case l.wake <- struct{}{}:

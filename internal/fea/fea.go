@@ -18,6 +18,7 @@ import (
 	"xorp/internal/profiler"
 	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/telemetry"
 	"xorp/internal/xif"
 	"xorp/internal/xipc"
 )
@@ -41,6 +42,13 @@ type Process struct {
 	prof       *profiler.Profiler
 	profArrive *profiler.Point // "route_arrive_fea"
 	profKernel *profiler.Point // "route_enter_kernel"
+
+	// tracer, when set and enabled, receives the StageFIBApply stamp as
+	// each entry lands in the kernel-shaped backend.
+	tracer *telemetry.Tracer
+
+	metrics  *telemetry.Registry
+	mApplies *telemetry.Counter // fea_fib_writes_total
 }
 
 // New returns an FEA bound to fib. host may be nil (no packet relay);
@@ -60,6 +68,19 @@ func New(loop *eventloop.Loop, fib *kernel.FIB, host *kernel.Host, router *xipc.
 	if router != nil {
 		p.recvPush = xif.NewFEAUDPRecvClient(router)
 	}
+
+	// Live metrics. The kernel FIB is mutexed and the snapshot chain is
+	// an atomic load, so every gauge here is safe from any scrape
+	// goroutine, not just the process loop.
+	p.metrics = telemetry.NewRegistry()
+	p.mApplies = p.metrics.Counter("fea_fib_writes_total", "forwarding entries written to the backend")
+	p.metrics.GaugeFunc("fea_fib_entries", "entries installed in the kernel FIB",
+		func() float64 { return float64(p.fib.Len()) })
+	p.metrics.GaugeFunc("fea_snapshot_gen", "published forwarding snapshot generation",
+		func() float64 { return float64(p.backend.Current().Gen()) })
+	p.metrics.GaugeFunc("fea_queue_depth", "event-loop input backlog",
+		func() float64 { return float64(loop.QueueDepth()) })
+	xipc.RegisterIOMetrics(p.metrics)
 	return p
 }
 
@@ -68,6 +89,20 @@ func (p *Process) Loop() *eventloop.Loop { return p.loop }
 
 // Profiler returns the process profiler.
 func (p *Process) Profiler() *profiler.Profiler { return p.prof }
+
+// Metrics returns the process's live metrics registry.
+func (p *Process) Metrics() *telemetry.Registry { return p.metrics }
+
+// SetTracer wires the route-latency tracer: the FEA stamps StageFIBApply
+// as entries land in the backend, and forwards the tracer to the backend
+// (which stamps StageSnapPub at snapshot publication). Call at assembly
+// time, before routes flow.
+func (p *Process) SetTracer(tr *telemetry.Tracer) {
+	p.tracer = tr
+	if bt, ok := p.backend.(interface{ SetTracer(*telemetry.Tracer) }); ok {
+		bt.SetTracer(tr)
+	}
+}
 
 // FIB returns the underlying forwarding table.
 func (p *Process) FIB() *kernel.FIB { return p.fib }
@@ -92,6 +127,10 @@ func (p *Process) AddEntry(e route.Entry) error {
 	if p.profArrive.Enabled() {
 		p.profArrive.Logf("add %v", e.Net)
 	}
+	if p.tracer.Enabled() {
+		p.tracer.Stamp(telemetry.StageFIBApply, e.Net)
+	}
+	p.mApplies.Inc()
 	err := p.backend.ApplyEntry(e)
 	if err == nil && p.profKernel.Enabled() {
 		p.profKernel.Logf("add %v", e.Net)
@@ -107,6 +146,7 @@ func (p *Process) DeleteEntry(net netip.Prefix) error {
 	if !p.backend.RemoveEntry(net) {
 		return fmt.Errorf("fea: no FIB entry %v", net)
 	}
+	p.mApplies.Inc()
 	if p.profKernel.Enabled() {
 		p.profKernel.Logf("delete %v", net)
 	}
@@ -130,6 +170,16 @@ func (p *Process) ApplyBatch(b *rib.FIBBatch) error {
 			}
 		})
 	}
+	if p.tracer.Enabled() {
+		p.tracer.StampBatch(telemetry.StageFIBApply, func(yield func(netip.Prefix)) {
+			b.Ops(func(op rib.FIBOp) {
+				if op.Kind == rib.FIBOpAdd || op.Kind == rib.FIBOpReplace {
+					yield(op.New.Net)
+				}
+			})
+		})
+	}
+	p.mApplies.Add(uint64(b.Len()))
 	err := p.backend.Apply(b)
 	if p.profKernel.Enabled() {
 		b.Ops(func(op rib.FIBOp) {
@@ -313,5 +363,6 @@ func (p *Process) RegisterXRLs(t *xipc.Target) {
 	xif.BindFTI(t, srv)
 	xif.BindIfMgr(t, srv)
 	xif.BindFEAUDP(t, srv)
+	xif.BindStatsRegistry(t, p.metrics.RenderLines, p.metrics.Get)
 	p.prof.RegisterXRLs(t)
 }

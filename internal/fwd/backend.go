@@ -6,6 +6,7 @@ import (
 	"xorp/internal/kernel"
 	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/telemetry"
 )
 
 // Backend is the seam between the FEA's control-plane writes and a real
@@ -56,6 +57,10 @@ func NewSimBackend(fib *kernel.FIB) *SimBackend {
 
 // Name implements Backend.
 func (b *SimBackend) Name() string { return "sim" }
+
+// SetTracer wires the route-latency tracer into the backend's snapshot
+// publisher (the StageSnapPub trace point).
+func (b *SimBackend) SetTracer(tr *telemetry.Tracer) { b.pub.SetTracer(tr) }
 
 // FIB returns the underlying simulated kernel table.
 func (b *SimBackend) FIB() *kernel.FIB { return b.fib }

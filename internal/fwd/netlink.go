@@ -9,6 +9,7 @@ import (
 
 	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/telemetry"
 )
 
 // NetlinkBackend serializes the same batches the SimBackend applies into
@@ -59,6 +60,10 @@ func NewNetlinkBackend(w io.Writer) *NetlinkBackend {
 
 // Name implements Backend.
 func (b *NetlinkBackend) Name() string { return "netlink" }
+
+// SetTracer wires the route-latency tracer into the backend's snapshot
+// publisher (the StageSnapPub trace point).
+func (b *NetlinkBackend) SetTracer(tr *telemetry.Tracer) { b.pub.SetTracer(tr) }
 
 // Current implements Source.
 func (b *NetlinkBackend) Current() *Snapshot { return b.pub.Current() }

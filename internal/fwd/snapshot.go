@@ -7,6 +7,7 @@ import (
 
 	"xorp/internal/rib"
 	"xorp/internal/route"
+	"xorp/internal/telemetry"
 	"xorp/internal/trie"
 )
 
@@ -65,6 +66,11 @@ type Publisher struct {
 	cur atomic.Pointer[Snapshot]
 
 	mu sync.Mutex // serializes Apply/FIB* writers
+
+	// tracer, when set and enabled, receives the StageSnapPub stamp for
+	// every added/replaced prefix the moment its snapshot is published —
+	// the end of a RouteTrace. Set at assembly time, before traffic.
+	tracer *telemetry.Tracer
 }
 
 // NewPublisher returns a publisher holding the empty generation-0
@@ -78,6 +84,10 @@ func NewPublisher() *Publisher {
 // Current returns the latest published snapshot. Safe from any
 // goroutine; the result is immutable.
 func (p *Publisher) Current() *Snapshot { return p.cur.Load() }
+
+// SetTracer wires the route-latency tracer stamped at snapshot
+// publication. Call at assembly time, before traffic flows.
+func (p *Publisher) SetTracer(tr *telemetry.Tracer) { p.tracer = tr }
 
 // Apply derives the next snapshot from the current one by applying the
 // batch's net operations and publishes it. The whole batch becomes
@@ -97,6 +107,15 @@ func (p *Publisher) Apply(b *rib.FIBBatch) *Snapshot {
 	})
 	next := &Snapshot{gen: old.gen + 1, tbl: tbl}
 	p.cur.Store(next)
+	if p.tracer.Enabled() {
+		p.tracer.StampBatch(telemetry.StageSnapPub, func(yield func(netip.Prefix)) {
+			b.Ops(func(op rib.FIBOp) {
+				if op.Kind == rib.FIBOpAdd || op.Kind == rib.FIBOpReplace {
+					yield(op.New.Net)
+				}
+			})
+		})
+	}
 	return next
 }
 
@@ -113,6 +132,9 @@ func (p *Publisher) FIBAdd(e route.Entry) {
 	p.publish1(func(t *trie.Persistent[route.Entry]) *trie.Persistent[route.Entry] {
 		return t.Insert(e.Net, e)
 	})
+	if p.tracer.Enabled() {
+		p.tracer.Stamp(telemetry.StageSnapPub, e.Net)
+	}
 }
 
 // FIBReplace implements rib.FIBClient.
@@ -120,6 +142,9 @@ func (p *Publisher) FIBReplace(_, new route.Entry) {
 	p.publish1(func(t *trie.Persistent[route.Entry]) *trie.Persistent[route.Entry] {
 		return t.Insert(new.Net, new)
 	})
+	if p.tracer.Enabled() {
+		p.tracer.Stamp(telemetry.StageSnapPub, new.Net)
+	}
 }
 
 // FIBDelete implements rib.FIBClient.

@@ -2,80 +2,15 @@ package fwd
 
 import (
 	"fmt"
-	"math"
+
+	"xorp/internal/telemetry"
 )
 
-// RunningStat accumulates count/min/max/mean/variance online (Welford's
-// algorithm) — the per-worker latency statistic of NDN-DPDK's FwFwd,
-// which keeps a RunningStat per forwarding thread precisely so the hot
-// loop never touches shared state. Not safe for concurrent use; each
-// worker owns one.
-type RunningStat struct {
-	n        uint64
-	min, max float64
-	mean, m2 float64
-}
-
-// Push adds one sample.
-func (s *RunningStat) Push(x float64) {
-	s.n++
-	if s.n == 1 {
-		s.min, s.max = x, x
-	} else {
-		if x < s.min {
-			s.min = x
-		}
-		if x > s.max {
-			s.max = x
-		}
-	}
-	d := x - s.mean
-	s.mean += d / float64(s.n)
-	s.m2 += d * (x - s.mean)
-}
-
-// Count returns the number of samples.
-func (s *RunningStat) Count() uint64 { return s.n }
-
-// Min returns the smallest sample (0 with no samples).
-func (s *RunningStat) Min() float64 { return s.min }
-
-// Max returns the largest sample (0 with no samples).
-func (s *RunningStat) Max() float64 { return s.max }
-
-// Mean returns the sample mean (0 with no samples).
-func (s *RunningStat) Mean() float64 { return s.mean }
-
-// Stddev returns the sample standard deviation (0 with <2 samples).
-func (s *RunningStat) Stddev() float64 {
-	if s.n < 2 {
-		return 0
-	}
-	return math.Sqrt(s.m2 / float64(s.n-1))
-}
-
-// Merge folds other into s (parallel-variance combination), aggregating
-// per-worker stats into a pool total.
-func (s *RunningStat) Merge(other RunningStat) {
-	if other.n == 0 {
-		return
-	}
-	if s.n == 0 {
-		*s = other
-		return
-	}
-	if other.min < s.min {
-		s.min = other.min
-	}
-	if other.max > s.max {
-		s.max = other.max
-	}
-	n1, n2 := float64(s.n), float64(other.n)
-	d := other.mean - s.mean
-	s.mean += d * n2 / (n1 + n2)
-	s.m2 += other.m2 + d*d*n1*n2/(n1+n2)
-	s.n += other.n
-}
+// RunningStat is the Welford count/min/max/mean/variance accumulator,
+// now owned by the ops plane (internal/telemetry) so the forwarding
+// workers, the metrics registry's histograms, and the experiment grid
+// all share one implementation. The alias keeps the fwd API unchanged.
+type RunningStat = telemetry.RunningStat
 
 // Counters is one worker's (or the pool-aggregate) forwarding counters.
 // Lookups = Hits + Drops; a drop is a lookup that found no route (the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xorp/internal/profiler"
+	"xorp/internal/telemetry"
 )
 
 // flushEvery is how many lookups a worker batches locally before
@@ -120,6 +121,28 @@ func NewPool(src Source, stream *Stream, n int) *Pool {
 // Scrape records land in the standard profile/0.1 retrieval path.
 func (p *Pool) AttachProfiler(prof *profiler.Profiler) {
 	p.point = prof.Point("fwd_counters")
+}
+
+// RegisterMetrics publishes the pool's live counters into a telemetry
+// registry: pool-aggregate lookup/hit/drop counters, the observed
+// snapshot generation, and the merged per-worker latency summary. All
+// reads go through the workers' atomics (at most flushEvery lookups
+// stale), so a scrape never touches the forwarding hot loop.
+func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("fwd_workers", "forwarding worker count",
+		func() float64 { return float64(len(p.workers)) })
+	reg.CounterFunc("fwd_lookups_total", "forwarding lookups performed",
+		func() float64 { return float64(p.Counters().Lookups) })
+	reg.CounterFunc("fwd_hits_total", "lookups that matched a route",
+		func() float64 { return float64(p.Counters().Hits) })
+	reg.CounterFunc("fwd_drops_total", "lookups with no matching route",
+		func() float64 { return float64(p.Counters().Drops) })
+	reg.GaugeFunc("fwd_snapshot_gen", "snapshot generation observed by workers",
+		func() float64 { return float64(p.src.Current().Gen()) })
+	reg.GaugeFunc("fwd_lat_mean_ns", "mean sampled lookup latency (ns)",
+		func() float64 { lat := p.Counters().Latency; return lat.Mean() })
+	reg.GaugeFunc("fwd_lat_max_ns", "max sampled lookup latency (ns)",
+		func() float64 { lat := p.Counters().Latency; return lat.Max() })
 }
 
 // Workers returns the worker count.

@@ -8,6 +8,7 @@ import (
 	"xorp/internal/eventloop"
 	"xorp/internal/profiler"
 	"xorp/internal/route"
+	"xorp/internal/telemetry"
 	"xorp/internal/xif"
 	"xorp/internal/xipc"
 )
@@ -46,6 +47,13 @@ type Process struct {
 	profArrive *profiler.Point
 	profQueue  *profiler.Point
 	profSent   *profiler.Point
+
+	// tracer, when set and enabled, receives the StageRIBIn stamp as each
+	// route enters the stage network (nil-safe; zero cost when disabled).
+	tracer *telemetry.Tracer
+
+	metrics *telemetry.Registry
+	mEvents *telemetry.Counter // rib_route_events_total
 }
 
 // NewProcess assembles the RIB's stage network. fib may be nil (routes
@@ -99,6 +107,22 @@ func NewProcess(loop *eventloop.Loop, fib FIBClient, router *xipc.Router) *Proce
 	} {
 		p.origins[proto].SetBatchGate(internalGate)
 	}
+
+	// Live metrics. Scrapes arrive through the stats/0.1 XRL handler,
+	// which runs on the process loop, so gauge funcs may read the origin
+	// tables directly.
+	p.metrics = telemetry.NewRegistry()
+	p.mEvents = p.metrics.Counter("rib_route_events_total", "route add/delete events accepted")
+	p.metrics.GaugeFunc("rib_routes", "final routes after the stage network",
+		func() float64 { return float64(p.Len()) })
+	for proto, o := range p.origins {
+		o := o
+		p.metrics.GaugeFunc("rib_routes_"+proto.String(), "routes held by the "+proto.String()+" origin table",
+			func() float64 { return float64(o.Len()) })
+	}
+	p.metrics.GaugeFunc("rib_queue_depth", "event-loop input backlog",
+		func() float64 { return float64(loop.QueueDepth()) })
+	xipc.RegisterIOMetrics(p.metrics)
 	return p
 }
 
@@ -127,6 +151,13 @@ func (p *Process) SetFIBCoalesce(window time.Duration) {
 // Profiler returns the process profiler.
 func (p *Process) Profiler() *profiler.Profiler { return p.prof }
 
+// Metrics returns the process's live metrics registry.
+func (p *Process) Metrics() *telemetry.Registry { return p.metrics }
+
+// SetTracer wires the route-latency tracer stamped as routes enter the
+// RIB stage network. Call at assembly time, before routes flow.
+func (p *Process) SetTracer(tr *telemetry.Tracer) { p.tracer = tr }
+
 // Origin returns the origin table for proto.
 func (p *Process) Origin(proto route.Protocol) *OriginTable { return p.origins[proto] }
 
@@ -154,6 +185,10 @@ func (p *Process) AddRoute(proto route.Protocol, e route.Entry) error {
 	if p.profArrive.Enabled() {
 		p.profArrive.Logf("add %v", e.Net)
 	}
+	if p.tracer.Enabled() {
+		p.tracer.Stamp(telemetry.StageRIBIn, e.Net)
+	}
+	p.mEvents.Inc()
 	o.AddRoute(e)
 	return nil
 }
@@ -172,6 +207,14 @@ func (p *Process) AddRoutes(proto route.Protocol, es []route.Entry) error {
 			p.profArrive.Logf("add %v", es[i].Net)
 		}
 	}
+	if p.tracer.Enabled() {
+		p.tracer.StampBatch(telemetry.StageRIBIn, func(yield func(netip.Prefix)) {
+			for i := range es {
+				yield(es[i].Net)
+			}
+		})
+	}
+	p.mEvents.Add(uint64(len(es)))
 	o.LoadBatch(es)
 	return nil
 }
@@ -185,6 +228,7 @@ func (p *Process) DeleteRoute(proto route.Protocol, net netip.Prefix) error {
 	if p.profArrive.Enabled() {
 		p.profArrive.Logf("delete %v", net)
 	}
+	p.mEvents.Inc()
 	if !o.DeleteRoute(net) {
 		return fmt.Errorf("rib: %v has no route %v", proto, net)
 	}
@@ -204,6 +248,7 @@ func (p *Process) DeleteRoutes(proto route.Protocol, nets []netip.Prefix) error 
 			p.profArrive.Logf("delete %v", net)
 		}
 	}
+	p.mEvents.Add(uint64(len(nets)))
 	o.DeleteBatch(nets)
 	return nil
 }
@@ -549,5 +594,6 @@ func (s ribServer) ResyncComplete4(proto route.Protocol) (uint32, error) {
 // through their spec-checked bindings.
 func (p *Process) RegisterXRLs(t *xipc.Target) {
 	xif.BindRIB(t, ribServer{p})
+	xif.BindStatsRegistry(t, p.metrics.RenderLines, p.metrics.Get)
 	p.prof.RegisterXRLs(t)
 }

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRegistryRender pins the Prometheus-style exposition format.
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events since start")
+	g := r.Gauge("depth", "queue depth")
+	r.GaugeFunc("table", "table size", func() float64 { return 7 })
+	h := r.Histogram("lat", "latency")
+
+	c.Add(3)
+	g.Set(2.5)
+	h.Observe(1)
+	h.Observe(3)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP events_total events since start",
+		"# TYPE events_total counter",
+		"events_total 3",
+		"# TYPE depth gauge",
+		"depth 2.5",
+		"table 7",
+		"# TYPE lat summary",
+		"lat_count 2",
+		"lat_mean 2",
+		"lat_min 1",
+		"lat_max 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Sorted by name: depth before events_total before lat before table.
+	if strings.Index(out, "depth") > strings.Index(out, "events_total") {
+		t.Error("render not sorted by metric name")
+	}
+
+	if v, ok := r.Get("lat_stddev"); !ok || v <= 0 {
+		t.Errorf("Get(lat_stddev) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get("absent"); ok {
+		t.Error("Get(absent) reported found")
+	}
+}
+
+// TestRegistryConcurrentScrape hammers every metric kind from writer
+// goroutines while scraping concurrently; run under -race this pins the
+// registry's contract that updates and scrapes may come from any
+// goroutine.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat", "")
+	var ext atomic.Uint64
+	r.CounterFunc("ext_total", "", func() float64 { return float64(ext.Load()) })
+
+	const writers, iters = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local RunningStat
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 100))
+				local.Push(float64(i))
+				ext.Add(1)
+				if i%500 == 499 {
+					h.Merge(local)
+					local = RunningStat{}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		if out := r.Render(); !strings.Contains(out, "ops_total") {
+			t.Fatal("scrape lost a metric")
+		}
+		r.Get("lat_mean")
+		r.Get("ops_total")
+	}
+
+	if got := c.Value(); got != writers*iters {
+		t.Fatalf("ops_total = %d, want %d", got, writers*iters)
+	}
+	if v, _ := r.Get("ext_total"); v != writers*iters {
+		t.Fatalf("ext_total = %v, want %d", v, writers*iters)
+	}
+}
+
+// TestRegistryDuplicatePanics pins the assembly-time dup guard.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// testTracer returns an enabled tracer sampling everything, with a
+// deterministic monotonic clock.
+func testTracer() (*Tracer, *int64) {
+	tr := NewTracer()
+	tr.SetSampleShift(0)
+	var clock int64
+	tr.SetNow(func() int64 { clock++; return clock })
+	tr.Enable()
+	return tr, &clock
+}
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// TestTracerLifecycle walks one route through all five stages and
+// checks ordering, completion, and the first-stamp-wins rule.
+func TestTracerLifecycle(t *testing.T) {
+	tr, _ := testTracer()
+	net := pfx("10.1.0.0/16")
+
+	for s := StagePeerIn; s < NumStages; s++ {
+		tr.Stamp(s, net)
+	}
+	// A re-announce after completion opens a fresh trace.
+	tr.Stamp(StagePeerIn, net)
+
+	traces := tr.Take()
+	if len(traces) != 1 {
+		t.Fatalf("got %d completed traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Net != net {
+		t.Fatalf("trace net %v", got.Net)
+	}
+	for s := Stage(1); s < NumStages; s++ {
+		if got.T[s] <= got.T[s-1] {
+			t.Fatalf("stage %s stamp %d not after %s stamp %d",
+				StageNames[s], got.T[s], StageNames[s-1], got.T[s-1])
+		}
+	}
+
+	// First stamp wins: a duplicate decision stamp must not move the slot.
+	tr2, _ := testTracer()
+	tr2.Stamp(StagePeerIn, net)
+	tr2.Stamp(StageDecision, net)
+	tr2.Stamp(StageDecision, net)
+	tr2.Stamp(StageSnapPub, net)
+	tc := tr2.Take()[0]
+	if tc.T[StageDecision] != 2 {
+		t.Fatalf("duplicate stamp overwrote: decision = %d, want 2", tc.T[StageDecision])
+	}
+}
+
+// TestTracerOrigin pins that only the origin stage opens traces: stamps
+// for unknown prefixes at later stages are ignored, and SetOrigin moves
+// the opening point (the chaos harness traces the apply→publish tail).
+func TestTracerOrigin(t *testing.T) {
+	tr, _ := testTracer()
+	tr.Stamp(StageRIBIn, pfx("10.2.0.0/16")) // never opened
+	if n := len(tr.Take()); n != 0 {
+		t.Fatalf("non-origin stamp opened a trace (%d)", n)
+	}
+
+	tail := NewTracer()
+	tail.SetSampleShift(0)
+	tail.SetOrigin(StageFIBApply)
+	var clock int64
+	tail.SetNow(func() int64 { clock++; return clock })
+	tail.Enable()
+	net := pfx("10.3.0.0/16")
+	tail.Stamp(StagePeerIn, net) // ignored: not the origin
+	tail.Stamp(StageFIBApply, net)
+	tail.Stamp(StageSnapPub, net)
+	traces := tail.Take()
+	if len(traces) != 1 {
+		t.Fatalf("tail trace not completed")
+	}
+	if traces[0].T[StagePeerIn] != 0 || traces[0].T[StageFIBApply] == 0 {
+		t.Fatalf("tail trace stamps %v", traces[0].T)
+	}
+}
+
+// TestTracerStampBatch checks batch stamping opens at the origin and
+// shares one timestamp per batch.
+func TestTracerStampBatch(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSampleShift(0)
+	tr.SetOrigin(StageFIBApply)
+	var clock int64
+	tr.SetNow(func() int64 { clock++; return clock })
+	tr.Enable()
+
+	nets := []netip.Prefix{pfx("10.4.0.0/16"), pfx("10.5.0.0/16"), pfx("10.6.0.0/16")}
+	iter := func(yield func(netip.Prefix)) {
+		for _, n := range nets {
+			yield(n)
+		}
+	}
+	tr.StampBatch(StageFIBApply, iter)
+	tr.StampBatch(StageSnapPub, iter)
+	traces := tr.Take()
+	if len(traces) != len(nets) {
+		t.Fatalf("completed %d/%d batch traces", len(traces), len(nets))
+	}
+	for _, x := range traces {
+		if x.T[StageFIBApply] != 1 || x.T[StageSnapPub] != 2 {
+			t.Fatalf("batch stamps not shared: %v", x.T)
+		}
+	}
+}
+
+// TestTracerSampling pins that the sample mask thins collection and is
+// deterministic per prefix.
+func TestTracerSampling(t *testing.T) {
+	tr, _ := testTracer()
+	tr.SetSampleShift(3) // 1 in 8
+	sampled := 0
+	for i := 0; i < 1024; i++ {
+		net := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		tr.Stamp(StagePeerIn, net)
+		tr.Stamp(StageSnapPub, net)
+	}
+	sampled = len(tr.Take())
+	if sampled == 0 || sampled == 1024 {
+		t.Fatalf("1-in-8 sampling collected %d/1024", sampled)
+	}
+	// Roughly 1/8 with generous slack (FNV over structured addresses).
+	if sampled < 32 || sampled > 512 {
+		t.Errorf("sampling far from 1/8: %d/1024", sampled)
+	}
+}
+
+// TestTracerDisabled pins that Enabled is nil-safe and a disabled
+// tracer collects nothing even if stamped directly.
+func TestTracerDisabled(t *testing.T) {
+	var nilTracer *Tracer
+	if nilTracer.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr := NewTracer()
+	if tr.Enabled() {
+		t.Fatal("fresh tracer enabled")
+	}
+	tr.Enable()
+	if !tr.Enabled() {
+		t.Fatal("Enable did not take")
+	}
+	tr.Disable()
+	if tr.Enabled() {
+		t.Fatal("Disable did not take")
+	}
+}
+
+// TestTraceCSV pins the CSV layout consumed by -trace-csv.
+func TestTraceCSV(t *testing.T) {
+	tr, _ := testTracer()
+	net := pfx("192.0.2.0/24")
+	for s := StagePeerIn; s < NumStages; s++ {
+		tr.Stamp(s, net)
+	}
+	out := WriteCSV(tr.Take())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != CSVHeader {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if want := "192.0.2.0/24,1,2,3,4,5"; lines[1] != want {
+		t.Fatalf("row %q, want %q", lines[1], want)
+	}
+}
+
+// TestSummarize pins the per-transition summary on a hand-built set.
+func TestSummarize(t *testing.T) {
+	mk := func(stamps ...int64) RouteTrace {
+		var r RouteTrace
+		r.Net = pfx("10.9.0.0/16")
+		copy(r.T[:], stamps)
+		return r
+	}
+	rows := Summarize([]RouteTrace{
+		mk(10, 20, 40, 70, 110),  // deltas 10,20,30,40; total 100
+		mk(10, 30, 60, 100, 150), // deltas 20,30,40,50; total 140
+	})
+	if len(rows) != int(NumStages) {
+		t.Fatalf("%d rows, want %d", len(rows), NumStages)
+	}
+	if rows[0].Label != "peer_in -> decision" || rows[0].Mean != 15 {
+		t.Fatalf("row0 %+v", rows[0])
+	}
+	total := rows[len(rows)-1]
+	if total.Label != "total" || total.Mean != 120 || total.Max != 140 {
+		t.Fatalf("total %+v", total)
+	}
+
+	// A trace missing an endpoint is skipped for that transition only.
+	rows = Summarize([]RouteTrace{mk(10, 0, 40, 70, 110)})
+	for _, r := range rows {
+		if r.Label == "peer_in -> decision" || r.Label == "decision -> rib_in" {
+			t.Fatalf("transition with missing endpoint summarized: %+v", r)
+		}
+	}
+
+	out := FormatSummary(rows)
+	if !strings.Contains(out, "total") || !strings.Contains(out, "p95") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

@@ -284,6 +284,11 @@ func (confServer) FwdGetWorkerStats() ([]string, error) {
 	return []string{"worker=0 lookups=5 hits=5 drops=0 gen=3"}, nil
 }
 
+func (confServer) StatsScrape() ([]string, error) {
+	return []string{"# TYPE up gauge", "up 1"}, nil
+}
+func (confServer) StatsGet(string) (bool, float64, error) { return true, 1, nil }
+
 func TestSpecConformance(t *testing.T) {
 	loop := eventloop.New(nil)
 	r := xipc.NewRouter("conformance", loop)
@@ -303,6 +308,7 @@ func TestSpecConformance(t *testing.T) {
 	xif.BindBench(target, srv)
 	xif.BindFwd(target, srv)
 	xif.BindConfig(target, srv)
+	xif.BindStats(target, srv)
 	r.AddTarget(target)
 
 	bound := make(map[string]bool)

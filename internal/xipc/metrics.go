@@ -1,0 +1,14 @@
+package xipc
+
+import "xorp/internal/telemetry"
+
+// RegisterIOMetrics publishes the package-wide transport I/O counters
+// (one per read/write syscall on a transport socket — the Figure-9
+// syscall column, live) into a telemetry registry. Reads are atomic
+// loads, safe from any scrape goroutine.
+func RegisterIOMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("xrl_io_writes_total", "socket write ops by all xipc transports",
+		func() float64 { w, _ := IOStats(); return float64(w) })
+	reg.CounterFunc("xrl_io_reads_total", "socket read ops by all xipc transports",
+		func() float64 { _, r := IOStats(); return float64(r) })
+}
